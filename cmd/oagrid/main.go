@@ -1,0 +1,96 @@
+// Command oagrid demonstrates the paper's Figure-9 protocol end to end on a
+// loopback deployment of the DIET-like middleware: it starts a master agent
+// and one server daemon per cluster profile, submits an experiment, and
+// prints every protocol step — performance vectors, the Algorithm-1
+// repartition, and each cluster's execution report.
+//
+// Usage:
+//
+//	oagrid -clusters 5 -procs 44 -ns 10 -nm 1800 -heuristic knapsack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+func main() {
+	var (
+		nClusters = flag.Int("clusters", 5, "clusters to start (1-5 speed profiles)")
+		procs     = flag.Int("procs", 44, "processors per cluster")
+		ns        = flag.Int("ns", 10, "scenarios (NS)")
+		nm        = flag.Int("nm", 1800, "months per scenario (NM)")
+		heuristic = flag.String("heuristic", core.NameKnapsack, "per-cluster heuristic")
+	)
+	flag.Parse()
+	if *nClusters < 1 || *nClusters > 5 {
+		fail(fmt.Errorf("clusters must be 1..5, got %d", *nClusters))
+	}
+
+	// Boot the middleware.
+	ma, err := diet.StartMasterAgent("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	defer ma.Close()
+	fmt.Printf("master agent listening on %s\n", ma.Addr())
+
+	profiles := platform.FiveClusters()[:*nClusters]
+	for _, cl := range profiles {
+		cl.Procs = *procs
+		sed, err := diet.StartSeD("127.0.0.1:0", cl, exec.Options{})
+		if err != nil {
+			fail(err)
+		}
+		defer sed.Close()
+		if err := sed.RegisterWith(ma.Addr()); err != nil {
+			fail(err)
+		}
+		t11, _ := cl.Timing.MainSeconds(platform.MaxGroup)
+		fmt.Printf("SeD %-12s registered at %s (%d procs, T[11]=%.0fs)\n", cl.Name, sed.Addr(), cl.Procs, t11)
+	}
+
+	// Steps 1–6.
+	app := core.Application{Scenarios: *ns, Months: *nm}
+	fmt.Printf("\n(1) client request: %d scenarios × %d months, heuristic %q\n", *ns, *nm, *heuristic)
+	client := &diet.Client{MAAddr: ma.Addr()}
+	res, err := client.Submit(app, *heuristic)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Println("(2,3) performance vectors (makespan of 1..NS scenarios, hours):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, name := range res.Clusters {
+		fmt.Fprintf(w, "  %s\t", name)
+		for _, v := range res.Vectors[name] {
+			fmt.Fprintf(w, "%.0f\t", v/3600)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+
+	fmt.Println("(4) repartition (Algorithm 1):")
+	for i, name := range res.Clusters {
+		fmt.Printf("  %-12s %d scenario(s)\n", name, res.Repartition.Counts[i])
+	}
+
+	fmt.Println("(5,6) execution reports:")
+	for _, r := range res.Reports {
+		fmt.Printf("  %-12s %d scenario(s)  groups %v post=%d  makespan %.0f h\n",
+			r.Cluster, r.Scenarios, r.Allocation.Groups, r.Allocation.PostProcs, r.Makespan/3600)
+	}
+	fmt.Printf("\nglobal makespan: %.0f hours (%.1f days)\n", res.Makespan/3600, res.Makespan/86400)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "oagrid:", err)
+	os.Exit(1)
+}

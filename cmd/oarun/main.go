@@ -1,0 +1,123 @@
+// Command oarun drives the toy coupled climate model directly: it runs the
+// six-task monthly pipeline (caif, mp, pcr, cof, emi, cd) for a scenario,
+// calibrates the Figure-1 task-duration table across the moldable processor
+// range, or executes a whole scheduled mini-ensemble for real (the paper's
+// "verify our simulations by real experiments").
+//
+// Usage:
+//
+//	oarun -months 3 -scenario 2 -procs 8 -dir /tmp/oa   # run a chain
+//	oarun -calibrate                                    # Figure-1 table
+//	oarun -schedule -ns 3 -months 2 -r 20               # realrun an ensemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oagrid/internal/climate/field"
+	"oagrid/internal/climate/pipeline"
+	"oagrid/internal/core"
+	"oagrid/internal/figures"
+	"oagrid/internal/platform"
+	"oagrid/internal/realrun"
+)
+
+func main() {
+	var (
+		months    = flag.Int("months", 1, "months to run (chained through restarts)")
+		scenario  = flag.Int("scenario", 0, "scenario index (fixes the cloud parametrization)")
+		procs     = flag.Int("procs", 8, "processors for the coupled run (4-11)")
+		dir       = flag.String("dir", "", "experiment directory (default: a temp dir)")
+		days      = flag.Int("days", 30, "days per month (lower = faster)")
+		calibrate = flag.Bool("calibrate", false, "measure the Figure-1 task table instead")
+		big       = flag.Bool("big", false, "use larger grids (slower, cleaner timings)")
+		schedule  = flag.Bool("schedule", false, "plan with the knapsack heuristic and execute the ensemble for real")
+		ns        = flag.Int("ns", 3, "scenarios for -schedule")
+		r         = flag.Int("r", 20, "cluster processors for -schedule")
+	)
+	flag.Parse()
+
+	atmos, ocean := field.Grid{NLat: 24, NLon: 48}, field.Grid{NLat: 36, NLon: 72}
+	if *big {
+		atmos, ocean = field.Grid{NLat: 48, NLon: 96}, field.Grid{NLat: 72, NLon: 144}
+	}
+
+	root := *dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "oarun-*")
+		if err != nil {
+			fail(err)
+		}
+		root = tmp
+		fmt.Printf("working directory: %s\n", root)
+	}
+
+	if *calibrate {
+		res, err := figures.Figure1(figures.Figure1Config{
+			WorkDir:   root,
+			AtmosGrid: atmos,
+			OceanGrid: ocean,
+			Days:      *days,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Table())
+		return
+	}
+
+	if *schedule {
+		app := core.Application{Scenarios: *ns, Months: *months}
+		alloc, err := (core.Knapsack{}).Plan(app, platform.ReferenceTiming(), *r)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("plan on %d processors: %v\n", *r, alloc)
+		res, err := realrun.Run(realrun.Config{
+			Root:      root,
+			App:       app,
+			Alloc:     alloc,
+			AtmosGrid: atmos,
+			OceanGrid: ocean,
+			Days:      *days,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for _, rep := range res.Reports {
+			fmt.Printf("  s%02d m%04d on group %d: main %v, post %v, T=%.2fK\n",
+				rep.Scenario, rep.Month, rep.Group, rep.MainWall.Round(1e6), rep.PostWall.Round(1e6), rep.GlobalT)
+		}
+		fmt.Printf("real wall time: %v for %d months\n", res.Wall.Round(1e6), len(res.Reports))
+		return
+	}
+
+	cfg := pipeline.Config{
+		Root:      root,
+		Scenario:  *scenario,
+		Procs:     *procs,
+		AtmosGrid: atmos,
+		OceanGrid: ocean,
+		Days:      *days,
+	}
+	fmt.Printf("scenario %d on %d processors (%d atmosphere ranks), %d-day months\n",
+		*scenario, *procs, *procs-3, *days)
+	for m := 0; m < *months; m++ {
+		diag, tt, err := pipeline.RunMonth(cfg, m)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("month %4d: T=%.2fK SST=%.2fK ice=%.3f precip=%.1f  (caif %v, mp %v, pcr %v, cof %v, emi %v, cd %v)\n",
+			m, diag.GlobalT, diag.GlobalSST, diag.IceFraction, diag.TotalPrecip,
+			tt.CAIF.Round(1e6), tt.MP.Round(1e6), tt.PCR.Round(1e6),
+			tt.COF.Round(1e6), tt.EMI.Round(1e6), tt.CD.Round(1e6))
+	}
+	fmt.Printf("outputs in %s\n", cfg.Dir())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "oarun:", err)
+	os.Exit(1)
+}

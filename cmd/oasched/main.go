@@ -1,0 +1,125 @@
+// Command oasched plans and simulates one scheduling configuration: it
+// prints the processor grouping every heuristic chooses for a cluster, the
+// analytical and simulated makespans, and optionally an ASCII Gantt chart.
+//
+// Usage:
+//
+//	oasched -r 53 -ns 10 -nm 1800                  # the paper's worked example
+//	oasched -r 53 -ns 4 -nm 6 -heuristic knapsack -gantt
+//	oasched -r 60 -speed 1.29                      # a slower cluster profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+func main() {
+	var (
+		r         = flag.Int("r", 53, "processors in the cluster")
+		ns        = flag.Int("ns", 10, "scenarios (NS)")
+		nm        = flag.Int("nm", 1800, "months per scenario (NM)")
+		heuristic = flag.String("heuristic", "", "only this heuristic (default: all four)")
+		speed     = flag.Float64("speed", 1.0, "cluster slowness factor (1.0 = reference, 1177s..1622s anchors ≈ 0.93..1.29)")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small workloads only)")
+		policy    = flag.String("policy", "least-advanced", "dispatch policy: least-advanced, round-robin, most-advanced")
+	)
+	flag.Parse()
+
+	app := core.Application{Scenarios: *ns, Months: *nm}
+	if err := app.Validate(); err != nil {
+		fail(err)
+	}
+	timing := platform.ReferenceTiming()
+	timing.Speed = *speed
+
+	var pol exec.Policy
+	switch *policy {
+	case "least-advanced":
+		pol = exec.LeastAdvanced
+	case "round-robin":
+		pol = exec.RoundRobin
+	case "most-advanced":
+		pol = exec.MostAdvanced
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var hs []core.Heuristic
+	if *heuristic == "" {
+		hs = core.All()
+	} else {
+		h, err := core.ByName(*heuristic)
+		if err != nil {
+			fail(err)
+		}
+		hs = []core.Heuristic{h}
+	}
+
+	fmt.Printf("cluster: %d processors, speed %.3f (T[11]=%.0fs)  workload: %d scenarios × %d months\n\n",
+		*r, *speed, mustMain(timing, platform.MaxGroup), *ns, *nm)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "heuristic\tallocation\tmodel (s)\tsimulated (s)\tgain vs basic")
+	var baseline float64
+	for i, h := range hs {
+		alloc, err := h.Plan(app, timing, *r)
+		if err != nil {
+			fail(err)
+		}
+		model := "-"
+		if uniform(alloc) {
+			if ms, err := core.UniformEstimate(app, timing, *r, alloc.Groups[0]); err == nil {
+				model = fmt.Sprintf("%.0f", ms)
+			}
+		}
+		res, err := exec.Run(app, timing, *r, alloc, exec.Options{Policy: pol, RecordTrace: *gantt})
+		if err != nil {
+			fail(err)
+		}
+		if i == 0 {
+			baseline = res.Makespan
+		}
+		gain := 100 * (baseline - res.Makespan) / baseline
+		fmt.Fprintf(w, "%s\t%v post=%d\t%s\t%.0f\t%+.2f%%\n",
+			h.Name(), alloc.Groups, alloc.PostProcs, model, res.Makespan, gain)
+		if *gantt && res.Trace != nil {
+			if len(res.Trace.Spans) > 2000 {
+				fmt.Fprintln(os.Stderr, "oasched: workload too large for a Gantt chart; shrink -ns/-nm")
+			} else {
+				w.Flush()
+				fmt.Println()
+				fmt.Print(res.Trace.Gantt(100))
+				fmt.Println()
+			}
+		}
+	}
+	w.Flush()
+}
+
+func uniform(al core.Allocation) bool {
+	for _, g := range al.Groups[1:] {
+		if g != al.Groups[0] {
+			return false
+		}
+	}
+	return len(al.Groups) > 0
+}
+
+func mustMain(t platform.Timing, g int) float64 {
+	v, err := t.MainSeconds(g)
+	if err != nil {
+		fail(err)
+	}
+	return v
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "oasched:", err)
+	os.Exit(1)
+}

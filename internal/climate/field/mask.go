@@ -1,0 +1,65 @@
+package field
+
+// LandMask returns a synthetic land/sea mask on g (1 = land, 0 = ocean) with
+// two idealized continents, enough structure to give the river-routing model
+// coastlines and the coupler distinct surface types. The real study uses
+// observed topography; any fixed mask exercises the same code paths.
+func LandMask(g Grid) *Field {
+	m := MustNew(g, "landmask", "1")
+	for i := 0; i < g.NLat; i++ {
+		lat := g.LatAt(i)
+		for j := 0; j < g.NLon; j++ {
+			lon := g.LonAt(j)
+			land := 0.0
+			// Continent A: a broad Eurasia/Africa-like block.
+			if lat > -35 && lat < 70 && lon > 0 && lon < 120 {
+				land = 1
+			}
+			// Continent B: an Americas-like strip.
+			if lat > -55 && lat < 60 && lon > 200 && lon < 280 {
+				land = 1
+			}
+			m.Set(i, j, land)
+		}
+	}
+	return m
+}
+
+// Elevation returns a synthetic, plateau-free land elevation (meters) used to
+// derive river flow directions: two ridge lines with a deterministic
+// micro-slope so steepest-descent routing never ties.
+func Elevation(g Grid, mask *Field) *Field {
+	e := MustNew(g, "elevation", "m")
+	for i := 0; i < g.NLat; i++ {
+		lat := g.LatAt(i)
+		for j := 0; j < g.NLon; j++ {
+			if mask.At(i, j) < 0.5 {
+				e.Set(i, j, 0)
+				continue
+			}
+			lon := g.LonAt(j)
+			h := 200.0
+			// Ridge through continent A around lon 60.
+			d := lon - 60
+			if d < 0 {
+				d = -d
+			}
+			if d < 40 {
+				h += (40 - d) * 60
+			}
+			// Ridge through continent B around lon 240.
+			d2 := lon - 240
+			if d2 < 0 {
+				d2 = -d2
+			}
+			if d2 < 25 {
+				h += (25 - d2) * 90
+			}
+			// Slope towards the poles plus a tie-breaking micro-gradient.
+			h += lat * 2
+			h += float64(i)*1e-3 + float64(j)*1e-6
+			e.Set(i, j, h)
+		}
+	}
+	return e
+}

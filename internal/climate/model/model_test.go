@@ -1,0 +1,178 @@
+package model
+
+import (
+	"os"
+	"testing"
+
+	"oagrid/internal/climate/field"
+)
+
+// fastConfig is a short, coarse month for test speed.
+func fastConfig(t *testing.T, procs, month int) Config {
+	t.Helper()
+	return Config{
+		WorkDir:    t.TempDir(),
+		Procs:      procs,
+		Scenario:   3,
+		Month:      month,
+		CloudParam: 0.4,
+		AtmosGrid:  field.Grid{NLat: 12, NLon: 24},
+		OceanGrid:  field.Grid{NLat: 18, NLon: 36},
+		Days:       4,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := fastConfig(t, 4, 0)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.WorkDir = "" },
+		func(c *Config) { c.Procs = 3 },
+		func(c *Config) { c.Procs = 12 },
+		func(c *Config) { c.Scenario = -1 },
+		func(c *Config) { c.CloudParam = 0 },
+		func(c *Config) { c.CloudParam = 1.5 },
+	} {
+		c := fastConfig(t, 4, 0)
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestRunProducesFiles(t *testing.T) {
+	cfg := fastConfig(t, 5, 0)
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scenario != 3 || d.Month != 0 {
+		t.Fatalf("diagnostics labelled s%d/m%d", d.Scenario, d.Month)
+	}
+	if d.GlobalT < 200 || d.GlobalT > 330 {
+		t.Fatalf("global mean T %g K unphysical", d.GlobalT)
+	}
+	if d.GlobalSST < 260 || d.GlobalSST > 320 {
+		t.Fatalf("global mean SST %g K unphysical", d.GlobalSST)
+	}
+	if d.TotalPrecip <= 0 {
+		t.Fatal("no precipitation this month")
+	}
+	if d.IceFraction < 0 || d.IceFraction > 1 {
+		t.Fatalf("ice fraction %g", d.IceFraction)
+	}
+	if _, err := os.Stat(RestartPath(cfg.WorkDir, 3, 0)); err != nil {
+		t.Fatalf("restart missing: %v", err)
+	}
+	if _, err := os.Stat(RawDiagPath(cfg.WorkDir, 3, 0)); err != nil {
+		t.Fatalf("raw diagnostics missing: %v", err)
+	}
+}
+
+func TestMonthChainingViaRestart(t *testing.T) {
+	cfg := fastConfig(t, 4, 0)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Month = 1
+	d2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Month != 1 {
+		t.Fatalf("month 1 diagnostics labelled m%d", d2.Month)
+	}
+	// Month 2 without month 1's restart directory must fail.
+	broken := cfg
+	broken.WorkDir = t.TempDir()
+	broken.Month = 2
+	if _, err := Run(broken); err == nil {
+		t.Fatal("missing restart accepted")
+	}
+}
+
+// TestDeterministicAcrossProcs: the coupled run is bitwise reproducible and
+// the result does not depend on the processor count (only the wall time
+// does), the moldability property the scheduler relies on.
+func TestDeterministicAcrossProcs(t *testing.T) {
+	run := func(procs int) *Diagnostics {
+		cfg := fastConfig(t, procs, 0)
+		d, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b, c := run(4), run(8), run(11)
+	if a.GlobalT != b.GlobalT || b.GlobalT != c.GlobalT {
+		t.Fatalf("global T depends on processor count: %v %v %v", a.GlobalT, b.GlobalT, c.GlobalT)
+	}
+	if a.GlobalSST != b.GlobalSST || a.TotalPrecip != c.TotalPrecip {
+		t.Fatal("diagnostics depend on processor count")
+	}
+}
+
+func TestRestartScenarioMismatch(t *testing.T) {
+	cfg := fastConfig(t, 4, 0)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the restart so a different scenario appears to own it.
+	if err := os.Rename(
+		RestartPath(cfg.WorkDir, 3, 0),
+		RestartPath(cfg.WorkDir, 4, 0),
+	); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Scenario = 4
+	other.Month = 1
+	if _, err := Run(other); err == nil {
+		t.Fatal("restart of another scenario accepted")
+	}
+}
+
+func TestLoadRawRoundTrip(t *testing.T) {
+	cfg := fastConfig(t, 4, 0)
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, month, fields, err := LoadRaw(RawDiagPath(cfg.WorkDir, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen != 3 || month != 0 {
+		t.Fatalf("raw dump labelled s%d/m%d", scen, month)
+	}
+	if len(fields) != len(d.Fields) {
+		t.Fatalf("raw dump has %d fields, want %d", len(fields), len(d.Fields))
+	}
+	for i := range fields {
+		if fields[i].Name != d.Fields[i].Name {
+			t.Fatalf("field %d is %q, want %q", i, fields[i].Name, d.Fields[i].Name)
+		}
+		for j := range fields[i].Data {
+			if fields[i].Data[j] != d.Fields[i].Data[j] {
+				t.Fatalf("field %s cell %d differs after round trip", fields[i].Name, j)
+			}
+		}
+	}
+	if _, _, _, err := LoadRaw("/nonexistent/raw.bin"); err == nil {
+		t.Fatal("missing raw file accepted")
+	}
+}
+
+func TestWallClockRecorded(t *testing.T) {
+	cfg := fastConfig(t, 4, 0)
+	d, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WallClock <= 0 {
+		t.Fatal("wall clock not recorded")
+	}
+}

@@ -1,0 +1,159 @@
+package sdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oagrid/internal/climate/field"
+)
+
+func sample(t *testing.T) []Record {
+	t.Helper()
+	g := field.Grid{NLat: 6, NLon: 12}
+	a := field.MustNew(g, "tos", "K")
+	b := field.MustNew(g, "pr", "kg/m2")
+	for i := range a.Data {
+		a.Data[i] = 270 + float64(i)*0.1
+		b.Data[i] = float64(i % 5)
+	}
+	return []Record{{Time: 42, Field: a}, {Time: 42, Field: b}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	recs := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Time != recs[i].Time {
+			t.Fatalf("record %d time %d, want %d", i, got[i].Time, recs[i].Time)
+		}
+		if got[i].Field.Name != recs[i].Field.Name || got[i].Field.Unit != recs[i].Field.Unit {
+			t.Fatalf("record %d metadata mismatch", i)
+		}
+		if got[i].Field.Grid != recs[i].Field.Grid {
+			t.Fatalf("record %d grid mismatch", i)
+		}
+		for j := range recs[i].Field.Data {
+			if got[i].Field.Data[j] != recs[i].Field.Data[j] {
+				t.Fatalf("record %d cell %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty stream returned %d records", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE\x00\x00\x00\x00")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(strings.NewReader("SD")); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestTruncatedData(t *testing.T) {
+	recs := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, 10, len(raw) / 2, len(raw) - 3} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestImplausibleHeaderRejected(t *testing.T) {
+	// Hand-build a header with a huge grid to ensure the allocation guard
+	// fires instead of OOM.
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.Write([]byte{1, 0, 0, 0})    // one record
+	buf.Write([]byte{1, 0})          // name len 1
+	buf.WriteString("x")             // name
+	buf.Write([]byte{0, 0})          // unit len 0
+	buf.Write([]byte{0, 0, 0, 0x7f}) // nlat huge
+	buf.Write([]byte{0, 0, 0, 0x7f}) // nlon huge
+	buf.Write(make([]byte, 8))       // time
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("implausible grid accepted")
+	}
+}
+
+func TestNilFieldRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Record{{Time: 1}}); err == nil {
+		t.Fatal("nil field accepted")
+	}
+}
+
+func TestFind(t *testing.T) {
+	recs := sample(t)
+	r, err := Find(recs, "pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Field.Name != "pr" {
+		t.Fatalf("Find returned %q", r.Field.Name)
+	}
+	if _, err := Find(recs, "missing"); err == nil {
+		t.Fatal("missing record found")
+	}
+}
+
+// Property: any single-record stream round-trips bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nlatRaw, nlonRaw uint8, ts int64, vals []float64) bool {
+		g := field.Grid{NLat: 2 + int(nlatRaw)%10, NLon: 2 + int(nlonRaw)%10}
+		fl := field.MustNew(g, "f", "u")
+		for i := range fl.Data {
+			if len(vals) > 0 {
+				fl.Data[i] = vals[i%len(vals)]
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, []Record{{Time: ts, Field: fl}}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != 1 || got[0].Time != ts {
+			return false
+		}
+		for i := range fl.Data {
+			a, b := got[0].Field.Data[i], fl.Data[i]
+			if a != b && !(a != a && b != b) { // NaN-safe comparison
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"oagrid/internal/knapsack"
+	"oagrid/internal/platform"
+)
+
+func TestAllHeuristicNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, h := range All() {
+		if seen[h.Name()] {
+			t.Fatalf("duplicate heuristic name %q", h.Name())
+		}
+		seen[h.Name()] = true
+		got, err := ByName(h.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", h.Name(), err)
+		}
+		if got.Name() != h.Name() {
+			t.Fatalf("ByName(%q) returned %q", h.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown heuristic name")
+	}
+	if len(Improvements()) != 3 {
+		t.Fatalf("Improvements() returned %d heuristics, want 3", len(Improvements()))
+	}
+}
+
+// TestWorkedExample53 reproduces the paper's §4.2 worked example: with
+// R = 53 and 10 scenarios the optimal grouping is G = 7 (seven groups of 7,
+// 49 processors, 1 post processor needed, 3 idle), and Improvement 1 turns
+// the idle processors into 3 groups of 8, 4 groups of 7 and 1 post processor.
+func TestWorkedExample53(t *testing.T) {
+	app := Default() // 10 scenarios × 1800 months
+	ref := platform.ReferenceTiming()
+
+	basic, err := (Basic{}).Plan(app, ref, 53)
+	if err != nil {
+		t.Fatalf("basic plan: %v", err)
+	}
+	wantBasic := []int{7, 7, 7, 7, 7, 7, 7}
+	if !reflect.DeepEqual(basic.Groups, wantBasic) {
+		t.Fatalf("basic grouping = %v, want %v", basic.Groups, wantBasic)
+	}
+	if basic.PostProcs != 4 {
+		t.Fatalf("basic post pool = %d, want 4", basic.PostProcs)
+	}
+
+	redis, err := (Redistribute{}).Plan(app, ref, 53)
+	if err != nil {
+		t.Fatalf("redistribute plan: %v", err)
+	}
+	wantRedis := []int{8, 8, 8, 7, 7, 7, 7}
+	if !reflect.DeepEqual(redis.Groups, wantRedis) {
+		t.Fatalf("redistribute grouping = %v, want %v (paper's 3×8 + 4×7)", redis.Groups, wantRedis)
+	}
+	if redis.PostProcs != 1 {
+		t.Fatalf("redistribute post pool = %d, want 1", redis.PostProcs)
+	}
+}
+
+func TestBasicMatchesExhaustiveScan(t *testing.T) {
+	app := Application{Scenarios: 10, Months: 60}
+	ref := platform.ReferenceTiming()
+	for procs := 11; procs <= 130; procs += 7 {
+		al, err := (Basic{}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d: %v", procs, err)
+		}
+		g := al.Groups[0]
+		best, bestG := math.Inf(1), 0
+		lo, hi := ref.Range()
+		for cand := lo; cand <= hi && cand <= procs; cand++ {
+			ms, err := UniformEstimate(app, ref, procs, cand)
+			if err != nil {
+				t.Fatalf("estimate R=%d G=%d: %v", procs, cand, err)
+			}
+			if ms < best {
+				best, bestG = ms, cand
+			}
+		}
+		if g != bestG {
+			t.Errorf("R=%d: basic chose G=%d, exhaustive scan says G=%d", procs, g, bestG)
+		}
+	}
+}
+
+func TestBasicErrorWhenTooSmall(t *testing.T) {
+	ref := platform.ReferenceTiming()
+	if _, err := (Basic{}).Plan(Default(), ref, 3); err == nil {
+		t.Error("expected error for a 3-processor cluster (min group is 4)")
+	}
+}
+
+func TestAllToMainUsesEverything(t *testing.T) {
+	app := Application{Scenarios: 10, Months: 24}
+	ref := platform.ReferenceTiming()
+	for procs := 11; procs <= 120; procs += 13 {
+		al, err := (AllToMain{}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d: %v", procs, err)
+		}
+		if err := al.Validate(app, ref, procs); err != nil {
+			t.Fatalf("R=%d: invalid allocation: %v", procs, err)
+		}
+		_, hi := ref.Range()
+		saturated := true
+		for _, g := range al.Groups {
+			if g < hi {
+				saturated = false
+				break
+			}
+		}
+		canGrow := len(al.Groups) < app.Scenarios && procs-al.UsedProcs()+al.PostProcs >= 0
+		if al.PostProcs > 0 && !saturated && canGrow {
+			// Post processors are only allowed once every group is maxed out.
+			t.Errorf("R=%d: all-to-main left %d post processors with unsaturated groups %v",
+				procs, al.PostProcs, al.Groups)
+		}
+		if al.UsedProcs() != procs && len(al.Groups) == app.Scenarios && saturated {
+			t.Errorf("R=%d: unused processors unaccounted: %v", procs, al)
+		}
+	}
+}
+
+// TestKnapsackMatchesBruteForce verifies the literal (paper-formulation) DP
+// grouping achieves the same aggregate throughput as exhaustive enumeration.
+func TestKnapsackMatchesBruteForce(t *testing.T) {
+	app := Application{Scenarios: 6, Months: 12}
+	ref := platform.ReferenceTiming()
+	h := Knapsack{Literal: true}
+	for procs := 11; procs <= 66; procs += 5 {
+		al, err := h.Plan(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d: %v", procs, err)
+		}
+		if err := al.Validate(app, ref, procs); err != nil {
+			t.Fatalf("R=%d: invalid allocation %v: %v", procs, al, err)
+		}
+		prob, _, err := h.problem(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d: %v", procs, err)
+		}
+		brute, err := knapsack.SolveBrute(prob)
+		if err != nil {
+			t.Fatalf("R=%d: brute: %v", procs, err)
+		}
+		var rate float64
+		for _, g := range al.Groups {
+			tg, _ := ref.MainSeconds(g)
+			rate += 1 / tg
+		}
+		if math.Abs(rate-brute.Value) > 1e-9*brute.Value {
+			t.Errorf("R=%d: knapsack rate %.9f != brute-force optimum %.9f (groups %v)",
+				procs, rate, brute.Value, al.Groups)
+		}
+	}
+}
+
+// TestKnapsackNeverWorseThanBasicRate checks the literal knapsack's aggregate
+// throughput dominates the basic grouping's throughput, which is the point of
+// Improvement 3.
+func TestKnapsackNeverWorseThanBasicRate(t *testing.T) {
+	app := Application{Scenarios: 10, Months: 12}
+	ref := platform.ReferenceTiming()
+	rate := func(groups []int) float64 {
+		r := 0.0
+		for _, g := range groups {
+			tg, _ := ref.MainSeconds(g)
+			r += 1 / tg
+		}
+		return r
+	}
+	for procs := 11; procs <= 140; procs++ {
+		b, err := (Basic{}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d basic: %v", procs, err)
+		}
+		k, err := (Knapsack{Literal: true}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatalf("R=%d knapsack: %v", procs, err)
+		}
+		if rate(k.Groups) < rate(b.Groups)-1e-12 {
+			t.Errorf("R=%d: knapsack rate %.9f below basic rate %.9f", procs, rate(k.Groups), rate(b.Groups))
+		}
+	}
+}
+
+// TestKnapsackSaturationAware is the regression test for the pinning
+// pathology: at R=59 with 10 scenarios the literal formulation builds ten
+// groups including one slow 5-processor group, pinning one scenario chain to
+// it (makespan NM·T[5]); the default planner must avoid that and never lose
+// to the literal plan under the pin-aware estimate.
+func TestKnapsackSaturationAware(t *testing.T) {
+	app := Default()
+	ref := platform.ReferenceTiming()
+
+	lit, err := (Knapsack{Literal: true}).Plan(app, ref, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lit.Groups) != app.Scenarios {
+		t.Fatalf("literal plan at R=59 has %d groups, expected the saturated %d: %v",
+			len(lit.Groups), app.Scenarios, lit.Groups)
+	}
+	def, err := (Knapsack{}).Plan(app, ref, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Groups) >= app.Scenarios {
+		t.Fatalf("saturation-aware plan still saturated: %v", def.Groups)
+	}
+	litEst, err := pinAwareEstimate(app, ref, lit.Groups, 59-lit.UsedProcs()+lit.PostProcs, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defEst, err := pinAwareEstimate(app, ref, def.Groups, 59-def.UsedProcs()+def.PostProcs, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defEst > litEst {
+		t.Fatalf("saturation-aware estimate %g worse than literal %g", defEst, litEst)
+	}
+
+	// Across the sweep the default must never have a worse pin-aware
+	// estimate than the literal plan.
+	for procs := 11; procs <= 130; procs++ {
+		litP, err := (Knapsack{Literal: true}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defP, err := (Knapsack{}).Plan(app, ref, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := pinAwareEstimate(app, ref, litP.Groups, litP.PostProcs, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pinAwareEstimate(app, ref, defP.Groups, defP.PostProcs, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > a*(1+1e-12) {
+			t.Errorf("R=%d: saturation-aware estimate %g worse than literal %g", procs, b, a)
+		}
+	}
+}
+
+// TestHeuristicAllocationsAlwaysValid is a property test: every heuristic
+// returns a validating allocation for any feasible cluster size.
+func TestHeuristicAllocationsAlwaysValid(t *testing.T) {
+	ref := platform.ReferenceTiming()
+	f := func(rRaw, nsRaw, nmRaw uint8) bool {
+		procs := 4 + int(rRaw)%250
+		app := Application{Scenarios: 1 + int(nsRaw)%15, Months: 1 + int(nmRaw)%50}
+		for _, h := range All() {
+			al, err := h.Plan(app, ref, procs)
+			if err != nil {
+				return false
+			}
+			if al.Validate(app, ref, procs) != nil {
+				return false
+			}
+			if al.Heuristic != h.Name() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKnapsackCustomValue exercises the ablation hook. Literal mode keeps
+// the hooked value function authoritative (the default planner would
+// re-rank candidates by the pin-aware makespan estimate).
+func TestKnapsackCustomValue(t *testing.T) {
+	app := Application{Scenarios: 4, Months: 6}
+	ref := platform.ReferenceTiming()
+	h := Knapsack{Literal: true, Value: func(g int, tg float64) float64 { return 1 / (tg * float64(g)) }}
+	al, err := h.Plan(app, ref, 30)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if err := al.Validate(app, ref, 30); err != nil {
+		t.Fatalf("invalid allocation: %v", err)
+	}
+	// Under value 1/(T[g]·g) with the calibrated reference curve, the
+	// per-group value peaks at g = 6 (g·T[g] is minimal there), and with the
+	// cardinality bound the optimum takes only such groups.
+	if len(al.Groups) != app.Scenarios {
+		t.Fatalf("efficiency-valued knapsack built %d groups, want %d", len(al.Groups), app.Scenarios)
+	}
+	for _, g := range al.Groups {
+		if g != 6 {
+			t.Fatalf("efficiency-valued knapsack chose group of %d, want all 6 (min of g·T[g])", g)
+		}
+	}
+}

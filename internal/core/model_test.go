@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oagrid/internal/platform"
+)
+
+// tiny returns a hand-checkable timing table: a main task takes 10 s on 2
+// processors (the only allowed group size), a post task 3 s.
+func tiny() platform.Table {
+	return platform.Table{Main: map[int]float64{2: 10}, Post: 3}
+}
+
+func TestUniformEstimateHandChecked(t *testing.T) {
+	cases := []struct {
+		name    string
+		app     Application
+		procs   int
+		group   int
+		want    float64
+		explain string
+	}{
+		{
+			name: "r2_zero_exact_waves", app: Application{Scenarios: 2, Months: 3},
+			procs: 4, group: 2, want: 36,
+			// nbmax=2, R2=0, 3 waves of 10 s, then 6 posts on 4 procs:
+			// 30 + ceil(6/4)*3 = 36 (equation 2).
+		},
+		{
+			name: "r2_positive_posts_keep_up", app: Application{Scenarios: 2, Months: 3},
+			procs: 5, group: 2, want: 33,
+			// nbmax=2, R2=1, ratio=3 so Npossible=3>=2: no overpass; final
+			// wave's 2 posts at the end: 30 + ceil(2/5)*3 = 33 (equation 4).
+		},
+		{
+			name: "incomplete_wave_rleft_absorbs", app: Application{Scenarios: 3, Months: 3},
+			procs: 5, group: 2, want: 53,
+			// nbmax=2, 9 tasks, n=5, nbused=1, ratio=3, Npossible=3:
+			// no overpass, Novertot=2 absorbed by Rleft=3; remPost=1:
+			// 50 + ceil(1/5)*3 = 53 (equation 5).
+		},
+		{
+			name: "r2_zero_incomplete_wave", app: Application{Scenarios: 3, Months: 3},
+			procs: 4, group: 2, want: 53,
+			// nbmax=2, R2=0, 9 tasks, n=5, nbused=1, Rleft=2, ratio=3:
+			// remPost = 1 + max(0, 9-1-3*2) = 3; 50 + ceil(3/4)*3 = 53
+			// (equation 3).
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := UniformEstimate(tc.app, tiny(), tc.procs, tc.group)
+			if err != nil {
+				t.Fatalf("UniformEstimate: %v", err)
+			}
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("UniformEstimate = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUniformEstimateZeroPost(t *testing.T) {
+	tm := platform.Table{Main: map[int]float64{2: 10}, Post: 0}
+	got, err := UniformEstimate(Application{Scenarios: 2, Months: 3}, tm, 4, 2)
+	if err != nil {
+		t.Fatalf("UniformEstimate: %v", err)
+	}
+	if got != 30 {
+		t.Fatalf("zero-post makespan = %g, want 30", got)
+	}
+}
+
+func TestUniformEstimateErrors(t *testing.T) {
+	if _, err := UniformEstimate(Application{}, tiny(), 4, 2); err == nil {
+		t.Error("expected error for invalid application")
+	}
+	if _, err := UniformEstimate(Application{Scenarios: 1, Months: 1}, tiny(), 1, 2); err == nil {
+		t.Error("expected error when the cluster cannot host one group")
+	}
+	if _, err := UniformEstimate(Application{Scenarios: 1, Months: 1}, tiny(), 4, 3); err == nil {
+		t.Error("expected error for a group size outside the table")
+	}
+}
+
+// TestUniformEstimateLowerBounds checks the model never reports less than
+// the two trivial lower bounds: the wave bound and the post-throughput bound.
+func TestUniformEstimateLowerBounds(t *testing.T) {
+	ref := platform.ReferenceTiming()
+	f := func(rRaw, nsRaw, nmRaw uint8) bool {
+		procs := 4 + int(rRaw)%200
+		app := Application{Scenarios: 1 + int(nsRaw)%12, Months: 1 + int(nmRaw)%40}
+		lo, hi := ref.Range()
+		for g := lo; g <= hi && g <= procs; g++ {
+			ms, err := UniformEstimate(app, ref, procs, g)
+			if err != nil {
+				return false
+			}
+			tg, _ := ref.MainSeconds(g)
+			nbmax := procs / g
+			if nbmax > app.Scenarios {
+				nbmax = app.Scenarios
+			}
+			waves := float64((app.Tasks() + nbmax - 1) / nbmax)
+			if ms < waves*tg-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostAtEndEstimate(t *testing.T) {
+	// nbmax=2, 3 waves of 10 plus all 6 posts at the end on 5 procs.
+	got, err := PostAtEndEstimate(Application{Scenarios: 2, Months: 3}, tiny(), 5, 2)
+	if err != nil {
+		t.Fatalf("PostAtEndEstimate: %v", err)
+	}
+	if want := 30 + 2*3.0; got != want {
+		t.Fatalf("PostAtEndEstimate = %g, want %g", got, want)
+	}
+}
+
+func TestThroughputEstimate(t *testing.T) {
+	tm := platform.Table{Main: map[int]float64{2: 10, 3: 6}, Post: 3}
+	al := Allocation{Groups: []int{3, 2}}
+	// Aggregate rate = 1/6 + 1/10 = 4/15; 12 tasks / rate + one post phase.
+	got, err := ThroughputEstimate(Application{Scenarios: 4, Months: 3}, tm, al)
+	if err != nil {
+		t.Fatalf("ThroughputEstimate: %v", err)
+	}
+	want := 12/(1.0/6+1.0/10) + 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ThroughputEstimate = %g, want %g", got, want)
+	}
+	if _, err := ThroughputEstimate(Application{Scenarios: 1, Months: 1}, tm, Allocation{}); err == nil {
+		t.Error("expected error for empty allocation")
+	}
+}
+
+func TestApplicationValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default application invalid: %v", err)
+	}
+	if Default().Tasks() != 18000 {
+		t.Fatalf("default tasks = %d, want 18000", Default().Tasks())
+	}
+	for _, bad := range []Application{{}, {Scenarios: 1}, {Months: 1}, {Scenarios: -1, Months: 5}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("expected validation error for %+v", bad)
+		}
+	}
+}
+
+func TestAllocationValidate(t *testing.T) {
+	app := Application{Scenarios: 3, Months: 2}
+	ref := platform.ReferenceTiming()
+	good := Allocation{Groups: []int{5, 4}, PostProcs: 1}
+	if err := good.Validate(app, ref, 10); err != nil {
+		t.Fatalf("valid allocation rejected: %v", err)
+	}
+	bad := []Allocation{
+		{Groups: nil, PostProcs: 1},               // no group
+		{Groups: []int{4, 4, 4, 4}},               // more groups than scenarios
+		{Groups: []int{3}},                        // below moldable range
+		{Groups: []int{12}},                       // above moldable range
+		{Groups: []int{4}, PostProcs: -1},         // negative post pool
+		{Groups: []int{11, 11, 11}, PostProcs: 0}, // 33 procs on a 10-proc cluster
+	}
+	for i, al := range bad {
+		if err := al.Validate(app, ref, 10); err == nil {
+			t.Errorf("case %d: expected validation error for %v", i, al)
+		}
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	al := Allocation{Groups: []int{8, 8, 8, 7, 7, 7, 7}, PostProcs: 1, Heuristic: "redistribute"}
+	if got, want := al.String(), "redistribute: 3×8 + 4×7, post=1"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,287 @@
+package diet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+// MasterAgent is the registry the client queries for server daemons, the MA
+// of the DIET hierarchy (the LA layer of real DIET is collapsed into it).
+type MasterAgent struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	seds []SeDInfo
+}
+
+// StartMasterAgent listens on addr ("127.0.0.1:0" for an ephemeral port).
+func StartMasterAgent(addr string) (*MasterAgent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("diet: master agent listen: %w", err)
+	}
+	ma := &MasterAgent{ln: ln}
+	go acceptLoop(ln, ma.handle)
+	return ma, nil
+}
+
+// Addr returns the agent's listen address.
+func (ma *MasterAgent) Addr() string { return ma.ln.Addr().String() }
+
+// Close stops the agent.
+func (ma *MasterAgent) Close() error { return ma.ln.Close() }
+
+// SeDs returns the registered daemons.
+func (ma *MasterAgent) SeDs() []SeDInfo {
+	ma.mu.Lock()
+	defer ma.mu.Unlock()
+	return append([]SeDInfo(nil), ma.seds...)
+}
+
+func (ma *MasterAgent) handle(req *Request) *Response {
+	switch req.Kind {
+	case KindRegister:
+		if req.Register == nil {
+			return &Response{Err: "register: empty payload"}
+		}
+		ma.mu.Lock()
+		replaced := false
+		for i := range ma.seds {
+			if ma.seds[i].Cluster == req.Register.Cluster {
+				ma.seds[i] = SeDInfo(*req.Register)
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			ma.seds = append(ma.seds, SeDInfo(*req.Register))
+		}
+		ma.mu.Unlock()
+		return &Response{Register: &RegisterResponse{Accepted: true}}
+	case KindList:
+		return &Response{List: &ListResponse{SeDs: ma.SeDs()}}
+	default:
+		return &Response{Err: fmt.Sprintf("master agent: unsupported request %q", req.Kind)}
+	}
+}
+
+// SeD is the per-cluster server daemon: it computes performance vectors
+// (protocol step 2) and executes assigned scenario sets (step 6) on its
+// cluster, using the event-driven executor as the cluster's compute fabric.
+type SeD struct {
+	cluster *platform.Cluster
+	opts    exec.Options
+	ln      net.Listener
+}
+
+// StartSeD listens on addr and serves the cluster.
+func StartSeD(addr string, cluster *platform.Cluster, opts exec.Options) (*SeD, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("diet: SeD %s listen: %w", cluster.Name, err)
+	}
+	s := &SeD{cluster: cluster, opts: opts, ln: ln}
+	go acceptLoop(ln, s.handle)
+	return s, nil
+}
+
+// Addr returns the daemon's listen address.
+func (s *SeD) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the daemon.
+func (s *SeD) Close() error { return s.ln.Close() }
+
+// RegisterWith announces the daemon to a master agent.
+func (s *SeD) RegisterWith(maAddr string) error {
+	resp, err := roundTrip(maAddr, &Request{Kind: KindRegister, Register: &RegisterRequest{
+		Cluster: s.cluster.Name,
+		Addr:    s.Addr(),
+		Procs:   s.cluster.Procs,
+	}})
+	if err != nil {
+		return err
+	}
+	if resp.Register == nil || !resp.Register.Accepted {
+		return fmt.Errorf("diet: master agent rejected registration of %s", s.cluster.Name)
+	}
+	return nil
+}
+
+func (s *SeD) handle(req *Request) *Response {
+	switch req.Kind {
+	case KindPerf:
+		return s.handlePerf(req.Perf)
+	case KindExec:
+		return s.handleExec(req.Exec)
+	default:
+		return &Response{Err: fmt.Sprintf("SeD %s: unsupported request %q", s.cluster.Name, req.Kind)}
+	}
+}
+
+func (s *SeD) handlePerf(req *PerfRequest) *Response {
+	if req == nil {
+		return &Response{Err: "perf: empty payload"}
+	}
+	h, err := core.ByName(req.Heuristic)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	app := core.Application{Scenarios: req.Scenarios, Months: req.Months}
+	vec, err := core.PerformanceVector(app, s.cluster.Timing, s.cluster.Procs, h, exec.Evaluator(s.opts))
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Perf: &PerfResponse{
+		Cluster: s.cluster.Name,
+		Procs:   s.cluster.Procs,
+		Vector:  vec,
+	}}
+}
+
+func (s *SeD) handleExec(req *ExecRequest) *Response {
+	if req == nil {
+		return &Response{Err: "exec: empty payload"}
+	}
+	if len(req.ScenarioIDs) == 0 {
+		return &Response{Exec: &ExecResponse{Cluster: s.cluster.Name}}
+	}
+	h, err := core.ByName(req.Heuristic)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	app := core.Application{Scenarios: len(req.ScenarioIDs), Months: req.Months}
+	alloc, err := h.Plan(app, s.cluster.Timing, s.cluster.Procs)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	res, err := exec.Run(app, s.cluster.Timing, s.cluster.Procs, alloc, s.opts)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Exec: &ExecResponse{
+		Cluster:    s.cluster.Name,
+		Makespan:   res.Makespan,
+		Allocation: alloc,
+		Scenarios:  len(req.ScenarioIDs),
+	}}
+}
+
+// Client drives the six-step protocol against a master agent.
+type Client struct {
+	MAAddr string
+}
+
+// SubmitResult reports one full protocol run.
+type SubmitResult struct {
+	// Vectors maps cluster name to its performance vector (steps 2–3).
+	Vectors map[string][]float64
+	// Repartition is the Algorithm-1 outcome (step 4), with Counts in the
+	// order of Clusters.
+	Repartition core.RepartitionResult
+	// Clusters lists cluster names in the order the repartition indexes them.
+	Clusters []string
+	// Reports holds each cluster's execution answer (step 6).
+	Reports []ExecResponse
+	// Makespan is the global result: the slowest cluster's makespan.
+	Makespan float64
+}
+
+// Submit runs the whole Figure-9 protocol for one experiment.
+func (c *Client) Submit(app core.Application, heuristic string) (*SubmitResult, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	// Discover the clusters.
+	resp, err := roundTrip(c.MAAddr, &Request{Kind: KindList, List: &ListRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.List == nil || len(resp.List.SeDs) == 0 {
+		return nil, fmt.Errorf("diet: no SeD registered at %s", c.MAAddr)
+	}
+	seds := resp.List.SeDs
+
+	// Steps 1–3: gather performance vectors concurrently.
+	type vecOrErr struct {
+		i   int
+		vec []float64
+		err error
+	}
+	ch := make(chan vecOrErr, len(seds))
+	for i, sed := range seds {
+		go func(i int, sed SeDInfo) {
+			r, err := roundTrip(sed.Addr, &Request{Kind: KindPerf, Perf: &PerfRequest{
+				Scenarios: app.Scenarios,
+				Months:    app.Months,
+				Heuristic: heuristic,
+			}})
+			if err != nil {
+				ch <- vecOrErr{i: i, err: err}
+				return
+			}
+			if r.Perf == nil {
+				ch <- vecOrErr{i: i, err: fmt.Errorf("diet: SeD %s returned no vector", sed.Cluster)}
+				return
+			}
+			ch <- vecOrErr{i: i, vec: r.Perf.Vector}
+		}(i, sed)
+	}
+	perf := make([][]float64, len(seds))
+	for range seds {
+		v := <-ch
+		if v.err != nil {
+			return nil, v.err
+		}
+		perf[v.i] = v.vec
+	}
+
+	// Step 4: the repartition.
+	rep, err := core.Repartition(perf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 5–6: dispatch each cluster's share and gather reports.
+	out := &SubmitResult{
+		Vectors:     make(map[string][]float64, len(seds)),
+		Repartition: rep,
+	}
+	for i, sed := range seds {
+		out.Vectors[sed.Cluster] = perf[i]
+		out.Clusters = append(out.Clusters, sed.Cluster)
+	}
+	// Scenario IDs per cluster, in assignment order.
+	ids := make([][]int, len(seds))
+	for scenario, cl := range rep.Assignment {
+		ids[cl] = append(ids[cl], scenario)
+	}
+	for i, sed := range seds {
+		if len(ids[i]) == 0 {
+			continue
+		}
+		r, err := roundTrip(sed.Addr, &Request{Kind: KindExec, Exec: &ExecRequest{
+			ScenarioIDs: ids[i],
+			Months:      app.Months,
+			Heuristic:   heuristic,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		if r.Exec == nil {
+			return nil, fmt.Errorf("diet: SeD %s returned no execution report", sed.Cluster)
+		}
+		out.Reports = append(out.Reports, *r.Exec)
+		if r.Exec.Makespan > out.Makespan {
+			out.Makespan = r.Exec.Makespan
+		}
+	}
+	return out, nil
+}

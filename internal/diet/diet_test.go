@@ -1,0 +1,203 @@
+package diet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+// startGrid boots a master agent plus one SeD per given cluster, all on
+// loopback ephemeral ports, and registers the SeDs.
+func startGrid(t *testing.T, clusters []*platform.Cluster) *MasterAgent {
+	t.Helper()
+	ma, err := StartMasterAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ma.Close() })
+	for _, cl := range clusters {
+		sed, err := StartSeD("127.0.0.1:0", cl, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sed.Close() })
+		if err := sed.RegisterWith(ma.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ma
+}
+
+func smallClusters() []*platform.Cluster {
+	profiles := platform.FiveClusters()[:3]
+	for _, c := range profiles {
+		c.Procs = 30
+	}
+	return profiles
+}
+
+func TestRegistration(t *testing.T) {
+	ma := startGrid(t, smallClusters())
+	seds := ma.SeDs()
+	if len(seds) != 3 {
+		t.Fatalf("registered %d SeDs, want 3", len(seds))
+	}
+	names := map[string]bool{}
+	for _, s := range seds {
+		names[s.Cluster] = true
+		if s.Addr == "" || s.Procs != 30 {
+			t.Fatalf("bad SeD info %+v", s)
+		}
+	}
+	if !names["sagittaire"] || !names["capricorne"] || !names["chicon"] {
+		t.Fatalf("unexpected cluster set %v", names)
+	}
+}
+
+func TestReRegistrationReplaces(t *testing.T) {
+	clusters := smallClusters()[:1]
+	ma := startGrid(t, clusters)
+	// A second daemon for the same cluster replaces the entry.
+	sed, err := StartSeD("127.0.0.1:0", clusters[0], exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sed.Close()
+	if err := sed.RegisterWith(ma.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ma.SeDs()); got != 1 {
+		t.Fatalf("%d entries after re-registration, want 1", got)
+	}
+	if ma.SeDs()[0].Addr != sed.Addr() {
+		t.Fatal("re-registration did not update the address")
+	}
+}
+
+// TestSubmitMatchesDirectComputation: the distributed protocol must land on
+// exactly the repartition and makespan a direct in-process computation gives.
+func TestSubmitMatchesDirectComputation(t *testing.T) {
+	clusters := smallClusters()
+	ma := startGrid(t, clusters)
+	app := core.Application{Scenarios: 6, Months: 24}
+
+	client := &Client{MAAddr: ma.Addr()}
+	res, err := client.Submit(app, core.NameKnapsack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct computation with the same evaluator.
+	ev := exec.Evaluator(exec.Options{})
+	perf := make([][]float64, len(clusters))
+	for i, cl := range clusters {
+		vec, err := core.PerformanceVector(app, cl.Timing, cl.Procs, core.Knapsack{}, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perf[i] = vec
+	}
+	// The SeD order at the MA matches registration order.
+	want, err := core.Repartition(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-want.Makespan) > 1e-6*want.Makespan {
+		t.Fatalf("protocol makespan %g != direct %g", res.Makespan, want.Makespan)
+	}
+	total := 0
+	for i, c := range res.Repartition.Counts {
+		if c != want.Counts[i] {
+			t.Fatalf("repartition counts %v != direct %v", res.Repartition.Counts, want.Counts)
+		}
+		total += c
+	}
+	if total != app.Scenarios {
+		t.Fatalf("assigned %d scenarios, want %d", total, app.Scenarios)
+	}
+	// The slowest executing cluster defines the global makespan.
+	maxReport := 0.0
+	for _, r := range res.Reports {
+		if r.Makespan > maxReport {
+			maxReport = r.Makespan
+		}
+	}
+	if maxReport != res.Makespan {
+		t.Fatalf("makespan %g not the max report %g", res.Makespan, maxReport)
+	}
+}
+
+func TestSubmitVectorsComplete(t *testing.T) {
+	ma := startGrid(t, smallClusters())
+	app := core.Application{Scenarios: 4, Months: 12}
+	res, err := (&Client{MAAddr: ma.Addr()}).Submit(app, core.NameBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vectors) != 3 {
+		t.Fatalf("got %d vectors, want 3", len(res.Vectors))
+	}
+	for name, vec := range res.Vectors {
+		if len(vec) != app.Scenarios {
+			t.Fatalf("cluster %s vector has %d entries, want %d", name, len(vec), app.Scenarios)
+		}
+		for k := 1; k < len(vec); k++ {
+			if vec[k] < vec[k-1]-1e-9 {
+				t.Fatalf("cluster %s vector not monotone: %v", name, vec)
+			}
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	ma, err := StartMasterAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	client := &Client{MAAddr: ma.Addr()}
+	if _, err := client.Submit(core.Application{Scenarios: 2, Months: 2}, core.NameBasic); err == nil {
+		t.Fatal("submit succeeded with no SeD registered")
+	}
+	if _, err := client.Submit(core.Application{}, core.NameBasic); err == nil {
+		t.Fatal("invalid application accepted")
+	}
+	if _, err := (&Client{MAAddr: "127.0.0.1:1"}).Submit(core.Application{Scenarios: 1, Months: 1}, core.NameBasic); err == nil {
+		t.Fatal("dead master agent address accepted")
+	}
+}
+
+func TestUnknownHeuristicRejectedRemotely(t *testing.T) {
+	ma := startGrid(t, smallClusters()[:1])
+	_, err := (&Client{MAAddr: ma.Addr()}).Submit(core.Application{Scenarios: 2, Months: 4}, "nope")
+	if err == nil || !strings.Contains(err.Error(), "unknown heuristic") {
+		t.Fatalf("unknown heuristic not rejected: %v", err)
+	}
+}
+
+func TestSeDRejectsUnsupportedKind(t *testing.T) {
+	cl := smallClusters()[0]
+	sed, err := StartSeD("127.0.0.1:0", cl, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sed.Close()
+	if _, err := roundTrip(sed.Addr(), &Request{Kind: KindList, List: &ListRequest{}}); err == nil {
+		t.Fatal("SeD answered a master-agent request")
+	}
+}
+
+func TestMasterAgentRejectsPerf(t *testing.T) {
+	ma, err := StartMasterAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+	if _, err := roundTrip(ma.Addr(), &Request{Kind: KindPerf, Perf: &PerfRequest{Scenarios: 1, Months: 1, Heuristic: core.NameBasic}}); err == nil {
+		t.Fatal("master agent answered a SeD request")
+	}
+}

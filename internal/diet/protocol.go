@@ -1,0 +1,153 @@
+// Package diet is a loopback reimplementation of the grid middleware layer
+// the paper deploys on (DIET): a master agent where per-cluster server
+// daemons (SeDs) register, and a client that runs the six-step protocol of
+// the paper's Figure 9 —
+//
+//	(1) the client sends the request (NS, NM) to the clusters;
+//	(2) each cluster computes its performance vector with the knapsack model;
+//	(3) the vectors return to the client;
+//	(4) the client computes the scenario repartition (Algorithm 1);
+//	(5) the client sends each cluster its share of the simulations;
+//	(6) each cluster executes its share.
+//
+// Transport is gob over TCP. The original study ran this over Grid'5000;
+// here the "clusters" are simulated executors on loopback sockets, which
+// preserves every protocol step and message shape.
+package diet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"oagrid/internal/core"
+)
+
+// Message kinds.
+const (
+	KindRegister = "register"
+	KindList     = "list"
+	KindPerf     = "perf"
+	KindExec     = "exec"
+)
+
+// Request is the envelope every connection carries exactly one of.
+type Request struct {
+	Kind     string
+	Register *RegisterRequest
+	List     *ListRequest
+	Perf     *PerfRequest
+	Exec     *ExecRequest
+}
+
+// Response is the reply envelope.
+type Response struct {
+	Err      string
+	Register *RegisterResponse
+	List     *ListResponse
+	Perf     *PerfResponse
+	Exec     *ExecResponse
+}
+
+// RegisterRequest is a SeD announcing itself to the master agent.
+type RegisterRequest struct {
+	Cluster string
+	Addr    string
+	Procs   int
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct{ Accepted bool }
+
+// ListRequest asks the master agent for the registered SeDs.
+type ListRequest struct{}
+
+// SeDInfo describes one registered server daemon.
+type SeDInfo struct {
+	Cluster string
+	Addr    string
+	Procs   int
+}
+
+// ListResponse carries the SeD directory.
+type ListResponse struct{ SeDs []SeDInfo }
+
+// PerfRequest is protocol step (1): the experiment parameters.
+type PerfRequest struct {
+	Scenarios int
+	Months    int
+	Heuristic string
+}
+
+// PerfResponse is step (3): the cluster's performance vector — entry k−1 is
+// the makespan of k scenarios on this cluster.
+type PerfResponse struct {
+	Cluster string
+	Procs   int
+	Vector  []float64
+}
+
+// ExecRequest is step (5): the scenarios assigned to this cluster.
+type ExecRequest struct {
+	ScenarioIDs []int
+	Months      int
+	Heuristic   string
+}
+
+// ExecResponse is step (6): the execution report.
+type ExecResponse struct {
+	Cluster    string
+	Makespan   float64
+	Allocation core.Allocation
+	Scenarios  int
+}
+
+// dialTimeout bounds every protocol round trip.
+const dialTimeout = 5 * time.Second
+
+// roundTrip dials addr, sends req and decodes the response.
+func roundTrip(addr string, req *Request) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("diet: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(dialTimeout)); err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("diet: encoding %s request to %s: %w", req.Kind, addr, err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("diet: decoding %s response from %s: %w", req.Kind, addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
+	}
+	return &resp, nil
+}
+
+// serveConn handles one connection with the given dispatcher.
+func serveConn(conn net.Conn, handle func(*Request) *Response) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+	var req Request
+	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+		return // malformed request: drop silently, client times out
+	}
+	resp := handle(&req)
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+// acceptLoop serves until the listener closes.
+func acceptLoop(ln net.Listener, handle func(*Request) *Response) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, handle)
+	}
+}

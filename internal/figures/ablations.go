@@ -1,0 +1,134 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+	"oagrid/internal/stats"
+)
+
+// This file implements the ablation experiments A1–A4 of DESIGN.md — design
+// choices the paper fixes without comparison, explored here.
+
+// AblationKnapsackValue (A1) compares the paper's knapsack value function
+// 1/T[g] against two alternatives on the reference cluster: the
+// per-processor-efficiency value 1/(g·T[g]) and a square-root compromise.
+// The literal (paper-formulation) planner is used so the value function
+// alone decides the grouping — the default planner's pin-aware re-ranking
+// would mask the differences. It returns one makespan series per value
+// function.
+func AblationKnapsackValue(cfg Config) ([]*stats.Series, error) {
+	cfg = cfg.normalized()
+	ref := platform.ReferenceTiming()
+	ev := cfg.evaluator()
+	variants := []struct {
+		label string
+		value func(g int, tg float64) float64
+	}{
+		{"value-1/T", nil}, // the paper's choice
+		{"value-1/(gT)", func(g int, tg float64) float64 { return 1 / (float64(g) * tg) }},
+		{"value-1/(sqrt(g)T)", func(g int, tg float64) float64 { return 1 / (math.Sqrt(float64(g)) * tg) }},
+	}
+	series := make([]*stats.Series, len(variants))
+	for i, v := range variants {
+		series[i] = &stats.Series{Label: v.label}
+		for r := 20; r <= 120; r += cfg.RStep {
+			h := core.Knapsack{Literal: true, Value: v.value}
+			ms, err := makespanOn(cfg, ev, ref, r, h)
+			if err != nil {
+				return nil, fmt.Errorf("figures: knapsack-value ablation at R=%d: %w", r, err)
+			}
+			series[i].Add(float64(r), ms)
+		}
+	}
+	return series, nil
+}
+
+// AblationFairness (A2) measures the makespan of the knapsack allocation
+// under the three dispatch policies. The paper's least-advanced rule is
+// motivated by fairness; this shows what it costs (or not) in makespan.
+func AblationFairness(cfg Config) ([]*stats.Series, error) {
+	cfg = cfg.normalized()
+	ref := platform.ReferenceTiming()
+	policies := []exec.Policy{exec.LeastAdvanced, exec.RoundRobin, exec.MostAdvanced}
+	series := make([]*stats.Series, len(policies))
+	for i, p := range policies {
+		series[i] = &stats.Series{Label: p.String()}
+		opt := cfg.Exec
+		opt.Policy = p
+		ev := exec.Evaluator(opt)
+		for r := 20; r <= 120; r += cfg.RStep {
+			ms, err := makespanOn(cfg, ev, ref, r, core.Knapsack{})
+			if err != nil {
+				return nil, fmt.Errorf("figures: fairness ablation at R=%d: %w", r, err)
+			}
+			series[i].Add(float64(r), ms)
+		}
+	}
+	return series, nil
+}
+
+// AblationModelError (A3) reports the relative error (percent) of the
+// analytical model (equations 1–5) against the event-driven executor for the
+// basic heuristic across the resource sweep.
+func AblationModelError(cfg Config) (*stats.Series, error) {
+	cfg = cfg.normalized()
+	ref := platform.ReferenceTiming()
+	ev := exec.Evaluator(cfg.Exec)
+	s := &stats.Series{Label: "model-error-%"}
+	for r := 11; r <= 120; r += cfg.RStep {
+		al, err := (core.Basic{}).Plan(cfg.App, ref, r)
+		if err != nil {
+			return nil, err
+		}
+		model, err := core.UniformEstimate(cfg.App, ref, r, al.Groups[0])
+		if err != nil {
+			return nil, err
+		}
+		sim, err := ev.Evaluate(cfg.App, ref, r, al)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(r), 100*math.Abs(model-sim)/sim)
+	}
+	return s, nil
+}
+
+// AblationJitter (A4) recomputes the knapsack-vs-basic gain under increasing
+// task-duration jitter. Each series is one jitter amplitude; points carry
+// gains for several seeds, exposing how robust the 12%-class gains are to
+// run-time noise.
+func AblationJitter(cfg Config, amplitudes []float64, seeds int) ([]*stats.Series, error) {
+	cfg = cfg.normalized()
+	if seeds <= 0 {
+		seeds = 3
+	}
+	ref := platform.ReferenceTiming()
+	series := make([]*stats.Series, len(amplitudes))
+	for i, amp := range amplitudes {
+		series[i] = &stats.Series{Label: fmt.Sprintf("jitter-%g%%", amp*100)}
+		for r := 20; r <= 120; r += cfg.RStep {
+			var gains []float64
+			for seed := 0; seed < seeds; seed++ {
+				opt := cfg.Exec
+				opt.Jitter = amp
+				opt.Seed = uint64(seed + 1)
+				ev := exec.Evaluator(opt)
+				base, err := makespanOn(cfg, ev, ref, r, core.Basic{})
+				if err != nil {
+					return nil, err
+				}
+				kn, err := makespanOn(cfg, ev, ref, r, core.Knapsack{})
+				if err != nil {
+					return nil, err
+				}
+				gains = append(gains, stats.GainPercent(base, kn))
+			}
+			series[i].Add(float64(r), gains...)
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"oagrid/internal/climate/field"
+	"oagrid/internal/platform"
+)
+
+func TestFigure1Calibration(t *testing.T) {
+	res, err := Figure1(Figure1Config{
+		WorkDir:   t.TempDir(),
+		AtmosGrid: field.Grid{NLat: 12, NLon: 24},
+		OceanGrid: field.Grid{NLat: 18, NLon: 36},
+		Days:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One measurement per moldable processor count.
+	for g := platform.MinGroup; g <= platform.MaxGroup; g++ {
+		tt, ok := res.Timings[g]
+		if !ok {
+			t.Fatalf("no timing row for g=%d", g)
+		}
+		if tt.PCR <= 0 || tt.Total() <= tt.PCR {
+			t.Fatalf("g=%d: implausible timings %+v", g, tt)
+		}
+		if res.ScaledMain[g] <= 0 {
+			t.Fatalf("g=%d: missing scaled main duration", g)
+		}
+		if res.Speedup[g] <= 0 {
+			t.Fatalf("g=%d: missing speedup", g)
+		}
+	}
+	// The scaling pins the anchor: main at MaxGroup = the paper's 1262 s.
+	if got, want := res.ScaledMain[platform.MaxGroup], platform.PcrSeconds+platform.PreSeconds; got != want {
+		t.Fatalf("scaled main at %d procs = %g, want %g", platform.MaxGroup, got, want)
+	}
+	table := res.Table()
+	for _, want := range []string{"procs", "speedup", "paper figure 1", "host cores"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table lacks %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFigure1NeedsWorkDir(t *testing.T) {
+	if _, err := Figure1(Figure1Config{}); err == nil {
+		t.Fatal("empty work directory accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package figures regenerates every evaluation figure of the paper as data
+// series: Figure 7 (optimal groupings), Figure 8 (gains of the three improved
+// heuristics on one cluster) and Figure 10 (gains on a grid of 2–5 clusters
+// with Algorithm-1 repartition), plus the ablation experiments listed in
+// DESIGN.md. The command cmd/oabench prints these series as CSV and ASCII
+// plots; bench_test.go wraps each one in a testing.B benchmark.
+package figures
+
+import (
+	"fmt"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+	"oagrid/internal/stats"
+)
+
+// Config parameterizes the experiment harness.
+type Config struct {
+	// App is the workload; the paper uses 10 scenarios × 1800 months. The
+	// benchmarks shrink Months — gains are wave-structured and virtually
+	// independent of the chain length beyond a few dozen months.
+	App core.Application
+	// Exec tunes the executor (policy, jitter).
+	Exec exec.Options
+	// RStep is the resource-count stride of the single-cluster sweeps
+	// (Figures 7 and 8); 1 reproduces the paper's dense curves.
+	RStep int
+	// UseEstimate switches the per-cluster makespan evaluation from the
+	// event-driven executor (ground truth, slower) to the analytical model.
+	UseEstimate bool
+}
+
+// DefaultConfig returns the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{App: core.Default(), RStep: 1}
+}
+
+func (c Config) normalized() Config {
+	if c.App.Scenarios == 0 {
+		c.App = core.Default()
+	}
+	if c.RStep <= 0 {
+		c.RStep = 1
+	}
+	return c
+}
+
+// evaluator returns the configured makespan evaluator.
+func (c Config) evaluator() core.Evaluator {
+	if c.UseEstimate {
+		return core.EstimateEvaluator()
+	}
+	return exec.Evaluator(c.Exec)
+}
+
+// Figure7 computes the optimal grouping (the basic heuristic's G) for
+// resource counts 11..120 with 10 scenario simulations, the paper's Figure 7.
+// The returned series maps R to G.
+func Figure7(cfg Config) (*stats.Series, error) {
+	cfg = cfg.normalized()
+	ref := platform.ReferenceTiming()
+	s := &stats.Series{Label: "best-grouping"}
+	for r := 11; r <= 120; r += cfg.RStep {
+		al, err := (core.Basic{}).Plan(cfg.App, ref, r)
+		if err != nil {
+			return nil, fmt.Errorf("figures: figure 7 at R=%d: %w", r, err)
+		}
+		s.Add(float64(r), float64(al.Groups[0]))
+	}
+	return s, nil
+}
+
+// Figure8 computes, for each resource count R in 20..120, the makespan gain
+// (percent) of each improved heuristic over the basic one, averaged over the
+// five cluster speed profiles — the paper's Figure 8 (three stacked panels:
+// Gain 1 = redistribute, Gain 2 = all-to-main, Gain 3 = knapsack). Each
+// series point carries the mean and the standard deviation over the five
+// profiles.
+func Figure8(cfg Config) ([]*stats.Series, error) {
+	cfg = cfg.normalized()
+	profiles := platform.FiveClusters()
+	ev := cfg.evaluator()
+	improved := core.Improvements()
+	series := make([]*stats.Series, len(improved))
+	for i, h := range improved {
+		series[i] = &stats.Series{Label: "gain-" + h.Name()}
+	}
+	for r := 20; r <= 120; r += cfg.RStep {
+		gains := make([][]float64, len(improved))
+		for _, cl := range profiles {
+			base, err := makespanOn(cfg, ev, cl.Timing, r, core.Basic{})
+			if err != nil {
+				return nil, fmt.Errorf("figures: figure 8 at R=%d on %s: %w", r, cl.Name, err)
+			}
+			for i, h := range improved {
+				ms, err := makespanOn(cfg, ev, cl.Timing, r, h)
+				if err != nil {
+					return nil, fmt.Errorf("figures: figure 8 at R=%d on %s: %w", r, cl.Name, err)
+				}
+				gains[i] = append(gains[i], stats.GainPercent(base, ms))
+			}
+		}
+		for i := range improved {
+			series[i].Add(float64(r), gains[i]...)
+		}
+	}
+	return series, nil
+}
+
+// makespanOn plans with h and evaluates the resulting allocation.
+func makespanOn(cfg Config, ev core.Evaluator, tm platform.Timing, procs int, h core.Heuristic) (float64, error) {
+	al, err := h.Plan(cfg.App, tm, procs)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Evaluate(cfg.App, tm, procs, al)
+}
+
+// GridPoint is one Figure-10 configuration: k identical-size clusters drawn
+// from the five speed profiles.
+type GridPoint struct {
+	Clusters        int
+	ProcsPerCluster int
+	// X is the paper's axis encoding: clusters + procs/100 ("2.25 represents
+	// two clusters with 25 resources each").
+	X float64
+	// Gain per improved heuristic (percent over basic), in
+	// core.Improvements() order.
+	Gains []float64
+}
+
+// Figure10 computes the grid experiment: for 2..5 clusters (prefixes of the
+// five speed profiles) with identical per-cluster resource counts, scenarios
+// are distributed with Algorithm 1 using per-cluster performance vectors
+// computed by each heuristic; the gain compares the resulting global
+// makespan against the basic-heuristic pipeline. procsSweep lists the
+// per-cluster resource counts to visit (the paper uses 11..99).
+func Figure10(cfg Config, procsSweep []int) ([]*stats.Series, []GridPoint, error) {
+	cfg = cfg.normalized()
+	profiles := platform.FiveClusters()
+	ev := cfg.evaluator()
+	improved := core.Improvements()
+	series := make([]*stats.Series, len(improved))
+	for i, h := range improved {
+		series[i] = &stats.Series{Label: "gain-" + h.Name()}
+	}
+	var points []GridPoint
+	for k := 2; k <= len(profiles); k++ {
+		for _, procs := range procsSweep {
+			base, err := gridMakespan(cfg, ev, profiles[:k], procs, core.Basic{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("figures: figure 10 k=%d R=%d: %w", k, procs, err)
+			}
+			pt := GridPoint{
+				Clusters:        k,
+				ProcsPerCluster: procs,
+				X:               float64(k) + float64(procs)/100,
+			}
+			for i, h := range improved {
+				ms, err := gridMakespan(cfg, ev, profiles[:k], procs, h)
+				if err != nil {
+					return nil, nil, fmt.Errorf("figures: figure 10 k=%d R=%d: %w", k, procs, err)
+				}
+				g := stats.GainPercent(base, ms)
+				pt.Gains = append(pt.Gains, g)
+				series[i].Add(pt.X, g)
+			}
+			points = append(points, pt)
+		}
+	}
+	return series, points, nil
+}
+
+// gridMakespan runs the full Figure-9 pipeline for one heuristic: per-cluster
+// performance vectors, Algorithm-1 repartition, global makespan.
+func gridMakespan(cfg Config, ev core.Evaluator, clusters []*platform.Cluster, procs int, h core.Heuristic) (float64, error) {
+	perf := make([][]float64, len(clusters))
+	for i, cl := range clusters {
+		vec, err := core.PerformanceVector(cfg.App, cl.Timing, procs, h, ev)
+		if err != nil {
+			return 0, fmt.Errorf("cluster %s: %w", cl.Name, err)
+		}
+		perf[i] = vec
+	}
+	res, err := core.Repartition(perf)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

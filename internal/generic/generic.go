@@ -1,0 +1,194 @@
+// Package generic implements the paper's stated future work: "extending the
+// present work to a generic heuristic that can schedule the same kind of
+// workflow, made of independent chains of identical DAGs composed of
+// moldable tasks" (conclusion of the paper).
+//
+// The key observation is the same fusion the paper applies to
+// Ocean-Atmosphere (§4.1): in a chain of identical DAGs, every task is
+// either *blocking* — the next repetition cannot start before it finishes
+// (pre-processing, the coupled run) — or *non-blocking* — it only consumes a
+// processor on the side (post-processing). Folding the blocking tasks into
+// one moldable "main" whose duration is the blocking critical path at a
+// given allotment, and the non-blocking tasks into one single-processor
+// "post", turns any such workflow into the two-task model the whole
+// scheduling stack (heuristics, executor, repartition) already solves.
+//
+// A ChainTemplate therefore compiles to a platform.Timing, and from there the
+// Ocean-Atmosphere machinery is reused unchanged.
+package generic
+
+import (
+	"errors"
+	"fmt"
+
+	"oagrid/internal/platform"
+)
+
+// Stage is one task of the repeated DAG template. Stages are given in
+// topological order of the template; the structural detail beyond
+// blocking/non-blocking does not influence the fused model (the paper's own
+// fusion makes the same simplification).
+type Stage struct {
+	Name string
+	// MinProcs/MaxProcs bound the stage's moldable range; single-processor
+	// stages use 1/1.
+	MinProcs, MaxProcs int
+	// Seconds returns the stage duration on g processors (g within the
+	// moldable range). For sequential stages it is called with g = 1.
+	Seconds func(g int) float64
+	// Blocking marks stages the next chain repetition depends on. At least
+	// one stage must be blocking.
+	Blocking bool
+}
+
+// ChainTemplate is the repeated DAG of one chain.
+type ChainTemplate struct {
+	Stages []Stage
+}
+
+// Validate checks the template is well formed.
+func (c ChainTemplate) Validate() error {
+	if len(c.Stages) == 0 {
+		return errors.New("generic: empty chain template")
+	}
+	blocking := false
+	for i, s := range c.Stages {
+		if s.Seconds == nil {
+			return fmt.Errorf("generic: stage %d (%s) has no duration function", i, s.Name)
+		}
+		if s.MinProcs <= 0 || s.MaxProcs < s.MinProcs {
+			return fmt.Errorf("generic: stage %d (%s) has invalid processor range [%d,%d]",
+				i, s.Name, s.MinProcs, s.MaxProcs)
+		}
+		if s.Blocking {
+			blocking = true
+		} else if s.MinProcs != 1 || s.MaxProcs != 1 {
+			return fmt.Errorf("generic: non-blocking stage %d (%s) must be single-processor", i, s.Name)
+		}
+	}
+	if !blocking {
+		return errors.New("generic: template needs at least one blocking stage")
+	}
+	return nil
+}
+
+// moldableRange returns the processor range of the fused main task: the
+// intersection lower bound is the largest stage minimum (every blocking
+// stage must fit in the group) and the upper bound the largest stage maximum
+// (beyond it no stage improves).
+func (c ChainTemplate) moldableRange() (lo, hi int) {
+	lo, hi = 1, 1
+	for _, s := range c.Stages {
+		if !s.Blocking {
+			continue
+		}
+		if s.MinProcs > lo {
+			lo = s.MinProcs
+		}
+		if s.MaxProcs > hi {
+			hi = s.MaxProcs
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// fusedTiming adapts a template to platform.Timing.
+type fusedTiming struct {
+	tmpl   ChainTemplate
+	lo, hi int
+}
+
+var _ platform.Timing = fusedTiming{}
+
+// Timing compiles the template into the fused two-task timing model.
+func (c ChainTemplate) Timing() (platform.Timing, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := c.moldableRange()
+	// Reject templates whose durations misbehave early.
+	ft := fusedTiming{tmpl: c, lo: lo, hi: hi}
+	for g := lo; g <= hi; g++ {
+		if _, err := ft.MainSeconds(g); err != nil {
+			return nil, err
+		}
+	}
+	if ft.PostSeconds() < 0 {
+		return nil, errors.New("generic: negative fused post duration")
+	}
+	return ft, nil
+}
+
+// MainSeconds implements platform.Timing: the sum of the blocking stages'
+// durations when the group's g processors are offered to each in turn
+// (clamped into the stage's own moldable range).
+func (f fusedTiming) MainSeconds(g int) (float64, error) {
+	if g < f.lo || g > f.hi {
+		return 0, fmt.Errorf("generic: group size %d outside fused range [%d,%d]", g, f.lo, f.hi)
+	}
+	total := 0.0
+	for _, s := range f.tmpl.Stages {
+		if !s.Blocking {
+			continue
+		}
+		gs := g
+		if gs > s.MaxProcs {
+			gs = s.MaxProcs
+		}
+		if gs < s.MinProcs {
+			return 0, fmt.Errorf("generic: stage %s needs %d processors, group has %d", s.Name, s.MinProcs, g)
+		}
+		d := s.Seconds(gs)
+		if d < 0 {
+			return 0, fmt.Errorf("generic: stage %s has negative duration at g=%d", s.Name, gs)
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// PostSeconds implements platform.Timing: the non-blocking stages run
+// sequentially on one processor.
+func (f fusedTiming) PostSeconds() float64 {
+	total := 0.0
+	for _, s := range f.tmpl.Stages {
+		if s.Blocking {
+			continue
+		}
+		total += s.Seconds(1)
+	}
+	return total
+}
+
+// Range implements platform.Timing.
+func (f fusedTiming) Range() (int, int) { return f.lo, f.hi }
+
+// OceanAtmosphere returns the paper's own application expressed as a chain
+// template (six stages, Figure 1), for cross-checking the generic fusion
+// against the hand-fused model.
+func OceanAtmosphere() ChainTemplate {
+	ref := platform.ReferenceTiming()
+	pcr := func(g int) float64 {
+		// The template works on the raw coupled-run curve; the fused
+		// pre-processing seconds are carried by caif/mp below.
+		s, err := ref.MainSeconds(g)
+		if err != nil {
+			return -1 // surfaces as a validation error
+		}
+		return s - platform.PreSeconds
+	}
+	one := func(seconds float64) func(int) float64 {
+		return func(int) float64 { return seconds }
+	}
+	return ChainTemplate{Stages: []Stage{
+		{Name: "caif", MinProcs: 1, MaxProcs: 1, Seconds: one(1), Blocking: true},
+		{Name: "mp", MinProcs: 1, MaxProcs: 1, Seconds: one(1), Blocking: true},
+		{Name: "pcr", MinProcs: platform.MinGroup, MaxProcs: platform.MaxGroup, Seconds: pcr, Blocking: true},
+		{Name: "cof", MinProcs: 1, MaxProcs: 1, Seconds: one(60)},
+		{Name: "emi", MinProcs: 1, MaxProcs: 1, Seconds: one(60)},
+		{Name: "cd", MinProcs: 1, MaxProcs: 1, Seconds: one(60)},
+	}}
+}

@@ -1,0 +1,172 @@
+package generic
+
+import (
+	"math"
+	"testing"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+func TestValidate(t *testing.T) {
+	good := OceanAtmosphere()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ChainTemplate{
+		{},
+		{Stages: []Stage{{Name: "x", MinProcs: 1, MaxProcs: 1, Blocking: true}}},                                                                                                                          // nil Seconds
+		{Stages: []Stage{{Name: "x", MinProcs: 0, MaxProcs: 1, Seconds: func(int) float64 { return 1 }, Blocking: true}}},                                                                                 // bad range
+		{Stages: []Stage{{Name: "x", MinProcs: 1, MaxProcs: 1, Seconds: func(int) float64 { return 1 }}}},                                                                                                 // no blocking stage
+		{Stages: []Stage{{Name: "x", MinProcs: 2, MaxProcs: 4, Seconds: func(int) float64 { return 1 }}, {Name: "y", MinProcs: 1, MaxProcs: 1, Seconds: func(int) float64 { return 1 }, Blocking: true}}}, // parallel non-blocking
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid template accepted", i)
+		}
+	}
+}
+
+// TestOceanAtmosphereFusionMatchesHandFused: compiling the paper's own
+// six-stage template must reproduce the hand-fused reference timing exactly
+// (main = caif + mp + pcr, post = cof + emi + cd).
+func TestOceanAtmosphereFusionMatchesHandFused(t *testing.T) {
+	tm, err := OceanAtmosphere().Timing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := platform.ReferenceTiming()
+	lo, hi := tm.Range()
+	rlo, rhi := ref.Range()
+	if lo != rlo || hi != rhi {
+		t.Fatalf("fused range [%d,%d], want [%d,%d]", lo, hi, rlo, rhi)
+	}
+	for g := lo; g <= hi; g++ {
+		got, err := tm.MainSeconds(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.MainSeconds(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fused main at g=%d is %g, hand-fused %g", g, got, want)
+		}
+	}
+	if got, want := tm.PostSeconds(), ref.PostSeconds(); got != want {
+		t.Fatalf("fused post %g, want %g", got, want)
+	}
+}
+
+// TestGenericPipelineEndToEnd schedules a three-stage video-pipeline-like
+// chain (decode [moldable] → analyze [moldable] → archive [non-blocking])
+// through the whole existing stack: heuristic planning, executor, and
+// repartition across two clusters.
+func TestGenericPipelineEndToEnd(t *testing.T) {
+	tmpl := ChainTemplate{Stages: []Stage{
+		{Name: "decode", MinProcs: 1, MaxProcs: 4,
+			Seconds: func(g int) float64 { return 100 + 400/float64(g) }, Blocking: true},
+		{Name: "analyze", MinProcs: 2, MaxProcs: 8,
+			Seconds: func(g int) float64 { return 200 + 1600/float64(g) }, Blocking: true},
+		{Name: "archive", MinProcs: 1, MaxProcs: 1,
+			Seconds: func(int) float64 { return 45 }},
+	}}
+	tm, err := tmpl.Timing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tm.Range()
+	if lo != 2 || hi != 8 {
+		t.Fatalf("fused range [%d,%d], want [2,8]", lo, hi)
+	}
+	// Fused main at g=8: decode clamps to 4 (100+100), analyze 200+200.
+	got, err := tm.MainSeconds(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 200.0 + 400.0; got != want {
+		t.Fatalf("fused main at 8 = %g, want %g", got, want)
+	}
+	if tm.PostSeconds() != 45 {
+		t.Fatalf("fused post = %g, want 45", tm.PostSeconds())
+	}
+
+	app := core.Application{Scenarios: 6, Months: 40}
+	for _, h := range core.All() {
+		al, err := h.Plan(app, tm, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		res, err := exec.Run(app, tm, 30, al, exec.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if err := res.Trace.Validate(app.Scenarios, app.Months); err != nil {
+			t.Fatalf("%s: invalid trace: %v", h.Name(), err)
+		}
+	}
+
+	// Heterogeneous repartition over a fast and a slow variant of the
+	// template's platform.
+	slow := scaled{tm, 1.4}
+	vecFast, err := core.PerformanceVector(app, tm, 24, core.Knapsack{}, exec.Evaluator(exec.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecSlow, err := core.PerformanceVector(app, slow, 24, core.Knapsack{}, exec.Evaluator(exec.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Repartition([][]float64{vecFast, vecSlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts[0] < rep.Counts[1] {
+		t.Fatalf("fast cluster got %d chains, slow got %d", rep.Counts[0], rep.Counts[1])
+	}
+}
+
+// scaled wraps a Timing with a slowdown factor.
+type scaled struct {
+	platform.Timing
+	factor float64
+}
+
+func (s scaled) MainSeconds(g int) (float64, error) {
+	v, err := s.Timing.MainSeconds(g)
+	return v * s.factor, err
+}
+func (s scaled) PostSeconds() float64 { return s.Timing.PostSeconds() * s.factor }
+
+func TestNegativeDurationRejected(t *testing.T) {
+	tmpl := ChainTemplate{Stages: []Stage{
+		{Name: "bad", MinProcs: 1, MaxProcs: 4,
+			Seconds: func(g int) float64 { return float64(2 - g) }, Blocking: true},
+	}}
+	if _, err := tmpl.Timing(); err == nil {
+		t.Fatal("negative stage duration accepted")
+	}
+}
+
+func TestStageMinimumEnforced(t *testing.T) {
+	// A blocking stage needing at least 6 processors narrows the fused range.
+	tmpl := ChainTemplate{Stages: []Stage{
+		{Name: "big", MinProcs: 6, MaxProcs: 10,
+			Seconds: func(g int) float64 { return 1000 / float64(g) }, Blocking: true},
+		{Name: "small", MinProcs: 1, MaxProcs: 1,
+			Seconds: func(int) float64 { return 5 }, Blocking: true},
+	}}
+	tm, err := tmpl.Timing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tm.Range()
+	if lo != 6 || hi != 10 {
+		t.Fatalf("range [%d,%d], want [6,10]", lo, hi)
+	}
+	if _, err := tm.MainSeconds(5); err == nil {
+		t.Fatal("undersized group accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package realrun executes a schedule for real: where internal/exec replays
+// an allocation in virtual time, realrun drives the actual toy coupled
+// climate model and its file pipeline with live goroutine worker groups —
+// the paper's "ongoing work" of verifying the simulated schedules by real
+// experiments (its §7: "we will be able to verify our simulations by real
+// experiments on Grid'5000").
+//
+// Each main-task group of the allocation becomes a worker executing
+// pre-processing and the coupled run (with group-size-many atmosphere ranks,
+// minus the three sequential components); completed months feed a
+// post-processing pool running the conversion/analysis/compression tasks.
+// Dispatch follows the same least-advanced rule as the simulator, so the
+// realrun schedule shape mirrors the simulated one at miniature scale.
+package realrun
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oagrid/internal/climate/field"
+	"oagrid/internal/climate/pipeline"
+	"oagrid/internal/core"
+)
+
+// Config describes one real execution.
+type Config struct {
+	// Root is the experiment directory (one scenario subdirectory each).
+	Root string
+	// App is the workload; keep NS × NM small — every month runs the real
+	// coupled model.
+	App core.Application
+	// Alloc is the processor division to execute.
+	Alloc core.Allocation
+	// Grids and days per month forwarded to the model (zero = package
+	// defaults; tests use coarse grids and short months).
+	AtmosGrid, OceanGrid field.Grid
+	Days                 int
+}
+
+// MonthReport records one executed month.
+type MonthReport struct {
+	Scenario, Month int
+	Group           int // group index that ran the main task
+	MainWall        time.Duration
+	PostWall        time.Duration
+	GlobalT         float64
+}
+
+// Result summarizes a real execution.
+type Result struct {
+	Wall    time.Duration
+	Reports []MonthReport
+}
+
+// Run executes the whole experiment. It returns after every month of every
+// scenario has been processed and post-processed.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.App.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Alloc.Groups) == 0 {
+		return nil, fmt.Errorf("realrun: allocation has no group")
+	}
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("realrun: empty root directory")
+	}
+	start := time.Now()
+
+	type mainJob struct {
+		scenario, month, group int
+	}
+	type postJob struct {
+		scenario, month, group int
+		mainWall               time.Duration
+		globalT                float64
+	}
+
+	var (
+		mu         sync.Mutex
+		monthsDone = make([]int, cfg.App.Scenarios) // months mained per scenario
+		inFlight   = make([]bool, cfg.App.Scenarios)
+		dispatched = 0
+		firstErr   error
+	)
+	total := cfg.App.Tasks()
+
+	// nextScenario implements the least-advanced rule over scenarios that
+	// are neither finished nor currently running.
+	nextScenario := func() (int, bool) {
+		best, found := -1, false
+		for s := 0; s < cfg.App.Scenarios; s++ {
+			if inFlight[s] || monthsDone[s] >= cfg.App.Months {
+				continue
+			}
+			if !found || monthsDone[s] < monthsDone[best] {
+				best, found = s, true
+			}
+		}
+		return best, found
+	}
+
+	postCh := make(chan postJob, total)
+	reports := make(chan MonthReport, total)
+
+	// Post pool: the dedicated post processors; when the allocation reserves
+	// none, a single drain worker stands in for the idle-processor
+	// absorption of the simulated schedule.
+	postWorkers := cfg.Alloc.PostProcs
+	if postWorkers == 0 {
+		postWorkers = 1
+	}
+	var postWG sync.WaitGroup
+	postWG.Add(postWorkers)
+	for w := 0; w < postWorkers; w++ {
+		go func() {
+			defer postWG.Done()
+			for pj := range postCh {
+				pcfg := pipeline.Config{
+					Root:      cfg.Root,
+					Scenario:  pj.scenario,
+					Procs:     groupProcs(cfg.Alloc.Groups[pj.group]),
+					AtmosGrid: cfg.AtmosGrid,
+					OceanGrid: cfg.OceanGrid,
+					Days:      cfg.Days,
+				}
+				t0 := time.Now()
+				err := pipeline.COF(pcfg, pj.month)
+				if err == nil {
+					err = pipeline.EMI(pcfg, pj.month)
+				}
+				if err == nil {
+					err = pipeline.CD(pcfg, pj.month)
+				}
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("realrun: post s%d/m%d: %w", pj.scenario, pj.month, err)
+				}
+				mu.Unlock()
+				reports <- MonthReport{
+					Scenario: pj.scenario,
+					Month:    pj.month,
+					Group:    pj.group,
+					MainWall: pj.mainWall,
+					PostWall: time.Since(t0),
+					GlobalT:  pj.globalT,
+				}
+			}
+		}()
+	}
+
+	// Group workers: pull the least-advanced runnable scenario, run the
+	// pre-processing and the coupled month, hand the diagnostics to the
+	// post pool.
+	var groupWG sync.WaitGroup
+	groupWG.Add(len(cfg.Alloc.Groups))
+	for g := range cfg.Alloc.Groups {
+		go func(g int) {
+			defer groupWG.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || dispatched >= total {
+					mu.Unlock()
+					return
+				}
+				s, ok := nextScenario()
+				if !ok {
+					mu.Unlock()
+					// Other groups hold the remaining scenarios; yield.
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				month := monthsDone[s]
+				inFlight[s] = true
+				dispatched++
+				mu.Unlock()
+
+				pcfg := pipeline.Config{
+					Root:      cfg.Root,
+					Scenario:  s,
+					Procs:     groupProcs(cfg.Alloc.Groups[g]),
+					AtmosGrid: cfg.AtmosGrid,
+					OceanGrid: cfg.OceanGrid,
+					Days:      cfg.Days,
+				}
+				t0 := time.Now()
+				err := pipeline.CAIF(pcfg, month)
+				if err == nil {
+					err = pipeline.MP(pcfg, month)
+				}
+				var globalT float64
+				if err == nil {
+					d, perr := pipeline.PCR(pcfg, month)
+					err = perr
+					if d != nil {
+						globalT = d.GlobalT
+					}
+				}
+				wall := time.Since(t0)
+
+				mu.Lock()
+				inFlight[s] = false
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("realrun: main s%d/m%d on group %d: %w", s, month, g, err)
+					}
+					mu.Unlock()
+					return
+				}
+				monthsDone[s]++
+				mu.Unlock()
+				postCh <- postJob{scenario: s, month: month, group: g, mainWall: wall, globalT: globalT}
+			}
+		}(g)
+	}
+
+	groupWG.Wait()
+	close(postCh)
+	postWG.Wait()
+	close(reports)
+
+	res := &Result{Wall: time.Since(start)}
+	for r := range reports {
+		res.Reports = append(res.Reports, r)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(res.Reports) != total {
+		return nil, fmt.Errorf("realrun: executed %d months, want %d", len(res.Reports), total)
+	}
+	return res, nil
+}
+
+// groupProcs clamps a group size into the coupled run's moldable range (the
+// allocation validated this already; the clamp guards direct callers).
+func groupProcs(g int) int {
+	if g < 4 {
+		return 4
+	}
+	if g > 11 {
+		return 11
+	}
+	return g
+}

@@ -1,0 +1,110 @@
+package realrun
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oagrid/internal/climate/field"
+	"oagrid/internal/climate/pipeline"
+	"oagrid/internal/core"
+	"oagrid/internal/platform"
+)
+
+func fastConfig(t *testing.T, app core.Application, alloc core.Allocation) Config {
+	t.Helper()
+	return Config{
+		Root:      t.TempDir(),
+		App:       app,
+		Alloc:     alloc,
+		AtmosGrid: field.Grid{NLat: 12, NLon: 24},
+		OceanGrid: field.Grid{NLat: 18, NLon: 36},
+		Days:      2,
+	}
+}
+
+func TestRealRunExecutesEverything(t *testing.T) {
+	app := core.Application{Scenarios: 3, Months: 2}
+	ref := platform.ReferenceTiming()
+	alloc, err := (core.Knapsack{}).Plan(app, ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(t, app, alloc)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != app.Tasks() {
+		t.Fatalf("executed %d months, want %d", len(res.Reports), app.Tasks())
+	}
+	if res.Wall <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	// Every (scenario, month) ran exactly once, on a valid group.
+	seen := map[[2]int]bool{}
+	for _, r := range res.Reports {
+		key := [2]int{r.Scenario, r.Month}
+		if seen[key] {
+			t.Fatalf("month s%d/m%d executed twice", r.Scenario, r.Month)
+		}
+		seen[key] = true
+		if r.Group < 0 || r.Group >= len(alloc.Groups) {
+			t.Fatalf("month on unknown group %d", r.Group)
+		}
+		if r.MainWall <= 0 || r.PostWall <= 0 {
+			t.Fatalf("month s%d/m%d without wall times", r.Scenario, r.Month)
+		}
+		if r.GlobalT < 200 || r.GlobalT > 330 {
+			t.Fatalf("month s%d/m%d with unphysical global T %g", r.Scenario, r.Month, r.GlobalT)
+		}
+	}
+	// The real artifacts exist: compressed diagnostics and the series file
+	// for every scenario.
+	for s := 0; s < app.Scenarios; s++ {
+		dir := pipeline.Config{Root: cfg.Root, Scenario: s}.Dir()
+		for m := 0; m < app.Months; m++ {
+			if _, err := os.Stat(pipeline.SDFPath(dir, s, m) + ".gz"); err != nil {
+				t.Fatalf("missing compressed diagnostics for s%d/m%d: %v", s, m, err)
+			}
+		}
+		if _, err := os.Stat(filepath.Join(dir, "series.csv")); err != nil {
+			t.Fatalf("missing series for scenario %d: %v", s, err)
+		}
+	}
+}
+
+// TestRealRunChainsMonths: month 1 must consume month 0's restart, which the
+// model enforces; a full run across two months therefore proves the workers
+// respected the chain order.
+func TestRealRunChainsMonths(t *testing.T) {
+	app := core.Application{Scenarios: 2, Months: 3}
+	alloc := core.Allocation{Groups: []int{5, 4}, PostProcs: 1, Heuristic: "manual"}
+	cfg := fastConfig(t, app, alloc)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 6 {
+		t.Fatalf("executed %d months, want 6", len(res.Reports))
+	}
+}
+
+func TestRealRunValidation(t *testing.T) {
+	app := core.Application{Scenarios: 1, Months: 1}
+	if _, err := Run(Config{Root: "", App: app, Alloc: core.Allocation{Groups: []int{4}}}); err == nil {
+		t.Fatal("empty root accepted")
+	}
+	if _, err := Run(Config{Root: t.TempDir(), App: app, Alloc: core.Allocation{}}); err == nil {
+		t.Fatal("empty allocation accepted")
+	}
+	if _, err := Run(Config{Root: t.TempDir(), App: core.Application{}, Alloc: core.Allocation{Groups: []int{4}}}); err == nil {
+		t.Fatal("invalid application accepted")
+	}
+}
+
+func TestGroupProcsClamp(t *testing.T) {
+	if groupProcs(2) != 4 || groupProcs(15) != 11 || groupProcs(7) != 7 {
+		t.Fatal("groupProcs clamp broken")
+	}
+}

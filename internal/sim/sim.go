@@ -1,0 +1,158 @@
+// Package sim is a minimal deterministic discrete-event simulation kernel.
+//
+// The executor (internal/exec) and the middleware tests replay schedules in
+// virtual time rather than wall-clock time, which is how the paper's own
+// evaluation works ("simulations" in its sections 4.3 and 6). The kernel is a
+// classic event heap with a strict total order: events fire in (time, FIFO
+// sequence) order, so two runs of the same scenario are bit-for-bit
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Handler is the body of an event. It runs when the simulation clock reaches
+// the event's timestamp and may schedule further events.
+type Handler func(now Time)
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulation time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Event is a cancellable handle returned by Schedule.
+type Event struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e Event) Cancel() {
+	if e.ev != nil {
+		e.ev.dead = true
+	}
+}
+
+// Simulator owns the virtual clock and the pending event set. The zero value
+// is ready to use and starts at time 0.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns a simulator starting at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled and not yet cancelled.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time at. It returns a cancellable handle
+// and an error if at precedes the current clock.
+func (s *Simulator) At(at Time, fn Handler) (Event, error) {
+	if at < s.now {
+		return Event{}, fmt.Errorf("%w: at=%g now=%g", ErrPastEvent, at, s.now)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return Event{}, fmt.Errorf("sim: invalid event time %g", at)
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Event{ev}, nil
+}
+
+// After schedules fn to run delay seconds from now.
+func (s *Simulator) After(delay Time, fn Handler) (Event, error) {
+	return s.At(s.now+delay, fn)
+}
+
+// Step fires the next pending event, if any, and reports whether one fired.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain and returns the final clock value.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil fires events with timestamps <= deadline, advances the clock to
+// deadline, and returns the number of events fired.
+func (s *Simulator) RunUntil(deadline Time) uint64 {
+	start := s.fired
+	for len(s.events) > 0 {
+		// Peek the heap head without popping dead events prematurely.
+		head := s.events[0]
+		if head.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if head.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.fired - start
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		if _, err := s.At(at, func(now Time) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := s.Run()
+	if end != 5 {
+		t.Fatalf("final clock %g, want 5", end)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(7, func(Time) { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	s := New()
+	if _, err := s.At(3, func(Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.At(1, func(Time) {}); err == nil {
+		t.Fatal("expected ErrPastEvent")
+	}
+	if _, err := s.At(math.NaN(), func(Time) {}); err == nil {
+		t.Fatal("expected error for NaN time")
+	}
+	if _, err := s.At(math.Inf(1), func(Time) {}); err == nil {
+		t.Fatal("expected error for infinite time")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev, err := s.At(1, func(Time) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	ev.Cancel() // idempotent
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("fired count %d, want 0", s.Fired())
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	depth := 0
+	var chain func(now Time)
+	chain = func(now Time) {
+		depth++
+		if depth < 100 {
+			if _, err := s.After(1, chain); err != nil {
+				t.Errorf("chain: %v", err)
+			}
+		}
+	}
+	if _, err := s.At(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Run()
+	if depth != 100 || end != 99 {
+		t.Fatalf("depth=%d end=%g, want 100 and 99", depth, end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := s.At(Time(i), func(Time) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.RunUntil(5.5); n != 5 {
+		t.Fatalf("RunUntil fired %d, want 5", n)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock %g, want 5.5", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("total fired %d, want 10", count)
+	}
+}
+
+// TestClockMonotone is a property test: whatever the schedule order, the
+// observed clock never decreases.
+func TestClockMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		last := -1.0
+		ok := true
+		for _, r := range raw {
+			at := Time(r % 1000)
+			if _, err := s.At(at, func(now Time) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			}); err != nil {
+				return false
+			}
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

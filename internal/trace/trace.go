@@ -1,0 +1,232 @@
+// Package trace records schedule executions as per-resource spans, validates
+// them against the application's dependencies, and renders them as ASCII
+// Gantt charts or CSV for inspection.
+//
+// Resource naming convention: main-task groups are "g0", "g1", …; dedicated
+// post-processing processors are "p0", "p1", …; an individual processor of a
+// group borrowed for post-processing is "g0.2" (processor 2 of group g0) and
+// conflicts with its parent group.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind labels the two task families of the fused model.
+type Kind int
+
+const (
+	// Main is a fused pre-processing + coupled-run task.
+	Main Kind = iota
+	// Post is a fused post-processing task.
+	Post
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Main {
+		return "main"
+	}
+	return "post"
+}
+
+// Span is one task execution on one resource.
+type Span struct {
+	Resource string
+	Kind     Kind
+	Scenario int
+	Month    int
+	Start    float64
+	End      float64
+}
+
+// Duration returns End − Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Trace is an append-only record of one schedule execution.
+type Trace struct {
+	Spans []Span
+}
+
+// Add appends a span.
+func (t *Trace) Add(s Span) { t.Spans = append(t.Spans, s) }
+
+// Makespan returns the latest span end, or 0 for an empty trace.
+func (t *Trace) Makespan() float64 {
+	ms := 0.0
+	for _, s := range t.Spans {
+		if s.End > ms {
+			ms = s.End
+		}
+	}
+	return ms
+}
+
+// parentResource returns "g0" for "g0.2" and "" for non-borrowed resources.
+func parentResource(r string) string {
+	if i := strings.IndexByte(r, '.'); i >= 0 {
+		return r[:i]
+	}
+	return ""
+}
+
+// Validate checks the structural invariants of a fused-model execution over
+// scenarios × months tasks:
+//
+//  1. every span has positive length and non-negative start;
+//  2. spans on the same resource do not overlap, and a span on a borrowed
+//     group processor ("g0.2") does not overlap a span on its group ("g0");
+//  3. each (scenario, month) pair runs exactly one main and one post task;
+//  4. main(s,m) starts at or after main(s,m−1) ends, and post(s,m) starts at
+//     or after main(s,m) ends.
+func (t *Trace) Validate(scenarios, months int) error {
+	type key struct {
+		s, m int
+		k    Kind
+	}
+	seen := make(map[key]Span, len(t.Spans))
+	byResource := make(map[string][]Span)
+	for i, s := range t.Spans {
+		if s.Start < 0 || s.End <= s.Start {
+			return fmt.Errorf("trace: span %d has invalid interval [%g,%g]", i, s.Start, s.End)
+		}
+		if s.Scenario < 0 || s.Scenario >= scenarios {
+			return fmt.Errorf("trace: span %d has scenario %d outside [0,%d)", i, s.Scenario, scenarios)
+		}
+		if s.Month < 0 || s.Month >= months {
+			return fmt.Errorf("trace: span %d has month %d outside [0,%d)", i, s.Month, months)
+		}
+		k := key{s.Scenario, s.Month, s.Kind}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("trace: %v task of scenario %d month %d runs twice (at %g and %g)",
+				s.Kind, s.Scenario, s.Month, prev.Start, s.Start)
+		}
+		seen[k] = s
+		byResource[s.Resource] = append(byResource[s.Resource], s)
+	}
+	// Completeness.
+	for sc := 0; sc < scenarios; sc++ {
+		for m := 0; m < months; m++ {
+			if _, ok := seen[key{sc, m, Main}]; !ok {
+				return fmt.Errorf("trace: missing main task of scenario %d month %d", sc, m)
+			}
+			if _, ok := seen[key{sc, m, Post}]; !ok {
+				return fmt.Errorf("trace: missing post task of scenario %d month %d", sc, m)
+			}
+		}
+	}
+	// Per-resource overlap, including borrowed processors against their group.
+	const eps = 1e-9
+	for res, spans := range byResource {
+		all := spans
+		if parent := parentResource(res); parent != "" {
+			all = append(append([]Span(nil), spans...), byResource[parent]...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+		for i := 1; i < len(all); i++ {
+			if all[i].Start < all[i-1].End-eps {
+				return fmt.Errorf("trace: resource %s overlap: [%g,%g] and [%g,%g]",
+					res, all[i-1].Start, all[i-1].End, all[i].Start, all[i].End)
+			}
+		}
+	}
+	// Dependencies.
+	for sc := 0; sc < scenarios; sc++ {
+		for m := 0; m < months; m++ {
+			main := seen[key{sc, m, Main}]
+			if m > 0 {
+				prev := seen[key{sc, m - 1, Main}]
+				if main.Start < prev.End-eps {
+					return fmt.Errorf("trace: main of scenario %d month %d starts at %g before month %d ends at %g",
+						sc, m, main.Start, m-1, prev.End)
+				}
+			}
+			post := seen[key{sc, m, Post}]
+			if post.Start < main.End-eps {
+				return fmt.Errorf("trace: post of scenario %d month %d starts at %g before its main ends at %g",
+					sc, m, post.Start, main.End)
+			}
+		}
+	}
+	return nil
+}
+
+// Resources returns the distinct resource names, sorted.
+func (t *Trace) Resources() []string {
+	set := make(map[string]bool)
+	for _, s := range t.Spans {
+		set[s.Resource] = true
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BusySeconds sums span durations per resource.
+func (t *Trace) BusySeconds() map[string]float64 {
+	busy := make(map[string]float64)
+	for _, s := range t.Spans {
+		busy[s.Resource] += s.Duration()
+	}
+	return busy
+}
+
+// CSV renders the trace as "resource,kind,scenario,month,start,end" lines.
+func (t *Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("resource,kind,scenario,month,start,end\n")
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%g,%g\n", s.Resource, s.Kind, s.Scenario, s.Month, s.Start, s.End)
+	}
+	return b.String()
+}
+
+// Gantt renders an ASCII Gantt chart with the given character width. Each
+// row is one resource; 'M' cells contain main work, 'p' cells post work,
+// '.' idle time.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	ms := t.Makespan()
+	if ms == 0 {
+		return "(empty trace)\n"
+	}
+	resources := t.Resources()
+	rows := make(map[string][]byte, len(resources))
+	for _, r := range resources {
+		rows[r] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range t.Spans {
+		row := rows[s.Resource]
+		lo := int(s.Start / ms * float64(width))
+		hi := int(s.End / ms * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		mark := byte('M')
+		if s.Kind == Post {
+			mark = 'p'
+		}
+		for i := lo; i <= hi; i++ {
+			row[i] = mark
+		}
+	}
+	nameW := 0
+	for _, r := range resources {
+		if len(r) > nameW {
+			nameW = len(r)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan: %.0f s\n", ms)
+	for _, r := range resources {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, r, rows[r])
+	}
+	return b.String()
+}

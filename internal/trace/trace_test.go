@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoByTwo builds a valid 2-scenario × 2-month trace on one group and one
+// post processor.
+func twoByTwo() *Trace {
+	tr := &Trace{}
+	// Group g0 alternates the two scenarios' months.
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 0, Month: 0, Start: 0, End: 10})
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 1, Month: 0, Start: 10, End: 20})
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 0, Month: 1, Start: 20, End: 30})
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 1, Month: 1, Start: 30, End: 40})
+	tr.Add(Span{Resource: "p0", Kind: Post, Scenario: 0, Month: 0, Start: 10, End: 13})
+	tr.Add(Span{Resource: "p0", Kind: Post, Scenario: 1, Month: 0, Start: 20, End: 23})
+	tr.Add(Span{Resource: "p0", Kind: Post, Scenario: 0, Month: 1, Start: 30, End: 33})
+	tr.Add(Span{Resource: "p0", Kind: Post, Scenario: 1, Month: 1, Start: 40, End: 43})
+	return tr
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := twoByTwo().Validate(2, 2); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	if ms := twoByTwo().Makespan(); ms != 43 {
+		t.Fatalf("makespan = %g, want 43", ms)
+	}
+	if ms := (&Trace{}).Makespan(); ms != 0 {
+		t.Fatalf("empty makespan = %g, want 0", ms)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	tr := twoByTwo()
+	tr.Spans[1].Start = 5 // overlaps span 0 on g0
+	if err := tr.Validate(2, 2); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlap not detected: %v", err)
+	}
+}
+
+func TestValidateRejectsBorrowedOverlap(t *testing.T) {
+	tr := twoByTwo()
+	// A post borrowed on processor 1 of g0 while g0 runs a main.
+	tr.Spans[4] = Span{Resource: "g0.1", Kind: Post, Scenario: 0, Month: 0, Start: 15, End: 18}
+	if err := tr.Validate(2, 2); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("borrowed overlap not detected: %v", err)
+	}
+}
+
+func TestValidateRejectsDependencyViolations(t *testing.T) {
+	tr := twoByTwo()
+	tr.Spans[2].Start, tr.Spans[2].End = 5, 9 // main(0,1) before main(0,0) ends
+	err := tr.Validate(2, 2)
+	if err == nil {
+		t.Fatal("chain violation not detected")
+	}
+
+	tr = twoByTwo()
+	tr.Spans[4].Start, tr.Spans[4].End = 2, 5 // post(0,0) before main(0,0) ends
+	if err := tr.Validate(2, 2); err == nil {
+		t.Fatal("post-before-main not detected")
+	}
+}
+
+func TestValidateRejectsStructuralProblems(t *testing.T) {
+	tr := twoByTwo()
+	tr.Spans = tr.Spans[:len(tr.Spans)-1] // drop post(1,1)
+	if err := tr.Validate(2, 2); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing task not detected: %v", err)
+	}
+
+	tr = twoByTwo()
+	tr.Add(Span{Resource: "p1", Kind: Post, Scenario: 1, Month: 1, Start: 50, End: 53})
+	if err := tr.Validate(2, 2); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate task not detected: %v", err)
+	}
+
+	tr = &Trace{}
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 0, Month: 0, Start: 5, End: 5})
+	if err := tr.Validate(1, 1); err == nil {
+		t.Fatal("zero-length span not detected")
+	}
+
+	tr = &Trace{}
+	tr.Add(Span{Resource: "g0", Kind: Main, Scenario: 3, Month: 0, Start: 0, End: 1})
+	if err := tr.Validate(1, 1); err == nil {
+		t.Fatal("out-of-range scenario not detected")
+	}
+}
+
+func TestResourcesAndBusy(t *testing.T) {
+	tr := twoByTwo()
+	res := tr.Resources()
+	if len(res) != 2 || res[0] != "g0" || res[1] != "p0" {
+		t.Fatalf("Resources = %v", res)
+	}
+	busy := tr.BusySeconds()
+	if busy["g0"] != 40 || busy["p0"] != 12 {
+		t.Fatalf("BusySeconds = %v", busy)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	csv := twoByTwo().CSV()
+	if !strings.HasPrefix(csv, "resource,kind,scenario,month,start,end\n") {
+		t.Fatalf("CSV header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "g0,main,0,0,0,10") {
+		t.Fatalf("CSV row missing:\n%s", csv)
+	}
+	if got := len(strings.Split(strings.TrimSpace(csv), "\n")); got != 9 {
+		t.Fatalf("CSV has %d lines, want 9", got)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := twoByTwo().Gantt(40)
+	if !strings.Contains(g, "g0") || !strings.Contains(g, "p0") {
+		t.Fatalf("Gantt missing resources:\n%s", g)
+	}
+	if !strings.Contains(g, "M") || !strings.Contains(g, "p") {
+		t.Fatalf("Gantt missing marks:\n%s", g)
+	}
+	if got := (&Trace{}).Gantt(40); got != "(empty trace)\n" {
+		t.Fatalf("empty Gantt = %q", got)
+	}
+}
+
+func TestParentResource(t *testing.T) {
+	if p := parentResource("g3.7"); p != "g3" {
+		t.Fatalf("parentResource = %q, want g3", p)
+	}
+	if p := parentResource("p2"); p != "" {
+		t.Fatalf("parentResource = %q, want empty", p)
+	}
+}

@@ -1,0 +1,261 @@
+// Package workflow models the application structure of the study: directed
+// acyclic graphs of (possibly moldable) tasks, chains of identical DAGs — one
+// chain per climate scenario — and the ensemble of independent chains that
+// makes up a full experiment (paper §2 and §3.1).
+package workflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies tasks by the phase they belong to in the monthly
+// simulation pipeline.
+type Kind int
+
+const (
+	// KindPre marks single-processor pre-processing tasks (caif, mp).
+	KindPre Kind = iota
+	// KindMain marks the moldable coupled-run task (pcr) or the fused
+	// pre+main task of the simplified model.
+	KindMain
+	// KindPost marks single-processor post-processing tasks (cof, emi, cd)
+	// or the fused post task.
+	KindPost
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPre:
+		return "pre"
+	case KindMain:
+		return "main"
+	case KindPost:
+		return "post"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Task is one node of a DAG. MinProcs == MaxProcs == 1 for sequential tasks;
+// the coupled run is moldable over [MinProcs, MaxProcs].
+type Task struct {
+	ID       string
+	Name     string
+	Kind     Kind
+	Scenario int
+	Month    int
+	MinProcs int
+	MaxProcs int
+	// Seconds is the nominal duration at the reference benchmark grouping
+	// (Figure 1 of the paper); platform timing models rescale it.
+	Seconds float64
+}
+
+// DAG is a directed acyclic graph of tasks with deterministic iteration
+// order (insertion order).
+type DAG struct {
+	tasks map[string]*Task
+	order []string
+	succ  map[string][]string
+	pred  map[string][]string
+	edges int
+}
+
+// NewDAG returns an empty DAG.
+func NewDAG() *DAG {
+	return &DAG{
+		tasks: make(map[string]*Task),
+		succ:  make(map[string][]string),
+		pred:  make(map[string][]string),
+	}
+}
+
+// AddTask inserts a task; IDs must be unique and non-empty.
+func (d *DAG) AddTask(t *Task) error {
+	if t == nil || t.ID == "" {
+		return errors.New("workflow: task with empty ID")
+	}
+	if t.MinProcs <= 0 || t.MaxProcs < t.MinProcs {
+		return fmt.Errorf("workflow: task %s has invalid processor range [%d,%d]", t.ID, t.MinProcs, t.MaxProcs)
+	}
+	if t.Seconds < 0 {
+		return fmt.Errorf("workflow: task %s has negative duration", t.ID)
+	}
+	if _, dup := d.tasks[t.ID]; dup {
+		return fmt.Errorf("workflow: duplicate task ID %q", t.ID)
+	}
+	d.tasks[t.ID] = t
+	d.order = append(d.order, t.ID)
+	return nil
+}
+
+// AddEdge inserts the dependency from → to. Both endpoints must exist.
+func (d *DAG) AddEdge(from, to string) error {
+	if _, ok := d.tasks[from]; !ok {
+		return fmt.Errorf("workflow: edge source %q not in DAG", from)
+	}
+	if _, ok := d.tasks[to]; !ok {
+		return fmt.Errorf("workflow: edge target %q not in DAG", to)
+	}
+	if from == to {
+		return fmt.Errorf("workflow: self edge on %q", from)
+	}
+	for _, s := range d.succ[from] {
+		if s == to {
+			return nil // idempotent
+		}
+	}
+	d.succ[from] = append(d.succ[from], to)
+	d.pred[to] = append(d.pred[to], from)
+	d.edges++
+	return nil
+}
+
+// Len returns the number of tasks.
+func (d *DAG) Len() int { return len(d.order) }
+
+// Edges returns the number of distinct edges.
+func (d *DAG) Edges() int { return d.edges }
+
+// Task returns the task with the given ID, or nil.
+func (d *DAG) Task(id string) *Task { return d.tasks[id] }
+
+// Tasks returns all tasks in insertion order.
+func (d *DAG) Tasks() []*Task {
+	out := make([]*Task, len(d.order))
+	for i, id := range d.order {
+		out[i] = d.tasks[id]
+	}
+	return out
+}
+
+// Successors returns the direct successors of id in insertion order.
+func (d *DAG) Successors(id string) []string {
+	return append([]string(nil), d.succ[id]...)
+}
+
+// Predecessors returns the direct predecessors of id.
+func (d *DAG) Predecessors(id string) []string {
+	return append([]string(nil), d.pred[id]...)
+}
+
+// Sources returns tasks without predecessors.
+func (d *DAG) Sources() []*Task {
+	var out []*Task
+	for _, id := range d.order {
+		if len(d.pred[id]) == 0 {
+			out = append(out, d.tasks[id])
+		}
+	}
+	return out
+}
+
+// Sinks returns tasks without successors.
+func (d *DAG) Sinks() []*Task {
+	var out []*Task
+	for _, id := range d.order {
+		if len(d.succ[id]) == 0 {
+			out = append(out, d.tasks[id])
+		}
+	}
+	return out
+}
+
+// TopoSort returns a topological order (stable with respect to insertion
+// order) or an error if the graph has a cycle.
+func (d *DAG) TopoSort() ([]*Task, error) {
+	indeg := make(map[string]int, len(d.tasks))
+	for id, ps := range d.pred {
+		indeg[id] = len(ps)
+	}
+	var queue []string
+	for _, id := range d.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	out := make([]*Task, 0, len(d.order))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		out = append(out, d.tasks[id])
+		for _, s := range d.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(d.order) {
+		return nil, errors.New("workflow: DAG contains a cycle")
+	}
+	return out, nil
+}
+
+// Validate checks the DAG is acyclic and every edge endpoint exists.
+func (d *DAG) Validate() error {
+	_, err := d.TopoSort()
+	return err
+}
+
+// CriticalPath returns the longest path length under the given duration
+// function and the task IDs along it, source to sink.
+func (d *DAG) CriticalPath(dur func(*Task) float64) (float64, []string, error) {
+	topo, err := d.TopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	dist := make(map[string]float64, len(topo))
+	via := make(map[string]string, len(topo))
+	best, bestID := -1.0, ""
+	for _, t := range topo {
+		dt := dur(t)
+		if dt < 0 {
+			return 0, nil, fmt.Errorf("workflow: negative duration for task %s", t.ID)
+		}
+		v := dt
+		for _, p := range d.pred[t.ID] {
+			if c := dist[p] + dt; c > v {
+				v = c
+				via[t.ID] = p
+			}
+		}
+		dist[t.ID] = v
+		if v > best {
+			best, bestID = v, t.ID
+		}
+	}
+	var path []string
+	for id := bestID; id != ""; id = via[id] {
+		path = append(path, id)
+	}
+	// Reverse into source→sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best, path, nil
+}
+
+// Merge copies all tasks and edges of other into d. Task IDs must not
+// collide; use distinct scenario prefixes when merging chains.
+func (d *DAG) Merge(other *DAG) error {
+	for _, t := range other.Tasks() {
+		cp := *t
+		if err := d.AddTask(&cp); err != nil {
+			return err
+		}
+	}
+	for _, id := range other.order {
+		for _, s := range other.succ[id] {
+			if err := d.AddEdge(id, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package workflow
+
+import (
+	"fmt"
+
+	"oagrid/internal/platform"
+)
+
+// Task-name constants of the monthly simulation pipeline (paper §2).
+const (
+	TaskCAIF = "caif" // concatenate_atmospheric_input_files
+	TaskMP   = "mp"   // modify_parameters
+	TaskPCR  = "pcr"  // process_coupled_run
+	TaskCOF  = "cof"  // convert_output_format
+	TaskEMI  = "emi"  // extract_minimum_information
+	TaskCD   = "cd"   // compress_diags
+)
+
+// Figure-1 nominal durations in seconds.
+var figure1Seconds = map[string]float64{
+	TaskCAIF: 1,
+	TaskMP:   1,
+	TaskPCR:  platform.PcrSeconds,
+	TaskCOF:  60,
+	TaskEMI:  60,
+	TaskCD:   60,
+}
+
+// taskID builds the canonical "name-sXX-mYYYY" identifier.
+func taskID(name string, scenario, month int) string {
+	return fmt.Sprintf("%s-s%02d-m%04d", name, scenario, month)
+}
+
+// MonthDAG builds the full six-task DAG of one monthly simulation, with the
+// dependencies of the paper's Figure 1: the two pre-processing tasks feed the
+// coupled run, and the three post-processing phases run in their textual
+// order (convert, extract, compress).
+func MonthDAG(scenario, month int) (*DAG, error) {
+	d := NewDAG()
+	add := func(name string, kind Kind, minP, maxP int) error {
+		return d.AddTask(&Task{
+			ID:       taskID(name, scenario, month),
+			Name:     name,
+			Kind:     kind,
+			Scenario: scenario,
+			Month:    month,
+			MinProcs: minP,
+			MaxProcs: maxP,
+			Seconds:  figure1Seconds[name],
+		})
+	}
+	if err := add(TaskCAIF, KindPre, 1, 1); err != nil {
+		return nil, err
+	}
+	if err := add(TaskMP, KindPre, 1, 1); err != nil {
+		return nil, err
+	}
+	if err := add(TaskPCR, KindMain, platform.MinGroup, platform.MaxGroup); err != nil {
+		return nil, err
+	}
+	if err := add(TaskCOF, KindPost, 1, 1); err != nil {
+		return nil, err
+	}
+	if err := add(TaskEMI, KindPost, 1, 1); err != nil {
+		return nil, err
+	}
+	if err := add(TaskCD, KindPost, 1, 1); err != nil {
+		return nil, err
+	}
+	edges := [][2]string{
+		{TaskCAIF, TaskMP},
+		{TaskMP, TaskPCR},
+		{TaskPCR, TaskCOF},
+		{TaskCOF, TaskEMI},
+		{TaskEMI, TaskCD},
+	}
+	for _, e := range edges {
+		if err := d.AddEdge(taskID(e[0], scenario, month), taskID(e[1], scenario, month)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// FusedMonthDAG builds the simplified two-task DAG of the paper's §4.1:
+// one fused moldable main task (pre-processing + coupled run) and one fused
+// post task.
+func FusedMonthDAG(scenario, month int) (*DAG, error) {
+	d := NewDAG()
+	main := &Task{
+		ID:       taskID("main", scenario, month),
+		Name:     "main",
+		Kind:     KindMain,
+		Scenario: scenario,
+		Month:    month,
+		MinProcs: platform.MinGroup,
+		MaxProcs: platform.MaxGroup,
+		Seconds:  platform.PreSeconds + platform.PcrSeconds,
+	}
+	post := &Task{
+		ID:       taskID("post", scenario, month),
+		Name:     "post",
+		Kind:     KindPost,
+		Scenario: scenario,
+		Month:    month,
+		MinProcs: 1,
+		MaxProcs: 1,
+		Seconds:  platform.PostSeconds,
+	}
+	if err := d.AddTask(main); err != nil {
+		return nil, err
+	}
+	if err := d.AddTask(post); err != nil {
+		return nil, err
+	}
+	if err := d.AddEdge(main.ID, post.ID); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ScenarioChain builds the 1D mesh of one scenario: months chained so that
+// month m's main task depends on month m-1's (restart files, ~120 MB). When
+// fused is true each month is the two-task model, otherwise the six-task
+// pipeline of Figure 1.
+func ScenarioChain(scenario, months int, fused bool) (*DAG, error) {
+	if months <= 0 {
+		return nil, fmt.Errorf("workflow: scenario needs at least one month, got %d", months)
+	}
+	chain := NewDAG()
+	for m := 0; m < months; m++ {
+		var (
+			month *DAG
+			err   error
+		)
+		if fused {
+			month, err = FusedMonthDAG(scenario, m)
+		} else {
+			month, err = MonthDAG(scenario, m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := chain.Merge(month); err != nil {
+			return nil, err
+		}
+		if m > 0 {
+			// The restart produced by month m-1's coupled run feeds month m's
+			// first pre-processing step (fused model: main → main).
+			var from, to string
+			if fused {
+				from = taskID("main", scenario, m-1)
+				to = taskID("main", scenario, m)
+			} else {
+				from = taskID(TaskPCR, scenario, m-1)
+				to = taskID(TaskCAIF, scenario, m)
+			}
+			if err := chain.AddEdge(from, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return chain, nil
+}
+
+// Ensemble builds the NS independent scenario chains of one experiment.
+func Ensemble(scenarios, months int, fused bool) ([]*DAG, error) {
+	if scenarios <= 0 {
+		return nil, fmt.Errorf("workflow: ensemble needs at least one scenario, got %d", scenarios)
+	}
+	out := make([]*DAG, scenarios)
+	for s := 0; s < scenarios; s++ {
+		chain, err := ScenarioChain(s, months, fused)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = chain
+	}
+	return out, nil
+}
+
+// LinkEnsemble merges independent DAGs under a synthetic entry and exit node,
+// the multi-DAG scheduling technique of the paper's §3.1 ("link all the entry
+// tasks of the DAGs to an unique entry node and do the same with the exit
+// nodes").
+func LinkEnsemble(dags []*DAG) (*DAG, error) {
+	merged := NewDAG()
+	entry := &Task{ID: "entry", Name: "entry", Kind: KindPre, MinProcs: 1, MaxProcs: 1}
+	exit := &Task{ID: "exit", Name: "exit", Kind: KindPost, MinProcs: 1, MaxProcs: 1}
+	if err := merged.AddTask(entry); err != nil {
+		return nil, err
+	}
+	for _, d := range dags {
+		if err := merged.Merge(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := merged.AddTask(exit); err != nil {
+		return nil, err
+	}
+	for _, d := range dags {
+		for _, src := range d.Sources() {
+			if err := merged.AddEdge(entry.ID, src.ID); err != nil {
+				return nil, err
+			}
+		}
+		for _, snk := range d.Sinks() {
+			if err := merged.AddEdge(snk.ID, exit.ID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,286 @@
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oagrid/internal/platform"
+)
+
+func TestDAGBasics(t *testing.T) {
+	d := NewDAG()
+	a := &Task{ID: "a", MinProcs: 1, MaxProcs: 1, Seconds: 1}
+	b := &Task{ID: "b", MinProcs: 1, MaxProcs: 1, Seconds: 2}
+	if err := d.AddTask(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTask(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTask(a); err == nil {
+		t.Fatal("expected duplicate-ID error")
+	}
+	if err := d.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("a", "b"); err != nil {
+		t.Fatal("re-adding an edge must be idempotent")
+	}
+	if d.Edges() != 1 {
+		t.Fatalf("edges = %d, want 1", d.Edges())
+	}
+	if err := d.AddEdge("a", "zz"); err == nil {
+		t.Fatal("expected missing-endpoint error")
+	}
+	if err := d.AddEdge("a", "a"); err == nil {
+		t.Fatal("expected self-edge error")
+	}
+	if got := d.Successors("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Successors = %v", got)
+	}
+	if got := d.Predecessors("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Predecessors = %v", got)
+	}
+	if src := d.Sources(); len(src) != 1 || src[0].ID != "a" {
+		t.Fatalf("Sources = %v", src)
+	}
+	if snk := d.Sinks(); len(snk) != 1 || snk[0].ID != "b" {
+		t.Fatalf("Sinks = %v", snk)
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	d := NewDAG()
+	bad := []*Task{
+		nil,
+		{ID: ""},
+		{ID: "x", MinProcs: 0, MaxProcs: 1},
+		{ID: "x", MinProcs: 2, MaxProcs: 1},
+		{ID: "x", MinProcs: 1, MaxProcs: 1, Seconds: -4},
+	}
+	for i, task := range bad {
+		if err := d.AddTask(task); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	d := NewDAG()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := d.AddTask(&Task{ID: id, MinProcs: 1, MaxProcs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}} {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := d.TopoSort(); err == nil {
+		t.Fatal("TopoSort accepted a cyclic graph")
+	}
+}
+
+func TestMonthDAGStructure(t *testing.T) {
+	d, err := MonthDAG(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 || d.Edges() != 5 {
+		t.Fatalf("month DAG has %d tasks and %d edges, want 6 and 5", d.Len(), d.Edges())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pcr := d.Task("pcr-s02-m0005")
+	if pcr == nil {
+		t.Fatal("pcr task missing")
+	}
+	if pcr.MinProcs != platform.MinGroup || pcr.MaxProcs != platform.MaxGroup {
+		t.Fatalf("pcr moldable range [%d,%d], want [4,11]", pcr.MinProcs, pcr.MaxProcs)
+	}
+	if pcr.Seconds != platform.PcrSeconds {
+		t.Fatalf("pcr duration %g, want %g", pcr.Seconds, platform.PcrSeconds)
+	}
+	// Critical path covers all six tasks: 1+1+1260+60+60+60.
+	cp, path, err := d.CriticalPath(func(task *Task) float64 { return task.Seconds })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 1 + platform.PcrSeconds + 3*60.0; cp != want {
+		t.Fatalf("critical path %g, want %g", cp, want)
+	}
+	if len(path) != 6 {
+		t.Fatalf("critical path has %d hops, want 6: %v", len(path), path)
+	}
+}
+
+func TestFusedMonthDAG(t *testing.T) {
+	d, err := FusedMonthDAG(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Edges() != 1 {
+		t.Fatalf("fused month: %d tasks, %d edges", d.Len(), d.Edges())
+	}
+	main := d.Task("main-s00-m0000")
+	if main == nil || main.Seconds != platform.PreSeconds+platform.PcrSeconds {
+		t.Fatalf("fused main wrong: %+v", main)
+	}
+	post := d.Task("post-s00-m0000")
+	if post == nil || post.Seconds != platform.PostSeconds {
+		t.Fatalf("fused post wrong: %+v", post)
+	}
+}
+
+func TestScenarioChain(t *testing.T) {
+	const months = 12
+	chain, err := ScenarioChain(1, months, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 2*months {
+		t.Fatalf("chain has %d tasks, want %d", chain.Len(), 2*months)
+	}
+	if err := chain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Critical path: NM fused mains plus the last post.
+	cp, _, err := chain.CriticalPath(func(task *Task) float64 { return task.Seconds })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := months*(platform.PreSeconds+platform.PcrSeconds) + platform.PostSeconds
+	if cp != want {
+		t.Fatalf("chain critical path %g, want %g", cp, want)
+	}
+	// The six-task variant chains pcr → caif of the next month.
+	full, err := ScenarioChain(0, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() != 18 {
+		t.Fatalf("full chain has %d tasks, want 18", full.Len())
+	}
+	found := false
+	for _, s := range full.Successors("pcr-s00-m0000") {
+		if s == "caif-s00-m0001" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restart edge pcr(m) → caif(m+1) missing")
+	}
+	if _, err := ScenarioChain(0, 0, true); err == nil {
+		t.Fatal("expected error for zero months")
+	}
+}
+
+func TestEnsembleAndLink(t *testing.T) {
+	dags, err := Ensemble(4, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dags) != 4 {
+		t.Fatalf("ensemble size %d, want 4", len(dags))
+	}
+	merged, err := LinkEnsemble(dags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 chains × 6 tasks + entry + exit.
+	if merged.Len() != 4*6+2 {
+		t.Fatalf("merged has %d tasks", merged.Len())
+	}
+	if src := merged.Sources(); len(src) != 1 || src[0].ID != "entry" {
+		t.Fatalf("merged sources = %v", src)
+	}
+	if snk := merged.Sinks(); len(snk) != 1 || snk[0].ID != "exit" {
+		t.Fatalf("merged sinks = %v", snk)
+	}
+	if _, err := Ensemble(0, 3, true); err == nil {
+		t.Fatal("expected error for zero scenarios")
+	}
+}
+
+func TestMergeRejectsCollisions(t *testing.T) {
+	a, err := FusedMonthDAG(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FusedMonthDAG(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected ID collision error")
+	}
+}
+
+// TestTopoRespectsEdges is a property test: in any topological order every
+// edge points forward.
+func TestTopoRespectsEdges(t *testing.T) {
+	f := func(nRaw, mRaw uint8) bool {
+		scenarios := 1 + int(nRaw)%4
+		months := 1 + int(mRaw)%6
+		dags, err := Ensemble(scenarios, months, nRaw%2 == 0)
+		if err != nil {
+			return false
+		}
+		merged, err := LinkEnsemble(dags)
+		if err != nil {
+			return false
+		}
+		topo, err := merged.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make(map[string]int, len(topo))
+		for i, task := range topo {
+			pos[task.ID] = i
+		}
+		for _, task := range merged.Tasks() {
+			for _, s := range merged.Successors(task.ID) {
+				if pos[task.ID] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindPre: "pre", KindMain: "main", KindPost: "post", Kind(9): "kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTaskIDFormat(t *testing.T) {
+	d, err := MonthDAG(3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range d.Tasks() {
+		if !strings.Contains(task.ID, "-s03-m0017") {
+			t.Fatalf("unexpected task ID %q", task.ID)
+		}
+		if task.ID != fmt.Sprintf("%s-s03-m0017", task.Name) {
+			t.Fatalf("ID %q does not embed name %q", task.ID, task.Name)
+		}
+	}
+}
