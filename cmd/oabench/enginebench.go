@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"oagrid/internal/engine"
+	"oagrid/internal/figures"
+)
+
+// The engine benchmark runs the Figure-8 job matrix — the reference sweep
+// workload of the repository — through every in-process backend twice, with
+// one worker and with a full pool, and writes the wall-clock and makespan
+// summary as a JSON artifact. Future PRs compare against this file to keep a
+// performance trajectory of the evaluation hot path.
+
+// backendBench is one backend's serial-vs-parallel measurement.
+type backendBench struct {
+	Backend         string  `json:"backend"`
+	Jobs            int     `json:"jobs"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	BitIdentical    bool    `json:"bit_identical"`
+	BestMakespanS   float64 `json:"best_makespan_s"`
+	BestHeuristic   string  `json:"best_heuristic"`
+}
+
+// engineBench is the BENCH_engine.json schema.
+type engineBench struct {
+	Workload   string         `json:"workload"`
+	Scenarios  int            `json:"scenarios"`
+	Months     int            `json:"months"`
+	RStep      int            `json:"rstep"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Backends   []backendBench `json:"backends"`
+}
+
+func runEngineBench(cfg figures.Config, outPath string) {
+	m := figures.Figure8Matrix(cfg)
+	jobs := m.Jobs()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := engineBench{
+		Workload:   "figure-8 matrix (5 profiles × R sweep × 4 heuristics)",
+		Scenarios:  cfg.App.Scenarios,
+		Months:     cfg.App.Months,
+		RStep:      cfg.RStep,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Printf("== Engine benchmark: %d jobs, %d workers ==\n", len(jobs), workers)
+	for _, ev := range engine.Backends() {
+		t0 := time.Now()
+		serial := engine.Sweep(ev, jobs, 1)
+		serialWall := time.Since(t0)
+		t0 = time.Now()
+		parallel := engine.Sweep(ev, jobs, workers)
+		parallelWall := time.Since(t0)
+
+		b := backendBench{
+			Backend:         ev.Name(),
+			Jobs:            len(jobs),
+			Workers:         workers,
+			SerialSeconds:   serialWall.Seconds(),
+			ParallelSeconds: parallelWall.Seconds(),
+			BitIdentical:    identicalResults(serial, parallel),
+			BestMakespanS:   math.Inf(1),
+		}
+		if parallelWall > 0 {
+			b.Speedup = serialWall.Seconds() / parallelWall.Seconds()
+		}
+		for i, r := range serial {
+			if r.Err != nil {
+				fail(r.Err)
+			}
+			if r.Result.Makespan < b.BestMakespanS {
+				b.BestMakespanS = r.Result.Makespan
+				b.BestHeuristic = jobs[i].Heuristic.Name()
+			}
+		}
+		report.Backends = append(report.Backends, b)
+		fmt.Printf("%-8s serial %8.3fs   parallel %8.3fs   speedup %5.2fx   bit-identical %v\n",
+			ev.Name(), b.SerialSeconds, b.ParallelSeconds, b.Speedup, b.BitIdentical)
+	}
+
+	if outPath == "" {
+		return
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// identicalResults compares two sweep outputs at float-bit granularity.
+func identicalResults(a, b []engine.JobResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ra, rb := a[i], b[i]
+		if (ra.Err == nil) != (rb.Err == nil) {
+			return false
+		}
+		if ra.Err != nil && ra.Err.Error() != rb.Err.Error() {
+			return false
+		}
+		if math.Float64bits(ra.Result.Makespan) != math.Float64bits(rb.Result.Makespan) ||
+			math.Float64bits(ra.Result.MainsDone) != math.Float64bits(rb.Result.MainsDone) ||
+			math.Float64bits(ra.Result.BusyProcSeconds) != math.Float64bits(rb.Result.BusyProcSeconds) ||
+			math.Float64bits(ra.Result.Utilization) != math.Float64bits(rb.Result.Utilization) ||
+			ra.Result.RestartedMains != rb.Result.RestartedMains {
+			return false
+		}
+		if len(ra.Alloc.Groups) != len(rb.Alloc.Groups) || ra.Alloc.PostProcs != rb.Alloc.PostProcs {
+			return false
+		}
+		for g := range ra.Alloc.Groups {
+			if ra.Alloc.Groups[g] != rb.Alloc.Groups[g] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,5 +1,5 @@
 // Command oabench regenerates the paper's evaluation figures as CSV series
-// and ASCII plots.
+// and ASCII plots, and benchmarks the evaluation engine itself.
 //
 // Usage:
 //
@@ -7,10 +7,13 @@
 //	oabench -fig 8 -full             # figure 8 at full paper scale
 //	oabench -fig 7 -csv out/         # also write CSV files
 //	oabench -fig ablations           # the DESIGN.md ablation experiments
+//	oabench -fig engine              # serial-vs-parallel engine benchmark
+//	                                 # (writes BENCH_engine.json)
 //
 // Figure numbering follows the paper: 1 (task-duration calibration from the
 // toy coupled model), 7 (optimal groupings), 8 (single-cluster gains),
-// 10 (grid-repartition gains).
+// 10 (grid-repartition gains). Every measured figure runs through
+// internal/engine's batched sweep runner; -workers sizes the pool.
 package main
 
 import (
@@ -28,11 +31,13 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1, 7, 8, 10, ablations or all")
-		full   = flag.Bool("full", false, "paper-scale workload (NS=10, NM=1800, dense sweeps); slower")
-		months = flag.Int("months", 0, "override months per scenario (0 = 60 reduced / 1800 full)")
-		step   = flag.Int("step", 0, "override resource sweep stride (0 = 5 reduced / 1 full)")
-		csvDir = flag.String("csv", "", "directory to write CSV series into (optional)")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1, 7, 8, 10, ablations, engine or all")
+		full     = flag.Bool("full", false, "paper-scale workload (NS=10, NM=1800, dense sweeps); slower")
+		months   = flag.Int("months", 0, "override months per scenario (0 = 60 reduced / 1800 full)")
+		step     = flag.Int("step", 0, "override resource sweep stride (0 = 5 reduced / 1 full)")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "BENCH_engine.json", "path of the engine benchmark artifact (empty = skip writing)")
 	)
 	flag.Parse()
 
@@ -50,6 +55,7 @@ func main() {
 	if *step > 0 {
 		cfg.RStep = *step
 	}
+	cfg.Workers = *workers
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	ran := false
@@ -73,8 +79,12 @@ func main() {
 		ran = true
 		runAblations(cfg, *csvDir)
 	}
+	if want("engine") {
+		ran = true
+		runEngineBench(cfg, *benchOut)
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "oabench: unknown figure %q (want 1, 7, 8, 10, ablations or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "oabench: unknown figure %q (want 1, 7, 8, 10, ablations, engine or all)\n", *fig)
 		os.Exit(2)
 	}
 }
@@ -205,4 +215,12 @@ func runAblations(cfg figures.Config, csvDir string) {
 	}
 	fmt.Print(stats.ASCIIPlot(100, 10, a4...))
 	writeCSV(csvDir, "ablation-jitter.csv", a4...)
+
+	fmt.Println("== Ablation A5: related-work baselines (CPA, sequential DAGs; makespans) ==")
+	a5, err := figures.AblationCPA(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(stats.ASCIIPlot(100, 10, a5...))
+	writeCSV(csvDir, "ablation-cpa.csv", a5...)
 }

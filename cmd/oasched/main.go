@@ -1,12 +1,16 @@
 // Command oasched plans and simulates one scheduling configuration: it
 // prints the processor grouping every heuristic chooses for a cluster, the
 // analytical and simulated makespans, and optionally an ASCII Gantt chart.
+// Planning and evaluation run through the unified engine, so the model and
+// simulated columns come from the same two pluggable backends the figure
+// harness uses, and the per-heuristic evaluations run as one batched sweep.
 //
 // Usage:
 //
 //	oasched -r 53 -ns 10 -nm 1800                  # the paper's worked example
 //	oasched -r 53 -ns 4 -nm 6 -heuristic knapsack -gantt
 //	oasched -r 60 -speed 1.29                      # a slower cluster profile
+//	oasched -r 53 -heuristic cpa                   # related-work baseline
 package main
 
 import (
@@ -15,7 +19,9 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"oagrid/internal/baseline"
 	"oagrid/internal/core"
+	"oagrid/internal/engine"
 	"oagrid/internal/exec"
 	"oagrid/internal/platform"
 )
@@ -25,10 +31,11 @@ func main() {
 		r         = flag.Int("r", 53, "processors in the cluster")
 		ns        = flag.Int("ns", 10, "scenarios (NS)")
 		nm        = flag.Int("nm", 1800, "months per scenario (NM)")
-		heuristic = flag.String("heuristic", "", "only this heuristic (default: all four)")
+		heuristic = flag.String("heuristic", "", "only this heuristic: basic, redistribute, all-to-main, knapsack, cpa, sequential-dags (default: the paper's four)")
 		speed     = flag.Float64("speed", 1.0, "cluster slowness factor (1.0 = reference, 1177s..1622s anchors ≈ 0.93..1.29)")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small workloads only)")
 		policy    = flag.String("policy", "least-advanced", "dispatch policy: least-advanced, round-robin, most-advanced")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -38,6 +45,7 @@ func main() {
 	}
 	timing := platform.ReferenceTiming()
 	timing.Speed = *speed
+	cluster := &platform.Cluster{Name: "oasched", Procs: *r, Timing: timing}
 
 	var pol exec.Policy
 	switch *policy {
@@ -55,37 +63,49 @@ func main() {
 	if *heuristic == "" {
 		hs = core.All()
 	} else {
-		h, err := core.ByName(*heuristic)
+		h, err := byName(*heuristic)
 		if err != nil {
 			fail(err)
 		}
 		hs = []core.Heuristic{h}
 	}
 
+	opts := engine.Options{Exec: exec.Options{Policy: pol, RecordTrace: *gantt}}
+	jobs := make([]engine.Job, len(hs))
+	for i, h := range hs {
+		jobs[i] = engine.Job{App: app, Cluster: cluster, Heuristic: h, Opts: opts}
+	}
+	simulated := engine.Sweep(engine.DES{}, jobs, *workers)
+	// Model column: re-evaluate the simulated allocations analytically, so
+	// each heuristic plans once and both columns describe the same plan.
+	modelJobs := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		j.Heuristic = nil
+		j.Alloc = simulated[i].Alloc
+		modelJobs[i] = j
+	}
+	modeled := engine.Sweep(engine.Model{}, modelJobs, *workers)
+
 	fmt.Printf("cluster: %d processors, speed %.3f (T[11]=%.0fs)  workload: %d scenarios × %d months\n\n",
 		*r, *speed, mustMain(timing, platform.MaxGroup), *ns, *nm)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "heuristic\tallocation\tmodel (s)\tsimulated (s)\tgain vs basic")
-	var baseline float64
+	var baselineMS float64
 	for i, h := range hs {
-		alloc, err := h.Plan(app, timing, *r)
-		if err != nil {
-			fail(err)
+		if simulated[i].Err != nil {
+			fail(simulated[i].Err)
 		}
+		alloc, res := simulated[i].Alloc, simulated[i].Result
 		model := "-"
-		if uniform(alloc) {
-			if ms, err := core.UniformEstimate(app, timing, *r, alloc.Groups[0]); err == nil {
-				model = fmt.Sprintf("%.0f", ms)
-			}
-		}
-		res, err := exec.Run(app, timing, *r, alloc, exec.Options{Policy: pol, RecordTrace: *gantt})
-		if err != nil {
-			fail(err)
+		// The analytical equations are exact only for uniform groupings; show
+		// the model column where the paper defines it.
+		if modeled[i].Err == nil && uniform(alloc) {
+			model = fmt.Sprintf("%.0f", modeled[i].Result.Makespan)
 		}
 		if i == 0 {
-			baseline = res.Makespan
+			baselineMS = res.Makespan
 		}
-		gain := 100 * (baseline - res.Makespan) / baseline
+		gain := 100 * (baselineMS - res.Makespan) / baselineMS
 		fmt.Fprintf(w, "%s\t%v post=%d\t%s\t%.0f\t%+.2f%%\n",
 			h.Name(), alloc.Groups, alloc.PostProcs, model, res.Makespan, gain)
 		if *gantt && res.Trace != nil {
@@ -100,6 +120,19 @@ func main() {
 		}
 	}
 	w.Flush()
+}
+
+// byName resolves the paper's heuristics plus the related-work baselines.
+func byName(name string) (core.Heuristic, error) {
+	if h, err := core.ByName(name); err == nil {
+		return h, nil
+	}
+	for _, h := range []core.Heuristic{baseline.CPA{}, baseline.SequentialDAGs{}} {
+		if h.Name() == name {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown heuristic %q", name)
 }
 
 func uniform(al core.Allocation) bool {

@@ -1,0 +1,3 @@
+module oagrid
+
+go 1.24

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"oagrid/internal/core"
+	"oagrid/internal/platform"
+)
+
+// MemoTiming is a platform.Timing with every MainSeconds value of the
+// moldable range precomputed into a dense slice. The executor asks for task
+// durations on every dispatch and the Amdahl model recomputes a division each
+// time; a sweep over thousands of jobs asks millions of times, so Sweep
+// memoizes each distinct cluster's timing once up front.
+type MemoTiming struct {
+	lo, hi int
+	main   []float64
+	post   float64
+}
+
+var _ platform.Timing = (*MemoTiming)(nil)
+
+// Memoize returns a cached view of t. Timings that are already memoized come
+// back unchanged; timings whose range cannot be tabulated (holes, empty
+// range) fall back to the original model.
+func Memoize(t platform.Timing) platform.Timing {
+	if t == nil {
+		return nil
+	}
+	if m, ok := t.(*MemoTiming); ok {
+		return m
+	}
+	lo, hi := t.Range()
+	if lo > hi {
+		return t
+	}
+	m := &MemoTiming{lo: lo, hi: hi, post: t.PostSeconds(), main: make([]float64, hi-lo+1)}
+	for g := lo; g <= hi; g++ {
+		s, err := t.MainSeconds(g)
+		if err != nil {
+			return t
+		}
+		m.main[g-lo] = s
+	}
+	return m
+}
+
+// MainSeconds implements platform.Timing.
+func (m *MemoTiming) MainSeconds(g int) (float64, error) {
+	if g < m.lo || g > m.hi {
+		return 0, fmt.Errorf("platform: group size %d outside moldable range [%d,%d]", g, m.lo, m.hi)
+	}
+	return m.main[g-m.lo], nil
+}
+
+// PostSeconds implements platform.Timing.
+func (m *MemoTiming) PostSeconds() float64 { return m.post }
+
+// Range implements platform.Timing.
+func (m *MemoTiming) Range() (int, int) { return m.lo, m.hi }
+
+// planKey identifies one planning problem inside a sweep. The cluster enters
+// by pointer identity: jobs that should share a plan must share the *Cluster
+// (Matrix and PerformanceVectors arrange this).
+type planKey struct {
+	cluster           *platform.Cluster
+	scenarios, months int
+	procs             int
+	heuristic         string
+}
+
+// planEntry is a single-flight cache slot: the first goroutine to claim the
+// key runs the heuristic, every other waits on the Once and reuses the plan.
+type planEntry struct {
+	once  sync.Once
+	alloc core.Allocation
+	err   error
+}
+
+// planCache memoizes heuristic plans for the lifetime of one Sweep call.
+// Planning is pure — a (heuristic, app, cluster) triple always yields the
+// same allocation — so a sweep matrix that revisits the triple across
+// policies, jitter amplitudes and seeds plans it exactly once.
+type planCache struct {
+	mu sync.Mutex
+	m  map[planKey]*planEntry
+}
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[planKey]*planEntry)}
+}
+
+func (c *planCache) plan(key planKey, h core.Heuristic, app core.Application, t platform.Timing) (core.Allocation, error) {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &planEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.alloc, e.err = h.Plan(app, t, key.procs) })
+	return e.alloc, e.err
+}

@@ -1,0 +1,159 @@
+// Package engine unifies the repository's three makespan evaluators behind
+// one pluggable interface and drives batches of evaluations through a
+// deterministic parallel sweep runner.
+//
+// The paper's methodology is a three-stage pipeline: plan with an analytical
+// model (internal/core, equations 1–5), validate the plan on an event-driven
+// executor (internal/exec, the ground truth of every figure), and — as the
+// paper's §7 "ongoing work" — verify the simulation by real execution
+// (internal/realrun, the toy coupled climate model). Each stage answers the
+// same question, "how long does this allocation take?", so the engine gives
+// them one signature:
+//
+//	Evaluate(app, cluster, alloc, opts) (Result, error)
+//
+// Backends:
+//
+//   - Model — the analytical estimate; exact (paper equations) for uniform
+//     groupings, throughput-based otherwise. Microseconds per call.
+//   - DES — the discrete-event executor; bit-for-bit deterministic given
+//     Options, including under task-duration jitter. Milliseconds per call.
+//   - realrun.Backend — real execution of the toy coupled model (lives in
+//     internal/realrun, which imports this package).
+//
+// The sweep runner (Sweep, Matrix, PerformanceVectors) fans a job matrix
+// across a worker pool while keeping results bit-identical to a serial run:
+// jobs carry their own deterministic seeds and results are collected by job
+// index, never by arrival order.
+package engine
+
+import (
+	"errors"
+
+	"oagrid/internal/core"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+	"oagrid/internal/trace"
+)
+
+// Options tunes an evaluation. The zero value reproduces the paper's setup:
+// least-advanced dispatch, no jitter, no tracing.
+type Options struct {
+	// Exec configures the event-driven executor (dispatch policy, jitter
+	// amplitude and seed, failure injection, tracing). The Model backend
+	// ignores it; realrun.Backend honours the parts that exist physically.
+	Exec exec.Options
+}
+
+// Result is the common run report of every backend. All durations are in
+// seconds of the evaluated schedule (virtual time for Model and DES, wall
+// clock for realrun). Fields a backend cannot measure are zero.
+type Result struct {
+	// Backend names the evaluator that produced the result.
+	Backend string
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// MainsDone is the completion time of the last main task.
+	MainsDone float64
+	// BusyProcSeconds accumulates processors × seconds of actual work.
+	BusyProcSeconds float64
+	// Utilization is BusyProcSeconds / (procs × Makespan).
+	Utilization float64
+	// RestartedMains counts main tasks lost to injected failures and re-run.
+	RestartedMains int
+	// Trace is non-nil when Options.Exec.RecordTrace was set and the backend
+	// records spans.
+	Trace *trace.Trace
+}
+
+// Evaluator is the pluggable backend interface: it measures (or models) the
+// makespan of one allocation on one cluster.
+type Evaluator interface {
+	// Name identifies the backend in artifacts and benchmark reports.
+	Name() string
+	// Evaluate runs app under alloc on the cluster. Implementations must be
+	// safe for concurrent use and deterministic for fixed inputs — Sweep
+	// relies on both.
+	Evaluate(app core.Application, cluster *platform.Cluster, alloc core.Allocation, opts Options) (Result, error)
+}
+
+// Model is the analytical backend: the paper's equations 1–5 for uniform
+// allocations with a dedicated post pool, the steady-state throughput bound
+// otherwise (the quantity the knapsack heuristic maximizes).
+type Model struct{}
+
+// Name implements Evaluator.
+func (Model) Name() string { return "model" }
+
+// Evaluate implements Evaluator.
+func (Model) Evaluate(app core.Application, cluster *platform.Cluster, alloc core.Allocation, _ Options) (Result, error) {
+	if cluster == nil {
+		return Result{}, errors.New("engine: nil cluster")
+	}
+	ms, err := core.EstimateEvaluator().Evaluate(app, cluster.Timing, cluster.Procs, alloc)
+	if err != nil {
+		return Result{}, err
+	}
+	// The analytical model folds the post drain into the makespan and does
+	// not separate the last main; report the makespan for both.
+	return Result{Backend: "model", Makespan: ms, MainsDone: ms}, nil
+}
+
+// DES is the event-driven backend, the ground truth the model is validated
+// against and the evaluator behind every figure of the paper.
+type DES struct{}
+
+// Name implements Evaluator.
+func (DES) Name() string { return "des" }
+
+// Evaluate implements Evaluator.
+func (DES) Evaluate(app core.Application, cluster *platform.Cluster, alloc core.Allocation, opts Options) (Result, error) {
+	if cluster == nil {
+		return Result{}, errors.New("engine: nil cluster")
+	}
+	res, err := exec.Run(app, cluster.Timing, cluster.Procs, alloc, opts.Exec)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Backend:         "des",
+		Makespan:        res.Makespan,
+		MainsDone:       res.MainsDone,
+		BusyProcSeconds: res.BusyProcSeconds,
+		Utilization:     res.Utilization,
+		RestartedMains:  res.RestartedMains,
+		Trace:           res.Trace,
+	}, nil
+}
+
+// Default returns the backend figures and the facade use unless told
+// otherwise: the event-driven executor.
+func Default() Evaluator { return DES{} }
+
+// Backends returns the in-process backends in cost order (realrun.Backend
+// needs a working directory and is constructed explicitly).
+func Backends() []Evaluator { return []Evaluator{Model{}, DES{}} }
+
+// ByName resolves "model" or "des".
+func ByName(name string) (Evaluator, error) {
+	for _, ev := range Backends() {
+		if ev.Name() == name {
+			return ev, nil
+		}
+	}
+	return nil, errors.New("engine: unknown backend " + name)
+}
+
+// CoreEvaluator adapts a backend to the low-level core.Evaluator interface
+// (timing + processor count instead of a cluster), which the DIET middleware
+// demo and core.PerformanceVector consume.
+func CoreEvaluator(ev Evaluator, opts Options) core.Evaluator {
+	return core.EvaluatorFunc(func(app core.Application, t platform.Timing, procs int, alloc core.Allocation) (float64, error) {
+		cl := &platform.Cluster{Name: "adhoc", Procs: procs, Timing: t}
+		res, err := ev.Evaluate(app, cl, alloc, opts)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	})
+}

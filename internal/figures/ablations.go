@@ -4,14 +4,23 @@ import (
 	"fmt"
 	"math"
 
+	"oagrid/internal/baseline"
 	"oagrid/internal/core"
+	"oagrid/internal/engine"
 	"oagrid/internal/exec"
 	"oagrid/internal/platform"
 	"oagrid/internal/stats"
 )
 
-// This file implements the ablation experiments A1–A4 of DESIGN.md — design
-// choices the paper fixes without comparison, explored here.
+// This file implements the ablation experiments A1–A5 of DESIGN.md — design
+// choices the paper fixes without comparison, explored here. Each ablation is
+// one engine.Sweep over a (cluster × heuristic × variant) matrix.
+
+// referenceSweep returns the shared single-cluster resource sweep: the
+// reference profile resized to each resource count, one copy per count.
+func referenceSweep(cfg Config, from int) []*platform.Cluster {
+	return rsweep(platform.ReferenceCluster(0), from, 120, cfg.RStep)
+}
 
 // AblationKnapsackValue (A1) compares the paper's knapsack value function
 // 1/T[g] against two alternatives on the reference cluster: the
@@ -22,8 +31,7 @@ import (
 // function.
 func AblationKnapsackValue(cfg Config) ([]*stats.Series, error) {
 	cfg = cfg.normalized()
-	ref := platform.ReferenceTiming()
-	ev := cfg.evaluator()
+	clusters := referenceSweep(cfg, 20)
 	variants := []struct {
 		label string
 		value func(g int, tg float64) float64
@@ -32,16 +40,30 @@ func AblationKnapsackValue(cfg Config) ([]*stats.Series, error) {
 		{"value-1/(gT)", func(g int, tg float64) float64 { return 1 / (float64(g) * tg) }},
 		{"value-1/(sqrt(g)T)", func(g int, tg float64) float64 { return 1 / (math.Sqrt(float64(g)) * tg) }},
 	}
+	// All three planners share the name "knapsack"; the per-variant PlanKey
+	// keeps their plan-cache entries apart inside the single sweep.
+	jobs := make([]engine.Job, 0, len(variants)*len(clusters))
+	for _, v := range variants {
+		h := core.Knapsack{Literal: true, Value: v.value}
+		for _, cl := range clusters {
+			jobs = append(jobs, engine.Job{
+				App:       cfg.App,
+				Cluster:   cl,
+				Heuristic: h,
+				Opts:      cfg.options(),
+				PlanKey:   v.label,
+			})
+		}
+	}
+	results := engine.Sweep(cfg.evaluator(), jobs, cfg.Workers)
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: knapsack-value ablation: %w", err)
+	}
 	series := make([]*stats.Series, len(variants))
 	for i, v := range variants {
 		series[i] = &stats.Series{Label: v.label}
-		for r := 20; r <= 120; r += cfg.RStep {
-			h := core.Knapsack{Literal: true, Value: v.value}
-			ms, err := makespanOn(cfg, ev, ref, r, h)
-			if err != nil {
-				return nil, fmt.Errorf("figures: knapsack-value ablation at R=%d: %w", r, err)
-			}
-			series[i].Add(float64(r), ms)
+		for ci, cl := range clusters {
+			series[i].Add(float64(cl.Procs), results[i*len(clusters)+ci].Result.Makespan)
 		}
 	}
 	return series, nil
@@ -52,20 +74,29 @@ func AblationKnapsackValue(cfg Config) ([]*stats.Series, error) {
 // motivated by fairness; this shows what it costs (or not) in makespan.
 func AblationFairness(cfg Config) ([]*stats.Series, error) {
 	cfg = cfg.normalized()
-	ref := platform.ReferenceTiming()
 	policies := []exec.Policy{exec.LeastAdvanced, exec.RoundRobin, exec.MostAdvanced}
+	m := engine.Matrix{
+		App:        cfg.App,
+		Clusters:   referenceSweep(cfg, 20),
+		Heuristics: []core.Heuristic{core.Knapsack{}},
+		Base:       cfg.options(),
+	}
+	for _, p := range policies {
+		m.Variants = append(m.Variants, engine.Variant{
+			Policy: p,
+			Jitter: cfg.Exec.Jitter,
+			Seed:   cfg.Exec.Seed,
+		})
+	}
+	results := engine.Sweep(cfg.evaluator(), m.Jobs(), cfg.Workers)
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: fairness ablation: %w", err)
+	}
 	series := make([]*stats.Series, len(policies))
-	for i, p := range policies {
-		series[i] = &stats.Series{Label: p.String()}
-		opt := cfg.Exec
-		opt.Policy = p
-		ev := exec.Evaluator(opt)
-		for r := 20; r <= 120; r += cfg.RStep {
-			ms, err := makespanOn(cfg, ev, ref, r, core.Knapsack{})
-			if err != nil {
-				return nil, fmt.Errorf("figures: fairness ablation at R=%d: %w", r, err)
-			}
-			series[i].Add(float64(r), ms)
+	for vi, p := range policies {
+		series[vi] = &stats.Series{Label: p.String()}
+		for ci, cl := range m.Clusters {
+			series[vi].Add(float64(cl.Procs), results[m.Index(ci, 0, vi)].Result.Makespan)
 		}
 	}
 	return series, nil
@@ -73,61 +104,122 @@ func AblationFairness(cfg Config) ([]*stats.Series, error) {
 
 // AblationModelError (A3) reports the relative error (percent) of the
 // analytical model (equations 1–5) against the event-driven executor for the
-// basic heuristic across the resource sweep.
+// basic heuristic across the resource sweep — the same job list evaluated on
+// both backends.
 func AblationModelError(cfg Config) (*stats.Series, error) {
 	cfg = cfg.normalized()
-	ref := platform.ReferenceTiming()
-	ev := exec.Evaluator(cfg.Exec)
+	m := engine.Matrix{
+		App:        cfg.App,
+		Clusters:   referenceSweep(cfg, 11),
+		Heuristics: []core.Heuristic{core.Basic{}},
+		Base:       cfg.options(),
+	}
+	jobs := m.Jobs()
+	sim := engine.Sweep(engine.DES{}, jobs, cfg.Workers)
+	if err := engine.FirstError(sim); err != nil {
+		return nil, err
+	}
+	// Evaluate the very allocations the executor ran on the model backend,
+	// so each cell is planned once and the two sweeps stay comparable.
+	model := engine.Sweep(engine.Model{}, allocJobs(jobs, sim), cfg.Workers)
+	if err := engine.FirstError(model); err != nil {
+		return nil, err
+	}
 	s := &stats.Series{Label: "model-error-%"}
-	for r := 11; r <= 120; r += cfg.RStep {
-		al, err := (core.Basic{}).Plan(cfg.App, ref, r)
-		if err != nil {
-			return nil, err
-		}
-		model, err := core.UniformEstimate(cfg.App, ref, r, al.Groups[0])
-		if err != nil {
-			return nil, err
-		}
-		sim, err := ev.Evaluate(cfg.App, ref, r, al)
-		if err != nil {
-			return nil, err
-		}
-		s.Add(float64(r), 100*math.Abs(model-sim)/sim)
+	for ci, cl := range m.Clusters {
+		i := m.Index(ci, 0, 0)
+		mms, sms := model[i].Result.Makespan, sim[i].Result.Makespan
+		s.Add(float64(cl.Procs), 100*math.Abs(mms-sms)/sms)
 	}
 	return s, nil
+}
+
+// allocJobs clones jobs with the allocations a previous sweep planned, so a
+// second backend re-evaluates identical plans without re-planning.
+func allocJobs(jobs []engine.Job, results []engine.JobResult) []engine.Job {
+	out := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		j.Heuristic = nil
+		j.PlanKey = ""
+		j.Alloc = results[i].Alloc
+		out[i] = j
+	}
+	return out
 }
 
 // AblationJitter (A4) recomputes the knapsack-vs-basic gain under increasing
 // task-duration jitter. Each series is one jitter amplitude; points carry
 // gains for several seeds, exposing how robust the 12%-class gains are to
-// run-time noise.
+// run-time noise. The full (amplitude × seed × R) matrix runs as one sweep.
 func AblationJitter(cfg Config, amplitudes []float64, seeds int) ([]*stats.Series, error) {
 	cfg = cfg.normalized()
 	if seeds <= 0 {
 		seeds = 3
 	}
-	ref := platform.ReferenceTiming()
+	m := engine.Matrix{
+		App:        cfg.App,
+		Clusters:   referenceSweep(cfg, 20),
+		Heuristics: []core.Heuristic{core.Basic{}, core.Knapsack{}},
+		Base:       cfg.options(),
+	}
+	for _, amp := range amplitudes {
+		for seed := 0; seed < seeds; seed++ {
+			m.Variants = append(m.Variants, engine.Variant{
+				Policy: cfg.Exec.Policy,
+				Jitter: amp,
+				Seed:   uint64(seed + 1),
+			})
+		}
+	}
+	results := engine.Sweep(cfg.evaluator(), m.Jobs(), cfg.Workers)
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: jitter ablation: %w", err)
+	}
 	series := make([]*stats.Series, len(amplitudes))
-	for i, amp := range amplitudes {
-		series[i] = &stats.Series{Label: fmt.Sprintf("jitter-%g%%", amp*100)}
-		for r := 20; r <= 120; r += cfg.RStep {
+	for ai, amp := range amplitudes {
+		series[ai] = &stats.Series{Label: fmt.Sprintf("jitter-%g%%", amp*100)}
+		for ci, cl := range m.Clusters {
 			var gains []float64
 			for seed := 0; seed < seeds; seed++ {
-				opt := cfg.Exec
-				opt.Jitter = amp
-				opt.Seed = uint64(seed + 1)
-				ev := exec.Evaluator(opt)
-				base, err := makespanOn(cfg, ev, ref, r, core.Basic{})
-				if err != nil {
-					return nil, err
-				}
-				kn, err := makespanOn(cfg, ev, ref, r, core.Knapsack{})
-				if err != nil {
-					return nil, err
-				}
+				vi := ai*seeds + seed
+				base := results[m.Index(ci, 0, vi)].Result.Makespan
+				kn := results[m.Index(ci, 1, vi)].Result.Makespan
 				gains = append(gains, stats.GainPercent(base, kn))
 			}
-			series[i].Add(float64(r), gains...)
+			series[ai].Add(float64(cl.Procs), gains...)
+		}
+	}
+	return series, nil
+}
+
+// AblationCPA (A5) pits the paper's heuristics against the related-work
+// baselines its §3 dismisses: the adapted CPA mixed-parallelism allotment
+// and the naive sequential-DAGs strategy (internal/baseline). It returns one
+// makespan series per planner on the reference cluster — the quantitative
+// version of "these heuristics are not applicable here".
+func AblationCPA(cfg Config) ([]*stats.Series, error) {
+	cfg = cfg.normalized()
+	planners := []core.Heuristic{
+		core.Basic{},
+		core.Knapsack{},
+		baseline.CPA{},
+		baseline.SequentialDAGs{},
+	}
+	m := engine.Matrix{
+		App:        cfg.App,
+		Clusters:   referenceSweep(cfg, 20),
+		Heuristics: planners,
+		Base:       cfg.options(),
+	}
+	results := engine.Sweep(cfg.evaluator(), m.Jobs(), cfg.Workers)
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: cpa ablation: %w", err)
+	}
+	series := make([]*stats.Series, len(planners))
+	for hi, h := range planners {
+		series[hi] = &stats.Series{Label: h.Name()}
+		for ci, cl := range m.Clusters {
+			series[hi].Add(float64(cl.Procs), results[m.Index(ci, hi, 0)].Result.Makespan)
 		}
 	}
 	return series, nil

@@ -2,14 +2,18 @@
 // series: Figure 7 (optimal groupings), Figure 8 (gains of the three improved
 // heuristics on one cluster) and Figure 10 (gains on a grid of 2–5 clusters
 // with Algorithm-1 repartition), plus the ablation experiments listed in
-// DESIGN.md. The command cmd/oabench prints these series as CSV and ASCII
-// plots; bench_test.go wraps each one in a testing.B benchmark.
+// DESIGN.md. Every measured point flows through internal/engine's batched
+// sweep runner, so figures parallelize across GOMAXPROCS workers while
+// staying bit-identical to a serial run. The command cmd/oabench prints
+// these series as CSV and ASCII plots; bench_test.go wraps each one in a
+// testing.B benchmark.
 package figures
 
 import (
 	"fmt"
 
 	"oagrid/internal/core"
+	"oagrid/internal/engine"
 	"oagrid/internal/exec"
 	"oagrid/internal/platform"
 	"oagrid/internal/stats"
@@ -29,6 +33,9 @@ type Config struct {
 	// UseEstimate switches the per-cluster makespan evaluation from the
 	// event-driven executor (ground truth, slower) to the analytical model.
 	UseEstimate bool
+	// Workers sizes the sweep worker pool; 0 uses GOMAXPROCS. Results are
+	// bit-identical whatever the value.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -46,12 +53,28 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// evaluator returns the configured makespan evaluator.
-func (c Config) evaluator() core.Evaluator {
+// evaluator returns the configured backend.
+func (c Config) evaluator() engine.Evaluator {
 	if c.UseEstimate {
-		return core.EstimateEvaluator()
+		return engine.Model{}
 	}
-	return exec.Evaluator(c.Exec)
+	return engine.DES{}
+}
+
+// options lifts the executor options into engine options.
+func (c Config) options() engine.Options {
+	return engine.Options{Exec: c.Exec}
+}
+
+// rsweep returns one resized copy per resource count of the sweep, sharing
+// each copy across heuristics and variants so the engine's plan cache and
+// timing memos apply.
+func rsweep(profile *platform.Cluster, from, to, step int) []*platform.Cluster {
+	var out []*platform.Cluster
+	for r := from; r <= to; r += step {
+		out = append(out, profile.WithProcs(r))
+	}
+	return out
 }
 
 // Figure7 computes the optimal grouping (the basic heuristic's G) for
@@ -59,7 +82,7 @@ func (c Config) evaluator() core.Evaluator {
 // The returned series maps R to G.
 func Figure7(cfg Config) (*stats.Series, error) {
 	cfg = cfg.normalized()
-	ref := platform.ReferenceTiming()
+	ref := engine.Memoize(platform.ReferenceTiming())
 	s := &stats.Series{Label: "best-grouping"}
 	for r := 11; r <= 120; r += cfg.RStep {
 		al, err := (core.Basic{}).Plan(cfg.App, ref, r)
@@ -71,34 +94,54 @@ func Figure7(cfg Config) (*stats.Series, error) {
 	return s, nil
 }
 
+// Figure8Matrix builds the Figure-8 job matrix: resource counts 20..120 on
+// the five cluster speed profiles, planned by the basic heuristic and its
+// three improvements. The determinism test and the engine benchmark reuse it
+// as the reference workload.
+func Figure8Matrix(cfg Config) engine.Matrix {
+	cfg = cfg.normalized()
+	var clusters []*platform.Cluster
+	for _, cl := range platform.FiveClusters() {
+		clusters = append(clusters, rsweep(cl, 20, 120, cfg.RStep)...)
+	}
+	return engine.Matrix{
+		App:        cfg.App,
+		Clusters:   clusters,
+		Heuristics: core.All(),
+		Base:       cfg.options(),
+	}
+}
+
 // Figure8 computes, for each resource count R in 20..120, the makespan gain
 // (percent) of each improved heuristic over the basic one, averaged over the
 // five cluster speed profiles — the paper's Figure 8 (three stacked panels:
 // Gain 1 = redistribute, Gain 2 = all-to-main, Gain 3 = knapsack). Each
 // series point carries the mean and the standard deviation over the five
-// profiles.
+// profiles. The whole matrix runs as one batched sweep.
 func Figure8(cfg Config) ([]*stats.Series, error) {
 	cfg = cfg.normalized()
-	profiles := platform.FiveClusters()
-	ev := cfg.evaluator()
+	m := Figure8Matrix(cfg)
+	results := engine.Sweep(cfg.evaluator(), m.Jobs(), cfg.Workers)
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("figures: figure 8: %w", err)
+	}
+	// The matrix nests clusters as (profile, R): profiles outer, R inner.
+	profiles := len(platform.FiveClusters())
+	rcount := len(m.Clusters) / profiles
 	improved := core.Improvements()
 	series := make([]*stats.Series, len(improved))
 	for i, h := range improved {
 		series[i] = &stats.Series{Label: "gain-" + h.Name()}
 	}
-	for r := 20; r <= 120; r += cfg.RStep {
+	for ri := 0; ri < rcount; ri++ {
+		r := m.Clusters[ri].Procs
 		gains := make([][]float64, len(improved))
-		for _, cl := range profiles {
-			base, err := makespanOn(cfg, ev, cl.Timing, r, core.Basic{})
-			if err != nil {
-				return nil, fmt.Errorf("figures: figure 8 at R=%d on %s: %w", r, cl.Name, err)
-			}
-			for i, h := range improved {
-				ms, err := makespanOn(cfg, ev, cl.Timing, r, h)
-				if err != nil {
-					return nil, fmt.Errorf("figures: figure 8 at R=%d on %s: %w", r, cl.Name, err)
-				}
-				gains[i] = append(gains[i], stats.GainPercent(base, ms))
+		for pi := 0; pi < profiles; pi++ {
+			ci := pi*rcount + ri
+			base := results[m.Index(ci, 0, 0)].Result.Makespan
+			for hi := range improved {
+				ms := results[m.Index(ci, hi+1, 0)].Result.Makespan
+				gains[hi] = append(gains[hi], stats.GainPercent(base, ms))
 			}
 		}
 		for i := range improved {
@@ -106,15 +149,6 @@ func Figure8(cfg Config) ([]*stats.Series, error) {
 		}
 	}
 	return series, nil
-}
-
-// makespanOn plans with h and evaluates the resulting allocation.
-func makespanOn(cfg Config, ev core.Evaluator, tm platform.Timing, procs int, h core.Heuristic) (float64, error) {
-	al, err := h.Plan(cfg.App, tm, procs)
-	if err != nil {
-		return 0, err
-	}
-	return ev.Evaluate(cfg.App, tm, procs, al)
 }
 
 // GridPoint is one Figure-10 configuration: k identical-size clusters drawn
@@ -139,7 +173,6 @@ type GridPoint struct {
 func Figure10(cfg Config, procsSweep []int) ([]*stats.Series, []GridPoint, error) {
 	cfg = cfg.normalized()
 	profiles := platform.FiveClusters()
-	ev := cfg.evaluator()
 	improved := core.Improvements()
 	series := make([]*stats.Series, len(improved))
 	for i, h := range improved {
@@ -148,7 +181,13 @@ func Figure10(cfg Config, procsSweep []int) ([]*stats.Series, []GridPoint, error
 	var points []GridPoint
 	for k := 2; k <= len(profiles); k++ {
 		for _, procs := range procsSweep {
-			base, err := gridMakespan(cfg, ev, profiles[:k], procs, core.Basic{})
+			// One resized cluster set per grid point, shared by all four
+			// heuristics' vector sweeps.
+			clusters := make([]*platform.Cluster, k)
+			for i, cl := range profiles[:k] {
+				clusters[i] = cl.WithProcs(procs)
+			}
+			base, err := gridMakespan(cfg, clusters, core.Basic{})
 			if err != nil {
 				return nil, nil, fmt.Errorf("figures: figure 10 k=%d R=%d: %w", k, procs, err)
 			}
@@ -158,7 +197,7 @@ func Figure10(cfg Config, procsSweep []int) ([]*stats.Series, []GridPoint, error
 				X:               float64(k) + float64(procs)/100,
 			}
 			for i, h := range improved {
-				ms, err := gridMakespan(cfg, ev, profiles[:k], procs, h)
+				ms, err := gridMakespan(cfg, clusters, h)
 				if err != nil {
 					return nil, nil, fmt.Errorf("figures: figure 10 k=%d R=%d: %w", k, procs, err)
 				}
@@ -173,15 +212,12 @@ func Figure10(cfg Config, procsSweep []int) ([]*stats.Series, []GridPoint, error
 }
 
 // gridMakespan runs the full Figure-9 pipeline for one heuristic: per-cluster
-// performance vectors, Algorithm-1 repartition, global makespan.
-func gridMakespan(cfg Config, ev core.Evaluator, clusters []*platform.Cluster, procs int, h core.Heuristic) (float64, error) {
-	perf := make([][]float64, len(clusters))
-	for i, cl := range clusters {
-		vec, err := core.PerformanceVector(cfg.App, cl.Timing, procs, h, ev)
-		if err != nil {
-			return 0, fmt.Errorf("cluster %s: %w", cl.Name, err)
-		}
-		perf[i] = vec
+// performance vectors (batched over the engine pool), Algorithm-1
+// repartition, global makespan.
+func gridMakespan(cfg Config, clusters []*platform.Cluster, h core.Heuristic) (float64, error) {
+	perf, err := engine.PerformanceVectors(cfg.evaluator(), cfg.App, clusters, h, cfg.options(), cfg.Workers)
+	if err != nil {
+		return 0, err
 	}
 	res, err := core.Repartition(perf)
 	if err != nil {

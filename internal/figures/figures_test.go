@@ -243,6 +243,50 @@ func TestAblationModelError(t *testing.T) {
 	}
 }
 
+func TestAblationCPA(t *testing.T) {
+	cfg := testConfig()
+	series, err := AblationCPA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("cpa ablation has %d series, want 4", len(series))
+	}
+	byLabel := map[string]int{}
+	for i, s := range series {
+		byLabel[s.Label] = i
+	}
+	for _, want := range []string{"basic", "knapsack", "cpa", "sequential-dags"} {
+		if _, ok := byLabel[want]; !ok {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+	// The paper's §3 argument, quantified. CPA's allotment ignores the NS
+	// concurrency cap, so knapsack must win on average and never lose by
+	// more than 2% (isolated finish-line effects can hand CPA a sliver at a
+	// lucky R, as with the value-function ablation). Sequential DAGs must
+	// collapse everywhere (one scenario at a time cannot exploit the
+	// cluster).
+	knap := series[byLabel["knapsack"]]
+	cpa := series[byLabel["cpa"]]
+	seq := series[byLabel["sequential-dags"]]
+	var sumKnap, sumCPA float64
+	for j, p := range knap.Points {
+		cpaMS := cpa.Points[j].Mean
+		sumKnap += p.Mean
+		sumCPA += cpaMS
+		if p.Mean > cpaMS*1.02 {
+			t.Errorf("at R=%g: knapsack %.0f worse than CPA %.0f by >2%%", p.X, p.Mean, cpaMS)
+		}
+		if seqMS := seq.Points[j].Mean; seqMS < p.Mean*1.5 {
+			t.Errorf("at R=%g: sequential DAGs %.0f did not collapse vs knapsack %.0f", p.X, seqMS, p.Mean)
+		}
+	}
+	if sumKnap >= sumCPA {
+		t.Errorf("knapsack does not beat CPA on average (%.0f vs %.0f)", sumKnap, sumCPA)
+	}
+}
+
 func TestAblationJitter(t *testing.T) {
 	cfg := testConfig()
 	cfg.RStep = 25

@@ -1,0 +1,71 @@
+package realrun
+
+import (
+	"oagrid/internal/climate/field"
+	"oagrid/internal/core"
+	"oagrid/internal/engine"
+	"oagrid/internal/platform"
+)
+
+// Backend adapts real execution to the engine.Evaluator interface, making
+// the live toy-model runner the third pluggable evaluator next to the
+// analytical model and the event-driven executor. Where those two report
+// virtual seconds, Backend reports measured wall-clock seconds — the paper's
+// "verify our simulations by real experiments" loop.
+//
+// A Backend is stateless between Evaluate calls; each call lays its scenario
+// directories out under Root. Keep workloads tiny (every month runs the real
+// coupled model) and give concurrent evaluations distinct roots.
+type Backend struct {
+	// Root is the experiment directory.
+	Root string
+	// AtmosGrid, OceanGrid and Days forward to the climate model (zero
+	// values use the package defaults; tests use coarse grids, short months).
+	AtmosGrid, OceanGrid field.Grid
+	Days                 int
+}
+
+var _ engine.Evaluator = Backend{}
+
+// Name implements engine.Evaluator.
+func (Backend) Name() string { return "realrun" }
+
+// Evaluate implements engine.Evaluator: it executes the allocation for real
+// and reports measured wall-clock durations in place of virtual time. The
+// cluster contributes its identity and the utilization denominator — the
+// real run's speed is the host machine's, not the profile's.
+func (b Backend) Evaluate(app core.Application, cluster *platform.Cluster, alloc core.Allocation, _ engine.Options) (engine.Result, error) {
+	res, err := Run(Config{
+		Root:      b.Root,
+		App:       app,
+		Alloc:     alloc,
+		AtmosGrid: b.AtmosGrid,
+		OceanGrid: b.OceanGrid,
+		Days:      b.Days,
+	})
+	if err != nil {
+		return engine.Result{}, err
+	}
+	out := engine.Result{
+		Backend:  "realrun",
+		Makespan: res.Wall.Seconds(),
+	}
+	// Busy time: each month occupied its group's processors for the main
+	// wall and one processor for the post wall, mirroring the simulator's
+	// BusyProcSeconds accounting.
+	for _, r := range res.Reports {
+		out.BusyProcSeconds += r.MainWall.Seconds() * float64(groupProcs(alloc.Groups[r.Group]))
+		out.BusyProcSeconds += r.PostWall.Seconds()
+	}
+	// Same convention as the DES backend: divide by the cluster's total
+	// processors so the two backends' Utilization is comparable; fall back
+	// to the allocation's claim when no cluster is given.
+	procs := alloc.UsedProcs()
+	if cluster != nil && cluster.Procs > 0 {
+		procs = cluster.Procs
+	}
+	if procs > 0 && out.Makespan > 0 {
+		out.Utilization = out.BusyProcSeconds / (float64(procs) * out.Makespan)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package realrun
+
+import (
+	"testing"
+
+	"oagrid/internal/climate/field"
+	"oagrid/internal/core"
+	"oagrid/internal/engine"
+	"oagrid/internal/platform"
+)
+
+// TestBackendImplementsEngineEvaluator runs a miniature experiment through
+// the engine interface and checks the wall-clock report is coherent.
+func TestBackendImplementsEngineEvaluator(t *testing.T) {
+	app := core.Application{Scenarios: 2, Months: 1}
+	cl := platform.ReferenceCluster(9)
+	alloc, err := (core.Knapsack{}).Plan(app, cl.Timing, cl.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev engine.Evaluator = Backend{
+		Root:      t.TempDir(),
+		AtmosGrid: field.Grid{NLat: 12, NLon: 24},
+		OceanGrid: field.Grid{NLat: 18, NLon: 36},
+		Days:      2,
+	}
+	res, err := ev.Evaluate(app, cl, alloc, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "realrun" {
+		t.Errorf("backend label %q", res.Backend)
+	}
+	if res.Makespan <= 0 {
+		t.Error("no wall-clock makespan")
+	}
+	if res.BusyProcSeconds <= 0 {
+		t.Error("no busy time accounted")
+	}
+	if res.Utilization <= 0 || res.Utilization > float64(alloc.UsedProcs()) {
+		t.Errorf("implausible utilization %g", res.Utilization)
+	}
+}
+
+// TestBackendInSweep drives the real backend through the sweep runner, the
+// same batched path the virtual backends use.
+func TestBackendInSweep(t *testing.T) {
+	app := core.Application{Scenarios: 1, Months: 1}
+	cl := platform.ReferenceCluster(6)
+	jobs := []engine.Job{{
+		App:       app,
+		Cluster:   cl,
+		Heuristic: core.Basic{},
+	}}
+	ev := Backend{
+		Root:      t.TempDir(),
+		AtmosGrid: field.Grid{NLat: 12, NLon: 24},
+		OceanGrid: field.Grid{NLat: 18, NLon: 36},
+		Days:      1,
+	}
+	results := engine.Sweep(ev, jobs, 1)
+	if err := engine.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Result.Makespan <= 0 {
+		t.Error("sweep through the real backend produced no makespan")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"oagrid/internal/core"
+	"oagrid/internal/engine"
 	"oagrid/internal/exec"
 	"oagrid/internal/platform"
 )
@@ -52,9 +53,31 @@ type (
 	Timing = platform.Timing
 	// Options tunes the executor (dispatch policy, jitter, tracing).
 	Options = exec.Options
-	// Result is an executor run report.
-	Result = exec.Result
+	// Result is an evaluation report (makespan, utilization, trace).
+	Result = engine.Result
+	// Evaluator is a pluggable makespan backend: the analytical model, the
+	// event-driven executor, or real execution (realrun.Backend).
+	Evaluator = engine.Evaluator
+	// SweepJob is one cell of a batched evaluation matrix.
+	SweepJob = engine.Job
+	// SweepResult is the outcome of one sweep job, stored at the job index.
+	SweepResult = engine.JobResult
 )
+
+// The in-process evaluator backends.
+var (
+	// ModelBackend evaluates with the analytical model (equations 1–5).
+	ModelBackend Evaluator = engine.Model{}
+	// DESBackend evaluates with the event-driven executor (ground truth).
+	DESBackend Evaluator = engine.DES{}
+)
+
+// Sweep fans the jobs across a worker pool (workers <= 0 uses GOMAXPROCS)
+// and returns results indexed like jobs — bit-identical to a serial run
+// whatever the worker count.
+func Sweep(ev Evaluator, jobs []SweepJob, workers int) []SweepResult {
+	return engine.Sweep(ev, jobs, workers)
+}
 
 // The four heuristics of the paper, in presentation order.
 var (
@@ -119,7 +142,16 @@ func Simulate(app Experiment, cluster *Cluster, alloc Allocation, opt Options) (
 	if err := cluster.Validate(); err != nil {
 		return Result{}, err
 	}
-	return exec.Run(app, cluster.Timing, cluster.Procs, alloc, opt)
+	return DESBackend.Evaluate(app, cluster, alloc, engine.Options{Exec: opt})
+}
+
+// Evaluate runs an allocation through any backend — the engine-level entry
+// the three evaluators share.
+func Evaluate(ev Evaluator, app Experiment, cluster *Cluster, alloc Allocation, opt Options) (Result, error) {
+	if err := cluster.Validate(); err != nil {
+		return Result{}, err
+	}
+	return ev.Evaluate(app, cluster, alloc, engine.Options{Exec: opt})
 }
 
 // GridPlan is the outcome of distributing an experiment over a grid.
@@ -145,19 +177,17 @@ func Distribute(app Experiment, grid *Grid, h Heuristic, opt Options) (*GridPlan
 	if grid == nil || len(grid.Clusters) == 0 {
 		return nil, fmt.Errorf("oagrid: empty grid")
 	}
-	ev := exec.Evaluator(opt)
 	plan := &GridPlan{
 		Clusters:    grid.Names(),
-		Vectors:     make([][]float64, len(grid.Clusters)),
 		Allocations: make([]Allocation, len(grid.Clusters)),
 	}
-	for i, cl := range grid.Clusters {
-		vec, err := core.PerformanceVector(app, cl.Timing, cl.Procs, h, ev)
-		if err != nil {
-			return nil, fmt.Errorf("oagrid: cluster %s: %w", cl.Name, err)
-		}
-		plan.Vectors[i] = vec
+	// One batched sweep computes every cluster's performance vector over the
+	// engine worker pool.
+	vecs, err := engine.PerformanceVectors(DESBackend, app, grid.Clusters, h, engine.Options{Exec: opt}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("oagrid: %w", err)
 	}
+	plan.Vectors = vecs
 	rep, err := core.Repartition(plan.Vectors)
 	if err != nil {
 		return nil, err
@@ -180,19 +210,21 @@ func Distribute(app Experiment, grid *Grid, h Heuristic, opt Options) (*GridPlan
 
 // Compare plans and simulates every heuristic on one cluster and returns the
 // makespans keyed by heuristic name — the experiment behind the paper's
-// Figure 8 at a single resource count.
+// Figure 8 at a single resource count. The four evaluations run as one
+// batched sweep.
 func Compare(app Experiment, cluster *Cluster, opt Options) (map[string]float64, error) {
-	out := make(map[string]float64, 4)
-	for _, h := range Heuristics() {
-		alloc, err := Plan(h, app, cluster)
-		if err != nil {
-			return nil, fmt.Errorf("oagrid: %s: %w", h.Name(), err)
+	hs := Heuristics()
+	jobs := make([]SweepJob, len(hs))
+	for i, h := range hs {
+		jobs[i] = SweepJob{App: app, Cluster: cluster, Heuristic: h, Opts: engine.Options{Exec: opt}}
+	}
+	results := Sweep(DESBackend, jobs, 0)
+	out := make(map[string]float64, len(hs))
+	for i, h := range hs {
+		if results[i].Err != nil {
+			return nil, fmt.Errorf("oagrid: %s: %w", h.Name(), results[i].Err)
 		}
-		res, err := Simulate(app, cluster, alloc, opt)
-		if err != nil {
-			return nil, fmt.Errorf("oagrid: %s: %w", h.Name(), err)
-		}
-		out[h.Name()] = res.Makespan
+		out[h.Name()] = results[i].Result.Makespan
 	}
 	return out, nil
 }
