@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The bench-regression gate compares the artifacts of the current run —
+// BENCH_engine.json from `oabench -fig engine` and BENCH_grid.json from
+// `oaload` — against the committed BENCH_baseline.json and fails (exit 1)
+// on a throughput regression beyond the tolerance. It also re-asserts the
+// correctness bits both artifacts carry: a run that got faster by dropping
+// bit-identical results does not pass.
+
+// baseline is the committed BENCH_baseline.json schema. Floors are absolute
+// throughputs: set them conservatively below the reference machine's
+// measurement so hardware variance does not trip the gate, and let the
+// tolerance catch real regressions from there.
+type baseline struct {
+	Note      string  `json:"note"`
+	Tolerance float64 `json:"tolerance"`
+	Engine    struct {
+		// JobsPerSec maps backend name to its parallel sweep throughput floor.
+		JobsPerSec map[string]float64 `json:"jobs_per_sec"`
+	} `json:"engine"`
+	Grid struct {
+		ThroughputCPS float64 `json:"throughput_cps"`
+	} `json:"grid"`
+}
+
+// gateEngine mirrors the BENCH_engine.json fields the gate reads.
+type gateEngine struct {
+	Backends []struct {
+		Backend         string  `json:"backend"`
+		Jobs            int     `json:"jobs"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		BitIdentical    bool    `json:"bit_identical"`
+	} `json:"backends"`
+}
+
+// gateGrid mirrors the BENCH_grid.json fields the gate reads.
+type gateGrid struct {
+	Campaigns     int     `json:"campaigns"`
+	Completed     int     `json:"completed"`
+	ThroughputCPS float64 `json:"throughput_cps"`
+	Verified      bool    `json:"verified_bit_identical"`
+	SeDKilled     bool    `json:"sed_killed"`
+}
+
+func runGate(basePath, enginePath, gridPath string, tolerance float64) {
+	var base baseline
+	readJSON(basePath, &base)
+	if tolerance <= 0 {
+		tolerance = base.Tolerance
+	}
+	if tolerance <= 0 {
+		tolerance = 0.20
+	}
+	fmt.Printf("== Bench-regression gate: tolerance %.0f%% against %s ==\n", tolerance*100, basePath)
+	if base.Note != "" {
+		fmt.Printf("baseline note: %s\n", base.Note)
+	}
+
+	failed := false
+	check := func(name string, current, floor float64) {
+		limit := floor * (1 - tolerance)
+		verdict := "ok"
+		if current < limit {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s current %10.1f   baseline %10.1f   limit %10.1f   %s\n",
+			name, current, floor, limit, verdict)
+	}
+
+	if enginePath != "" {
+		var eng gateEngine
+		readJSON(enginePath, &eng)
+		for _, b := range eng.Backends {
+			if !b.BitIdentical {
+				fmt.Printf("%-28s parallel sweep NOT bit-identical to serial\n", "engine/"+b.Backend)
+				failed = true
+			}
+			floor, ok := base.Engine.JobsPerSec[b.Backend]
+			if !ok || floor <= 0 {
+				continue
+			}
+			current := 0.0
+			if b.ParallelSeconds > 0 {
+				current = float64(b.Jobs) / b.ParallelSeconds
+			}
+			check("engine/"+b.Backend+" jobs/s", current, floor)
+		}
+	}
+
+	if gridPath != "" {
+		var g gateGrid
+		readJSON(gridPath, &g)
+		if g.Completed != g.Campaigns {
+			fmt.Printf("%-28s %d/%d campaigns completed\n", "grid/completion", g.Completed, g.Campaigns)
+			failed = true
+		}
+		if !g.Verified {
+			fmt.Printf("%-28s campaign reports not verified bit-identical\n", "grid/verification")
+			failed = true
+		}
+		if base.Grid.ThroughputCPS > 0 {
+			check("grid campaigns/s", g.ThroughputCPS, base.Grid.ThroughputCPS)
+		}
+	}
+
+	if failed {
+		fmt.Println("gate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("gate: ok")
+}
+
+func readJSON(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+}

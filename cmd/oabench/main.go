@@ -9,6 +9,12 @@
 //	oabench -fig ablations           # the DESIGN.md ablation experiments
 //	oabench -fig engine              # serial-vs-parallel engine benchmark
 //	                                 # (writes BENCH_engine.json)
+//	oabench -gate BENCH_baseline.json
+//	                                 # CI bench-regression gate: compare the
+//	                                 # current BENCH_engine.json + BENCH_grid.json
+//	                                 # against the committed baseline, exit 1 on
+//	                                 # >20% throughput regression or any lost
+//	                                 # bit-identical verification
 //
 // Figure numbering follows the paper: 1 (task-duration calibration from the
 // toy coupled model), 7 (optimal groupings), 8 (single-cluster gains),
@@ -38,8 +44,18 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write CSV series into (optional)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_engine.json", "path of the engine benchmark artifact (empty = skip writing)")
+
+		gate       = flag.String("gate", "", "bench-regression gate: path of the committed BENCH_baseline.json (runs the gate instead of figures)")
+		engineJSON = flag.String("engine-json", "BENCH_engine.json", "current engine artifact for -gate (empty = skip)")
+		gridJSON   = flag.String("grid-json", "BENCH_grid.json", "current grid load artifact for -gate (empty = skip)")
+		tolerance  = flag.Float64("tolerance", 0, "allowed throughput regression for -gate (0 = baseline's, else 20%)")
 	)
 	flag.Parse()
+
+	if *gate != "" {
+		runGate(*gate, *engineJSON, *gridJSON, *tolerance)
+		return
+	}
 
 	cfg := figures.DefaultConfig()
 	if *full {

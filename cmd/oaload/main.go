@@ -1,0 +1,313 @@
+// Command oaload is the load injector for the grid scheduler daemon: it
+// fires N concurrent simulation campaigns at a live daemon with Poisson,
+// bursty or uniform arrival patterns, optionally kills a SeD mid-run, and
+// reports service metrics (throughput, p50/p95/p99 latency, queue depth) as
+// BENCH_grid.json — the artifact the CI bench-regression gate compares.
+//
+// Usage:
+//
+//	oaload                                  # self-hosted smoke: daemon + 3 SeDs in-process
+//	oaload -campaigns 50 -arrival poisson -rate 40
+//	oaload -arrival burst -burst 10 -gap 100ms
+//	oaload -kill 0.3                        # kill one SeD after 30% of submissions
+//	oaload -addr 127.0.0.1:7714             # drive an external daemon (-kill/-verify off)
+//
+// Without -addr the injector starts its own scheduler and SeDs on loopback
+// ports, which is also the hostile mode: -kill closes one daemon mid-run and
+// -verify (default on) checks every chunk report bit-for-bit against a
+// serial in-process evaluation of the same (cluster, scenario count).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+	"oagrid/internal/grid"
+)
+
+// loadReport is the BENCH_grid.json schema.
+type loadReport struct {
+	Campaigns     int     `json:"campaigns"`
+	Arrival       string  `json:"arrival"`
+	RatePerSec    float64 `json:"rate_per_sec"`
+	Burst         int     `json:"burst,omitempty"`
+	Scenarios     int     `json:"scenarios"`
+	Months        int     `json:"months"`
+	Heuristic     string  `json:"heuristic"`
+	SeDs          int     `json:"seds"`
+	SeDKilled     bool    `json:"sed_killed"`
+	Seed          int64   `json:"seed"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Completed     int     `json:"completed"`
+	Rejections    int     `json:"rejections"`
+	Requeues      uint64  `json:"requeues"`
+	Evictions     uint64  `json:"evictions"`
+	Verified      bool    `json:"verified_bit_identical"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputCPS float64 `json:"throughput_cps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "daemon address (empty = self-hosted daemon + SeDs)")
+		campaigns = flag.Int("campaigns", 50, "campaigns to inject")
+		arrival   = flag.String("arrival", "poisson", "arrival pattern: poisson, burst or uniform")
+		rate      = flag.Float64("rate", 50, "mean arrival rate in campaigns/second (poisson, uniform)")
+		burst     = flag.Int("burst", 10, "campaigns per burst (burst pattern)")
+		gap       = flag.Duration("gap", 100*time.Millisecond, "pause between bursts (burst pattern)")
+		ns        = flag.Int("ns", 4, "scenarios per campaign")
+		months    = flag.Int("months", 12, "months per scenario")
+		heuristic = flag.String("heuristic", core.NameKnapsack, "planning heuristic")
+		kill      = flag.Float64("kill", 0, "kill one SeD after this fraction of submissions (self-hosted only, 0 = never)")
+		verify    = flag.Bool("verify", true, "check reports bit-for-bit against serial evaluation (self-hosted only)")
+		seds      = flag.Int("seds", 3, "in-process SeDs (self-hosted only)")
+		cprocs    = flag.Int("cprocs", 30, "processors per in-process SeD cluster")
+		queueCap  = flag.Int("queue", 64, "daemon queue bound (self-hosted only)")
+		inflight  = flag.Int("inflight", 4, "per-SeD in-flight limit (self-hosted only)")
+		seed      = flag.Int64("seed", 1, "arrival-schedule random seed")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-campaign client deadline")
+		out       = flag.String("out", "BENCH_grid.json", "benchmark artifact path (empty = skip writing)")
+	)
+	flag.Parse()
+
+	app := core.Application{Scenarios: *ns, Months: *months}
+	if err := app.Validate(); err != nil {
+		fail(err)
+	}
+
+	report := loadReport{
+		Campaigns:  *campaigns,
+		Arrival:    *arrival,
+		RatePerSec: *rate,
+		Scenarios:  *ns,
+		Months:     *months,
+		Heuristic:  *heuristic,
+		SeDs:       *seds,
+		Seed:       *seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if *arrival == "burst" {
+		report.Burst = *burst
+	}
+
+	// Self-hosted fabric unless pointed at an external daemon.
+	target := *addr
+	var fabric *grid.Fabric
+	if target == "" {
+		var err error
+		fabric, err = grid.StartFabric(grid.Config{
+			Addr:           "127.0.0.1:0",
+			QueueCap:       *queueCap,
+			PerSeDInFlight: *inflight,
+			EvictAfter:     time.Second,
+		}, *seds, *cprocs, 100*time.Millisecond)
+		if err != nil {
+			fail(err)
+		}
+		defer fabric.Close()
+		*seds = len(fabric.SeDs)
+		report.SeDs = *seds
+		target = fabric.Sched.Addr()
+		if err := fabric.WaitAlive(*seds, 5*time.Second); err != nil {
+			fail(err)
+		}
+	} else if *kill > 0 || *verify {
+		fmt.Fprintln(os.Stderr, "oaload: -kill and -verify need the self-hosted fabric; disabled against an external daemon")
+		*kill, *verify = 0, false
+	}
+
+	arrivals, err := schedule(*arrival, *campaigns, *rate, *burst, *gap, *seed)
+	if err != nil {
+		fail(err)
+	}
+	killAt := -1
+	if *kill > 0 && fabric != nil && len(fabric.SeDs) > 1 {
+		killAt = int(*kill * float64(*campaigns))
+		if killAt >= *campaigns {
+			killAt = *campaigns - 1
+		}
+	}
+
+	fmt.Printf("== oaload: %d campaigns (NS=%d, NM=%d, %s), %s arrivals against %s ==\n",
+		*campaigns, *ns, *months, *heuristic, *arrival, target)
+
+	var killOnce sync.Once
+	latencies := make([]time.Duration, *campaigns)
+	rejections := make([]int, *campaigns)
+	errs := make([]error, *campaigns)
+	results := make([]*diet.CampaignResult, *campaigns)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *campaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Until(start.Add(arrivals[i])))
+			if i == killAt {
+				killOnce.Do(func() {
+					// The first profile is the fastest cluster: it always
+					// holds the largest scenario share, so its death is
+					// guaranteed to cost requeues, not just an eviction.
+					victim := fabric.SeDs[0]
+					fmt.Printf("-- killing SeD %s at campaign %d --\n", victim.Addr(), i)
+					victim.Close()
+					report.SeDKilled = true
+				})
+			}
+			t0 := time.Now()
+			client := &grid.Client{Addr: target, Timeout: *timeout}
+			res, rej, err := client.RunRetry(app, *heuristic, 5*time.Millisecond, t0.Add(*timeout))
+			latencies[i] = time.Since(t0)
+			rejections[i] = rej
+			results[i], errs[i] = res, err
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	completed := 0
+	for i, err := range errs {
+		if err != nil {
+			fail(fmt.Errorf("campaign %d: %w", i, err))
+		}
+		completed++
+		report.Rejections += rejections[i]
+	}
+	report.Completed = completed
+	report.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		report.ThroughputCPS = float64(completed) / wall.Seconds()
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	report.P50Ms = percentileMs(sorted, 50)
+	report.P95Ms = percentileMs(sorted, 95)
+	report.P99Ms = percentileMs(sorted, 99)
+
+	if stats, err := (&grid.Client{Addr: target}).Stats(); err == nil {
+		report.MaxQueueDepth = stats.MaxQueueDepth
+		report.Requeues = stats.Requeues
+		report.Evictions = stats.Evicted
+	}
+
+	if *verify {
+		if err := verifyAll(fabric, app, *heuristic, results); err != nil {
+			fail(err)
+		}
+		report.Verified = true
+	}
+
+	fmt.Printf("completed %d/%d in %.3fs  throughput %.1f campaigns/s\n",
+		completed, *campaigns, report.WallSeconds, report.ThroughputCPS)
+	fmt.Printf("latency p50 %.1fms  p95 %.1fms  p99 %.1fms   max queue depth %d  rejections %d  requeues %d\n",
+		report.P50Ms, report.P95Ms, report.P99Ms, report.MaxQueueDepth, report.Rejections, report.Requeues)
+	if report.Verified {
+		fmt.Println("verification: every chunk report bit-identical to serial evaluation")
+	}
+
+	if *out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// schedule precomputes the deterministic arrival offsets of every campaign.
+func schedule(pattern string, n int, rate float64, burst int, gap time.Duration, seed int64) ([]time.Duration, error) {
+	if n <= 0 {
+		return nil, errors.New("oaload: need at least one campaign")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	switch pattern {
+	case "poisson":
+		if rate <= 0 {
+			return nil, errors.New("oaload: poisson arrivals need -rate > 0")
+		}
+		t := 0.0
+		for i := range out {
+			t += rng.ExpFloat64() / rate
+			out[i] = time.Duration(t * float64(time.Second))
+		}
+	case "uniform":
+		if rate <= 0 {
+			return nil, errors.New("oaload: uniform arrivals need -rate > 0")
+		}
+		step := time.Duration(float64(time.Second) / rate)
+		for i := range out {
+			out[i] = time.Duration(i) * step
+		}
+	case "burst":
+		if burst <= 0 {
+			return nil, errors.New("oaload: burst arrivals need -burst > 0")
+		}
+		for i := range out {
+			out[i] = time.Duration(i/burst) * gap
+		}
+	default:
+		return nil, fmt.Errorf("oaload: unknown arrival pattern %q (want poisson, burst or uniform)", pattern)
+	}
+	return out, nil
+}
+
+// percentileMs picks the nearest-rank percentile from ascending latencies.
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return float64(sorted[rank]) / float64(time.Millisecond)
+}
+
+// verifyAll re-evaluates every chunk report serially in-process through
+// grid.Verifier and demands bit-identical makespans — the service must be
+// an exact distributed replay of engine.Evaluate, even across
+// failure-driven requeues.
+func verifyAll(fabric *grid.Fabric, app core.Application, heuristic string, results []*diet.CampaignResult) error {
+	v, err := grid.NewVerifier(fabric.Clusters, heuristic)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if err := v.Verify(app, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "oaload:", err)
+	os.Exit(1)
+}

@@ -1,25 +1,37 @@
 // Command oarun drives the toy coupled climate model directly: it runs the
 // six-task monthly pipeline (caif, mp, pcr, cof, emi, cd) for a scenario,
 // calibrates the Figure-1 task-duration table across the moldable processor
-// range, or executes a whole scheduled mini-ensemble for real (the paper's
-// "verify our simulations by real experiments").
+// range, executes a whole scheduled mini-ensemble for real (the paper's
+// "verify our simulations by real experiments"), or serves as the grid's
+// long-running scheduler daemon.
 //
 // Usage:
 //
 //	oarun -months 3 -scenario 2 -procs 8 -dir /tmp/oa   # run a chain
 //	oarun -calibrate                                    # Figure-1 table
 //	oarun -schedule -ns 3 -months 2 -r 20               # realrun an ensemble
+//	oarun -daemon -addr 127.0.0.1:7714 -seds 3          # scheduler daemon
+//
+// Daemon mode starts an internal/grid scheduler on -addr and, when -seds is
+// positive, that many in-process SeDs (the paper's five Grid'5000 cluster
+// profiles, -cprocs processors each) registered against it with heartbeats.
+// External SeDs can join at any time by heartbeating the same address.
+// Submit campaigns with cmd/oaload or internal/grid.Client; stop with ^C.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"oagrid/internal/climate/field"
 	"oagrid/internal/climate/pipeline"
 	"oagrid/internal/core"
 	"oagrid/internal/figures"
+	"oagrid/internal/grid"
 	"oagrid/internal/platform"
 	"oagrid/internal/realrun"
 )
@@ -36,8 +48,23 @@ func main() {
 		schedule  = flag.Bool("schedule", false, "plan with the knapsack heuristic and execute the ensemble for real")
 		ns        = flag.Int("ns", 3, "scenarios for -schedule")
 		r         = flag.Int("r", 20, "cluster processors for -schedule")
+
+		daemon   = flag.Bool("daemon", false, "run the online grid scheduler daemon")
+		addr     = flag.String("addr", "127.0.0.1:7714", "daemon listen address")
+		seds     = flag.Int("seds", 3, "in-process SeDs to start for the daemon (0 = external SeDs only)")
+		cprocs   = flag.Int("cprocs", 30, "processors per in-process SeD cluster")
+		queueCap = flag.Int("queue", 64, "daemon campaign queue bound (admission control)")
+		inflight = flag.Int("inflight", 4, "daemon per-SeD in-flight request limit")
+		dispatch = flag.Int("dispatchers", 4, "daemon concurrent campaign dispatchers")
+		hbEvery  = flag.Duration("hb", 500*time.Millisecond, "SeD heartbeat interval")
+		evict    = flag.Duration("evict", 3*time.Second, "daemon heartbeat eviction deadline")
 	)
 	flag.Parse()
+
+	if *daemon {
+		runDaemon(*addr, *seds, *cprocs, *queueCap, *inflight, *dispatch, *hbEvery, *evict)
+		return
+	}
 
 	atmos, ocean := field.Grid{NLat: 24, NLon: 48}, field.Grid{NLat: 36, NLon: 72}
 	if *big {
@@ -115,6 +142,50 @@ func main() {
 			tt.COF.Round(1e6), tt.EMI.Round(1e6), tt.CD.Round(1e6))
 	}
 	fmt.Printf("outputs in %s\n", cfg.Dir())
+}
+
+// runDaemon serves the online scheduler until SIGINT/SIGTERM, printing a
+// stats line every few seconds.
+func runDaemon(addr string, seds, cprocs, queueCap, inflight, dispatchers int, hbEvery, evict time.Duration) {
+	fabric, err := grid.StartFabric(grid.Config{
+		Addr:           addr,
+		QueueCap:       queueCap,
+		Dispatchers:    dispatchers,
+		PerSeDInFlight: inflight,
+		EvictAfter:     evict,
+	}, seds, cprocs, hbEvery)
+	if err != nil {
+		fail(err)
+	}
+	defer fabric.Close()
+	sched := fabric.Sched
+	fmt.Printf("scheduler daemon listening on %s (queue %d, %d dispatchers, %d in-flight/SeD)\n",
+		sched.Addr(), queueCap, dispatchers, inflight)
+	for _, sed := range fabric.SeDs {
+		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nshutting down")
+			return
+		case <-tick.C:
+			st := sched.Stats()
+			alive := 0
+			for _, sd := range st.SeDs {
+				if sd.Alive {
+					alive++
+				}
+			}
+			fmt.Printf("queue %d (max %d)  running %d  done %d  failed %d  rejected %d  requeues %d  seds %d/%d alive\n",
+				st.QueueDepth, st.MaxQueueDepth, st.Running, st.Completed, st.Failed, st.Rejected, st.Requeues, alive, len(st.SeDs))
+		}
+	}
 }
 
 func fail(err error) {

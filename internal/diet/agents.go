@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"oagrid/internal/core"
+	"oagrid/internal/engine"
 	"oagrid/internal/exec"
 	"oagrid/internal/platform"
 )
@@ -36,7 +39,9 @@ func (ma *MasterAgent) Addr() string { return ma.ln.Addr().String() }
 // Close stops the agent.
 func (ma *MasterAgent) Close() error { return ma.ln.Close() }
 
-// SeDs returns the registered daemons.
+// SeDs returns a snapshot of the registered daemons. The slice is a copy
+// taken under the mutex: callers may range over it while other SeDs keep
+// registering concurrently without racing the registry's internal slice.
 func (ma *MasterAgent) SeDs() []SeDInfo {
 	ma.mu.Lock()
 	defer ma.mu.Unlock()
@@ -77,6 +82,11 @@ type SeD struct {
 	cluster *platform.Cluster
 	opts    exec.Options
 	ln      net.Listener
+
+	inFlight int64 // gauge of requests currently being served
+
+	hbMu   sync.Mutex
+	hbStop chan struct{}
 }
 
 // StartSeD listens on addr and serves the cluster.
@@ -96,8 +106,65 @@ func StartSeD(addr string, cluster *platform.Cluster, opts exec.Options) (*SeD, 
 // Addr returns the daemon's listen address.
 func (s *SeD) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the daemon.
-func (s *SeD) Close() error { return s.ln.Close() }
+// Close stops the daemon and its heartbeat loop.
+func (s *SeD) Close() error {
+	s.StopHeartbeats()
+	return s.ln.Close()
+}
+
+// Cluster returns the served cluster.
+func (s *SeD) Cluster() *platform.Cluster { return s.cluster }
+
+// InFlight reports how many requests the daemon is serving right now.
+func (s *SeD) InFlight() int { return int(atomic.LoadInt64(&s.inFlight)) }
+
+// StartHeartbeats begins beaconing liveness to the scheduler at addr every
+// interval. A beat carries the registration payload, so the first one — and
+// any beat after an eviction — (re)registers the daemon. Successive calls
+// replace the previous loop.
+func (s *SeD) StartHeartbeats(schedAddr string, every time.Duration) {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+	}
+	stop := make(chan struct{})
+	s.hbStop = stop
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			s.beat(schedAddr)
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// StopHeartbeats halts the heartbeat loop, simulating a silent daemon death
+// for the scheduler's eviction logic (also called by Close).
+func (s *SeD) StopHeartbeats() {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+		s.hbStop = nil
+	}
+}
+
+// beat sends one heartbeat; delivery is best-effort, the scheduler's
+// deadline eviction handles sustained silence.
+func (s *SeD) beat(schedAddr string) {
+	_, _ = roundTrip(schedAddr, &Request{Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+		Cluster:  s.cluster.Name,
+		Addr:     s.Addr(),
+		Procs:    s.cluster.Procs,
+		InFlight: s.InFlight(),
+	}})
+}
 
 // RegisterWith announces the daemon to a master agent.
 func (s *SeD) RegisterWith(maAddr string) error {
@@ -116,6 +183,8 @@ func (s *SeD) RegisterWith(maAddr string) error {
 }
 
 func (s *SeD) handle(req *Request) *Response {
+	atomic.AddInt64(&s.inFlight, 1)
+	defer atomic.AddInt64(&s.inFlight, -1)
 	switch req.Kind {
 	case KindPerf:
 		return s.handlePerf(req.Perf)
@@ -134,8 +203,12 @@ func (s *SeD) handlePerf(req *PerfRequest) *Response {
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
+	// One perf request is NS plan+evaluate jobs (k = 1..NS); answer it as a
+	// single batched engine.Sweep so the plan cache and memoized timing are
+	// shared across the k values. The sweep is bit-identical to the serial
+	// loop it replaced, whatever the worker count.
 	app := core.Application{Scenarios: req.Scenarios, Months: req.Months}
-	vec, err := core.PerformanceVector(app, s.cluster.Timing, s.cluster.Procs, h, exec.Evaluator(s.opts))
+	vec, err := engine.PerformanceVector(engine.DES{}, app, s.cluster, h, engine.Options{Exec: s.opts}, 0)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}

@@ -3,6 +3,7 @@ package diet
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"oagrid/internal/core"
@@ -176,6 +177,58 @@ func TestUnknownHeuristicRejectedRemotely(t *testing.T) {
 	_, err := (&Client{MAAddr: ma.Addr()}).Submit(core.Application{Scenarios: 2, Months: 4}, "nope")
 	if err == nil || !strings.Contains(err.Error(), "unknown heuristic") {
 		t.Fatalf("unknown heuristic not rejected: %v", err)
+	}
+}
+
+// TestConcurrentRegistrationAndListing hammers the registry from many
+// goroutines while readers iterate the SeD table. SeDs() must hand out a
+// copy taken under the mutex: under `go test -race` this test fails if the
+// registry ever leaks its internal slice to a reader.
+func TestConcurrentRegistrationAndListing(t *testing.T) {
+	ma, err := StartMasterAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ma.Close()
+
+	clusters := platform.FiveClusters()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				for _, cl := range clusters {
+					_, err := roundTrip(ma.Addr(), &Request{Kind: KindRegister, Register: &RegisterRequest{
+						Cluster: cl.Name,
+						Addr:    "127.0.0.1:1",
+						Procs:   10 + i + round,
+					}})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for _, info := range ma.SeDs() {
+					if info.Cluster == "" || info.Procs < 10 {
+						t.Errorf("torn SeD entry %+v", info)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(ma.SeDs()); got != len(clusters) {
+		t.Fatalf("registry holds %d entries after churn, want %d", got, len(clusters))
 	}
 }
 

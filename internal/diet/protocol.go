@@ -30,24 +30,41 @@ const (
 	KindList     = "list"
 	KindPerf     = "perf"
 	KindExec     = "exec"
+
+	// Online-scheduler kinds (served by internal/grid.Scheduler).
+	KindHeartbeat = "heartbeat"
+	KindSubmit    = "submit"
+	KindResult    = "result"
+	KindStats     = "stats"
 )
 
 // Request is the envelope every connection carries exactly one of.
 type Request struct {
-	Kind     string
-	Register *RegisterRequest
-	List     *ListRequest
-	Perf     *PerfRequest
-	Exec     *ExecRequest
+	Kind      string
+	Register  *RegisterRequest
+	List      *ListRequest
+	Perf      *PerfRequest
+	Exec      *ExecRequest
+	Heartbeat *HeartbeatRequest
+	Submit    *SubmitRequest
+	Result    *ResultRequest
+	Stats     *StatsRequest
 }
 
-// Response is the reply envelope.
+// Response is the reply envelope. A Submit connection with Wait set is the
+// one place the protocol streams: the scheduler writes a Submit frame
+// (admission verdict) and, once the campaign finishes, a Result frame on the
+// same connection.
 type Response struct {
-	Err      string
-	Register *RegisterResponse
-	List     *ListResponse
-	Perf     *PerfResponse
-	Exec     *ExecResponse
+	Err       string
+	Register  *RegisterResponse
+	List      *ListResponse
+	Perf      *PerfResponse
+	Exec      *ExecResponse
+	Heartbeat *HeartbeatResponse
+	Submit    *SubmitResponse
+	Result    *CampaignResult
+	Stats     *StatsResponse
 }
 
 // RegisterRequest is a SeD announcing itself to the master agent.
@@ -103,17 +120,124 @@ type ExecResponse struct {
 	Scenarios  int
 }
 
+// HeartbeatRequest is a SeD's liveness beacon to the scheduler. It carries
+// the full registration payload so a beat from an unknown — or evicted —
+// daemon re-registers it: a SeD that rejoins after a network blip needs no
+// separate recovery protocol.
+type HeartbeatRequest struct {
+	Cluster  string
+	Addr     string
+	Procs    int
+	InFlight int
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct{ OK bool }
+
+// SubmitRequest asks the scheduler to run one simulation campaign: a full
+// Figure-9 protocol round (performance vectors, repartition, execution)
+// served from the daemon's online queue.
+type SubmitRequest struct {
+	Scenarios int
+	Months    int
+	Heuristic string
+	// Wait keeps the connection open: the scheduler streams the admission
+	// verdict immediately and the campaign result when it completes.
+	Wait bool
+}
+
+// SubmitResponse is the admission verdict. Accepted=false means the bounded
+// queue was full; the client may retry later.
+type SubmitResponse struct {
+	ID         uint64
+	Accepted   bool
+	Reason     string
+	QueueDepth int
+}
+
+// ResultRequest polls a campaign by ID.
+type ResultRequest struct{ ID uint64 }
+
+// Campaign states reported by CampaignResult.Status.
+const (
+	CampaignQueued  = "queued"
+	CampaignRunning = "running"
+	CampaignDone    = "done"
+	CampaignFailed  = "failed"
+)
+
+// CampaignResult is the terminal (or in-flight, when polled) state of one
+// campaign. Reports carries one ExecResponse per dispatched chunk; a cluster
+// appears more than once when work was requeued onto it after a failure.
+type CampaignResult struct {
+	ID       uint64
+	Status   string
+	Makespan float64
+	Reports  []ExecResponse
+	// Requeues counts chunks that had to be re-dispatched after a SeD died.
+	Requeues int
+	Err      string
+}
+
+// StatsRequest asks the scheduler for its gauges.
+type StatsRequest struct{}
+
+// SeDStatus is one entry of the scheduler's daemon table.
+type SeDStatus struct {
+	Cluster string
+	Addr    string
+	Procs   int
+	Alive   bool
+	// InFlight is the load the daemon itself reported on its last
+	// heartbeat — it includes requests from legacy direct clients the
+	// scheduler never sees.
+	InFlight int
+	// Outstanding is the scheduler's own view: perf/exec requests it
+	// currently holds open against the daemon (bounded by the per-SeD
+	// in-flight limit).
+	Outstanding int
+	// SinceBeat is the age of the last heartbeat.
+	SinceBeat time.Duration
+}
+
+// StatsResponse is the scheduler's state snapshot.
+type StatsResponse struct {
+	QueueDepth    int
+	MaxQueueDepth int
+	Running       int
+	Completed     uint64
+	Failed        uint64
+	Rejected      uint64
+	Requeues      uint64
+	Evicted       uint64
+	SeDs          []SeDStatus
+}
+
 // dialTimeout bounds every protocol round trip.
 const dialTimeout = 5 * time.Second
 
 // roundTrip dials addr, sends req and decodes the response.
 func roundTrip(addr string, req *Request) (*Response, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	return RoundTripTimeout(addr, req, dialTimeout)
+}
+
+// RoundTrip dials addr, sends req and decodes the single response, with the
+// protocol's default deadline. It is the one-shot client primitive the
+// scheduler layer (internal/grid) builds on.
+func RoundTrip(addr string, req *Request) (*Response, error) {
+	return roundTrip(addr, req)
+}
+
+// RoundTripTimeout is RoundTrip with an explicit deadline for the whole
+// exchange. Long-poll exchanges (Submit with Wait) need deadlines sized to
+// the campaign, not to the transport.
+func RoundTripTimeout(addr string, req *Request, d time.Duration) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("diet: dialing %s: %w", addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(dialTimeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
 		return nil, err
 	}
 	if err := gob.NewEncoder(conn).Encode(req); err != nil {
@@ -138,6 +262,9 @@ func serveConn(conn net.Conn, handle func(*Request) *Response) {
 		return // malformed request: drop silently, client times out
 	}
 	resp := handle(&req)
+	// The handler may have burned wall clock on a loaded box (perf vectors,
+	// executor runs); give the write its own fresh deadline.
+	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
 	_ = gob.NewEncoder(conn).Encode(resp)
 }
 
@@ -150,4 +277,12 @@ func acceptLoop(ln net.Listener, handle func(*Request) *Response) {
 		}
 		go serveConn(conn, handle)
 	}
+}
+
+// Serve exposes the accept loop to sibling packages that reuse the diet
+// transport for their own agents (the grid scheduler streams on some
+// connections and therefore brings its own connection handler; plain
+// request/response agents can use this).
+func Serve(ln net.Listener, handle func(*Request) *Response) {
+	acceptLoop(ln, handle)
 }

@@ -246,6 +246,18 @@ func (m Matrix) Jobs() []Job {
 	return jobs
 }
 
+// PerformanceVector computes one cluster's vector through the batched sweep
+// runner — the form a SeD answers a perf request with. Entry k-1 is the
+// makespan of k scenarios planned by h; values are bit-identical to a serial
+// plan-then-evaluate loop over k.
+func PerformanceVector(ev Evaluator, app core.Application, cluster *platform.Cluster, h core.Heuristic, opts Options, workers int) ([]float64, error) {
+	vecs, err := PerformanceVectors(ev, app, []*platform.Cluster{cluster}, h, opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	return vecs[0], nil
+}
+
 // PerformanceVectors computes, for every cluster, the makespan of running
 // 1..NS scenarios planned by h — the per-cluster vectors of the paper's
 // Figure-9 protocol — in one batched sweep. Entry [c][k-1] is cluster c's

@@ -151,8 +151,12 @@ type engine struct {
 	groups  []*group
 	postEnd []float64 // dedicated post processors: busy-until times
 	scen    []scenarioState
-	queue   []postTask // ready post tasks, FIFO
-	tr      *trace.Trace
+	queue   []postTask // ready post tasks, FIFO from queueHead on
+	// queueHead is the FIFO's consumed prefix: popping advances the index
+	// instead of re-slicing, so the backing array is reused once the queue
+	// drains rather than reallocated on every completion event.
+	queueHead int
+	tr        *trace.Trace
 
 	mainsLeft  int // mains not yet dispatched
 	postsLeft  int // posts not yet completed
@@ -162,6 +166,8 @@ type engine struct {
 	busyAccum  float64
 	mainsDone  float64
 	postDur    float64
+
+	idleScratch []*group // reused by idleGroups across dispatches
 }
 
 // Run executes the allocation and returns the measured makespan.
@@ -283,14 +289,18 @@ func (e *engine) pickAmong(eligible func(*scenarioState) bool) int {
 }
 
 // idleGroups returns groups without a committed main, ordered by the time
-// they went idle (the paper's "sorting the ready time of each group").
+// they went idle (the paper's "sorting the ready time of each group"). The
+// returned slice is a scratch buffer reused across dispatches — it runs once
+// per completion event, so under service traffic (thousands of concurrent
+// executor runs behind the grid daemon) the per-event allocation shows up.
 func (e *engine) idleGroups() []*group {
-	var idle []*group
+	idle := e.idleScratch[:0]
 	for _, g := range e.groups {
 		if !g.busy {
 			idle = append(idle, g)
 		}
 	}
+	e.idleScratch = idle
 	sort.Slice(idle, func(i, j int) bool {
 		if idle[i].idleSeq != idle[j].idleSeq {
 			return idle[i].idleSeq < idle[j].idleSeq
@@ -417,17 +427,22 @@ func (e *engine) finishMain(now float64, g *group, s, month int) {
 func (e *engine) drainPosts(now float64) {
 	if e.postDur <= 0 {
 		// Zero-length posts complete immediately.
-		e.postsLeft -= len(e.queue)
+		e.postsLeft -= len(e.queue) - e.queueHead
 		e.queue = e.queue[:0]
+		e.queueHead = 0
 		return
 	}
-	for len(e.queue) > 0 {
+	for e.queueHead < len(e.queue) {
 		res, procEnd := e.freePostSlot(now)
 		if procEnd == nil {
 			return
 		}
-		pt := e.queue[0]
-		e.queue = e.queue[1:]
+		pt := e.queue[e.queueHead]
+		e.queueHead++
+		if e.queueHead == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.queueHead = 0
+		}
 		dur := e.postDuration(pt.scenario, pt.month)
 		end := now + dur
 		*procEnd = end

@@ -1,0 +1,246 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+)
+
+// campaign is one submitted protocol round moving through the queue.
+type campaign struct {
+	id        uint64
+	app       core.Application
+	heuristic string
+
+	mu       sync.Mutex
+	status   string
+	makespan float64
+	reports  []diet.ExecResponse
+	requeues int
+	errMsg   string
+
+	// done closes when the campaign reaches a terminal state; submit-wait
+	// connections and pollers block on it.
+	done chan struct{}
+}
+
+// snapshot copies the campaign's client-visible state.
+func (c *campaign) snapshot() *diet.CampaignResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &diet.CampaignResult{
+		ID:       c.id,
+		Status:   c.status,
+		Makespan: c.makespan,
+		Requeues: c.requeues,
+		Err:      c.errMsg,
+	}
+	out.Reports = append(out.Reports, c.reports...)
+	return out
+}
+
+func (c *campaign) setStatus(status string) {
+	c.mu.Lock()
+	c.status = status
+	c.mu.Unlock()
+}
+
+// complete publishes the terminal state and wakes every waiter.
+func (c *campaign) complete(status string, makespan float64, reports []diet.ExecResponse, requeues int, errMsg string) {
+	c.mu.Lock()
+	c.status = status
+	c.makespan = makespan
+	c.reports = reports
+	c.requeues = requeues
+	c.errMsg = errMsg
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// dispatchLoop pops campaigns off the bounded queue and runs them.
+func (s *Scheduler) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			s.drainQueue()
+			return
+		case c := <-s.queue:
+			s.mu.Lock()
+			s.queueLen--
+			s.running++
+			s.mu.Unlock()
+			c.setStatus(diet.CampaignRunning)
+			s.runCampaign(c)
+		}
+	}
+}
+
+// drainQueue fails everything still queued at shutdown.
+func (s *Scheduler) drainQueue() {
+	for {
+		select {
+		case c := <-s.queue:
+			s.mu.Lock()
+			s.queueLen--
+			s.running++
+			s.mu.Unlock()
+			c.complete(diet.CampaignFailed, 0, nil, 0, "grid: scheduler shut down")
+			s.finish(c, true)
+		default:
+			return
+		}
+	}
+}
+
+// chunkReport is one dispatched chunk's outcome.
+type chunkReport struct {
+	ref  sedRef
+	ids  []int
+	resp *diet.ExecResponse
+	err  error
+}
+
+// runCampaign drives one campaign to a terminal state: repartition the
+// remaining scenarios over the live SeDs, dispatch the chunks under the
+// per-SeD in-flight limits, and requeue chunks lost to dead daemons until
+// nothing remains or the campaign deadline passes.
+func (s *Scheduler) runCampaign(c *campaign) {
+	deadline := time.Now().Add(s.cfg.CampaignTimeout)
+	remaining := make([]int, c.app.Scenarios)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var reports []diet.ExecResponse
+	requeues := 0
+
+	fail := func(msg string) {
+		c.complete(diet.CampaignFailed, 0, nil, requeues, msg)
+		s.finish(c, true)
+	}
+
+	for len(remaining) > 0 {
+		select {
+		case <-s.done:
+			fail("grid: scheduler shut down")
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			fail(fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)))
+			return
+		}
+
+		// Steps 1-3: performance vectors from every live SeD. A daemon that
+		// fails the exchange drops out of this attempt's pool.
+		seds := s.aliveSeDs()
+		var pool []sedRef
+		var perf [][]float64
+		for _, ref := range seds {
+			vec, err := s.vector(ref, len(remaining), c.app.Months, c.heuristic)
+			if err != nil {
+				s.markDead(ref.st, ref.info.Addr)
+				continue
+			}
+			pool = append(pool, ref)
+			perf = append(perf, vec)
+		}
+		if len(pool) == 0 {
+			select {
+			case <-s.done:
+				fail("grid: scheduler shut down")
+				return
+			case <-time.After(s.cfg.RetryEvery):
+			}
+			continue
+		}
+
+		// Step 4: Algorithm-1 repartition of the remaining scenarios.
+		rep, err := core.Repartition(perf)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		chunks := make([][]int, len(pool))
+		for slot, cl := range rep.Assignment {
+			chunks[cl] = append(chunks[cl], remaining[slot])
+		}
+
+		// Steps 5-6: dispatch every chunk concurrently, each behind its
+		// SeD's in-flight semaphore.
+		results := make(chan chunkReport, len(pool))
+		launched := 0
+		for i, ref := range pool {
+			if len(chunks[i]) == 0 {
+				continue
+			}
+			launched++
+			go s.dispatchChunk(c, ref, chunks[i], results)
+		}
+		remaining = remaining[:0]
+		for ; launched > 0; launched-- {
+			r := <-results
+			if r.err != nil {
+				// The chunk's scenarios go back on the campaign's plate and
+				// will be re-repartitioned over the survivors.
+				s.markDead(r.ref.st, r.ref.info.Addr)
+				remaining = append(remaining, r.ids...)
+				requeues++
+				continue
+			}
+			reports = append(reports, *r.resp)
+		}
+		sort.Ints(remaining)
+		if len(remaining) > 0 {
+			s.mu.Lock()
+			s.requeues++
+			s.mu.Unlock()
+		}
+	}
+
+	// Stable report order whatever the arrival interleaving was.
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Cluster != reports[j].Cluster {
+			return reports[i].Cluster < reports[j].Cluster
+		}
+		return reports[i].Scenarios < reports[j].Scenarios
+	})
+	makespan := 0.0
+	for _, r := range reports {
+		if r.Makespan > makespan {
+			makespan = r.Makespan
+		}
+	}
+	c.complete(diet.CampaignDone, makespan, reports, requeues, "")
+	s.finish(c, false)
+}
+
+// dispatchChunk sends one cluster its scenario share (protocol step 5) and
+// reports the execution answer (step 6).
+func (s *Scheduler) dispatchChunk(c *campaign, ref sedRef, ids []int, out chan<- chunkReport) {
+	select {
+	case ref.st.sem <- struct{}{}:
+		defer func() { <-ref.st.sem }()
+	case <-s.done:
+		out <- chunkReport{ref: ref, ids: ids, err: fmt.Errorf("grid: scheduler shut down")}
+		return
+	}
+	resp, err := diet.RoundTripTimeout(ref.info.Addr, &diet.Request{Kind: diet.KindExec, Exec: &diet.ExecRequest{
+		ScenarioIDs: ids,
+		Months:      c.app.Months,
+		Heuristic:   c.heuristic,
+	}}, sedCallTimeout)
+	if err != nil {
+		out <- chunkReport{ref: ref, ids: ids, err: err}
+		return
+	}
+	if resp.Exec == nil {
+		out <- chunkReport{ref: ref, ids: ids, err: fmt.Errorf("grid: SeD %s returned no execution report", ref.info.Cluster)}
+		return
+	}
+	out <- chunkReport{ref: ref, ids: ids, resp: resp.Exec}
+}

@@ -1,0 +1,149 @@
+package grid
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+)
+
+// ErrRejected reports an admission-control rejection: the daemon's bounded
+// queue was full. Callers may back off and retry.
+var ErrRejected = errors.New("grid: campaign rejected")
+
+// Client submits campaigns to a scheduler daemon.
+type Client struct {
+	// Addr is the scheduler's address.
+	Addr string
+	// Timeout bounds one Run end to end (default 2m, matching the daemon's
+	// campaign timeout).
+	Timeout time.Duration
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Minute
+}
+
+// Run submits a campaign and streams until its result arrives on the same
+// connection. A full queue returns an error wrapping ErrRejected; a campaign
+// that the daemon reports as failed returns the daemon's error.
+func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResult, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, frameTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("grid: dialing %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&diet.Request{Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+		Scenarios: app.Scenarios,
+		Months:    app.Months,
+		Heuristic: heuristic,
+		Wait:      true,
+	}}); err != nil {
+		return nil, fmt.Errorf("grid: encoding submit to %s: %w", c.Addr, err)
+	}
+
+	var verdict diet.Response
+	if err := dec.Decode(&verdict); err != nil {
+		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
+	}
+	if verdict.Err != "" {
+		return nil, fmt.Errorf("grid: submit: remote error: %s", verdict.Err)
+	}
+	if verdict.Submit == nil {
+		return nil, fmt.Errorf("grid: %s sent no admission verdict", c.Addr)
+	}
+	if !verdict.Submit.Accepted {
+		return nil, fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, verdict.Submit.Reason, verdict.Submit.QueueDepth)
+	}
+
+	var final diet.Response
+	if err := dec.Decode(&final); err != nil {
+		return nil, fmt.Errorf("grid: waiting for campaign %d result: %w", verdict.Submit.ID, err)
+	}
+	if final.Err != "" {
+		return nil, fmt.Errorf("grid: campaign %d: remote error: %s", verdict.Submit.ID, final.Err)
+	}
+	if final.Result == nil {
+		return nil, fmt.Errorf("grid: %s sent no result for campaign %d", c.Addr, verdict.Submit.ID)
+	}
+	if final.Result.Status == diet.CampaignFailed {
+		return final.Result, fmt.Errorf("grid: campaign %d failed: %s", final.Result.ID, final.Result.Err)
+	}
+	return final.Result, nil
+}
+
+// RunRetry is Run with admission-control backoff: a rejected submission is
+// retried every pause until accepted or the deadline passes. It returns the
+// result and how many rejections were absorbed.
+func (c *Client) RunRetry(app core.Application, heuristic string, pause time.Duration, deadline time.Time) (*diet.CampaignResult, int, error) {
+	if pause <= 0 {
+		pause = 10 * time.Millisecond
+	}
+	rejected := 0
+	for {
+		res, err := c.Run(app, heuristic)
+		if !errors.Is(err, ErrRejected) {
+			return res, rejected, err
+		}
+		rejected++
+		if time.Now().Add(pause).After(deadline) {
+			return nil, rejected, err
+		}
+		time.Sleep(pause)
+	}
+}
+
+// Submit enqueues a campaign without waiting; poll with Result.
+func (c *Client) Submit(app core.Application, heuristic string) (*diet.SubmitResponse, error) {
+	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+		Scenarios: app.Scenarios,
+		Months:    app.Months,
+		Heuristic: heuristic,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Submit == nil {
+		return nil, fmt.Errorf("grid: %s sent no admission verdict", c.Addr)
+	}
+	if !resp.Submit.Accepted {
+		return resp.Submit, fmt.Errorf("%w: %s", ErrRejected, resp.Submit.Reason)
+	}
+	return resp.Submit, nil
+}
+
+// Result polls a campaign's current state by ID.
+func (c *Client) Result(id uint64) (*diet.CampaignResult, error) {
+	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindResult, Result: &diet.ResultRequest{ID: id}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("grid: %s sent no result for campaign %d", c.Addr, id)
+	}
+	return resp.Result, nil
+}
+
+// Stats fetches the daemon's gauges.
+func (c *Client) Stats() (*diet.StatsResponse, error) {
+	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindStats, Stats: &diet.StatsRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("grid: %s sent no stats", c.Addr)
+	}
+	return resp.Stats, nil
+}

@@ -1,0 +1,172 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+	"oagrid/internal/engine"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+)
+
+// Fabric is a scheduler daemon plus an in-process SeD fleet on loopback
+// ports — the self-hosted deployment shape shared by the load injector
+// (cmd/oaload), the daemon CLI (cmd/oarun -daemon) and the end-to-end
+// tests.
+type Fabric struct {
+	Sched *Scheduler
+	// SeDs holds the daemons in cluster-profile order: index 0 serves the
+	// fastest cluster and therefore always carries the largest scenario
+	// share — the natural victim for failure injection.
+	SeDs []*diet.SeD
+	// Clusters maps cluster name to the served profile, the inputs a
+	// Verifier needs to replay chunk reports serially.
+	Clusters map[string]*platform.Cluster
+}
+
+// StartFabric starts a scheduler with cfg plus seds in-process daemons over
+// the paper's five Grid'5000 cluster profiles (procs processors each), each
+// heartbeating every hbEvery.
+func StartFabric(cfg Config, seds, procs int, hbEvery time.Duration) (*Fabric, error) {
+	sched, err := Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{Sched: sched, Clusters: map[string]*platform.Cluster{}}
+	profiles := platform.FiveClusters()
+	if seds > len(profiles) {
+		seds = len(profiles)
+	}
+	for _, cl := range profiles[:seds] {
+		cl.Procs = procs
+		sed, err := diet.StartSeD("127.0.0.1:0", cl, exec.Options{})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		sed.StartHeartbeats(sched.Addr(), hbEvery)
+		f.SeDs = append(f.SeDs, sed)
+		f.Clusters[cl.Name] = cl
+	}
+	return f, nil
+}
+
+// WaitAlive blocks until the scheduler sees n live SeDs.
+func (f *Fabric) WaitAlive(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		alive := 0
+		for _, sd := range f.Sched.Stats().SeDs {
+			if sd.Alive {
+				alive++
+			}
+		}
+		if alive >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("grid: only %d SeDs alive after %v, want %d", alive, timeout, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the SeDs and the scheduler.
+func (f *Fabric) Close() {
+	for _, sed := range f.SeDs {
+		sed.Close()
+	}
+	f.Sched.Close()
+}
+
+// Verifier replays campaign chunk reports serially in-process and demands
+// bit-identical makespans: the service must be an exact distributed replay
+// of engine.Evaluate, even across failure-driven requeues. Safe for
+// concurrent use; replays are memoized per (cluster, scenarios, months).
+type Verifier struct {
+	clusters  map[string]*platform.Cluster
+	heuristic core.Heuristic
+
+	mu   sync.Mutex
+	memo map[verifyKey]float64
+}
+
+type verifyKey struct {
+	cluster           string
+	scenarios, months int
+}
+
+// NewVerifier builds a verifier over the given cluster profiles.
+func NewVerifier(clusters map[string]*platform.Cluster, heuristic string) (*Verifier, error) {
+	h, err := core.ByName(heuristic)
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{clusters: clusters, heuristic: h, memo: map[verifyKey]float64{}}, nil
+}
+
+// SerialMakespan evaluates (scenarios, months) on the named cluster the way
+// a SeD does, but fully serial: plan with the heuristic, run the
+// event-driven executor.
+func (v *Verifier) SerialMakespan(cluster string, scenarios, months int) (float64, error) {
+	key := verifyKey{cluster: cluster, scenarios: scenarios, months: months}
+	v.mu.Lock()
+	want, ok := v.memo[key]
+	v.mu.Unlock()
+	if ok {
+		return want, nil
+	}
+	cl := v.clusters[cluster]
+	if cl == nil {
+		return 0, fmt.Errorf("grid: verifier knows no cluster %q", cluster)
+	}
+	app := core.Application{Scenarios: scenarios, Months: months}
+	alloc, err := v.heuristic.Plan(app, cl.Timing, cl.Procs)
+	if err != nil {
+		return 0, err
+	}
+	res, err := engine.DES{}.Evaluate(app, cl, alloc, engine.Options{})
+	if err != nil {
+		return 0, err
+	}
+	v.mu.Lock()
+	v.memo[key] = res.Makespan
+	v.mu.Unlock()
+	return res.Makespan, nil
+}
+
+// Verify checks one completed campaign: every chunk report bit-identical to
+// its serial replay, all scenarios accounted for, and the campaign makespan
+// equal to the slowest report.
+func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error {
+	if res.Status != diet.CampaignDone {
+		return fmt.Errorf("grid: campaign %d status %q: %s", res.ID, res.Status, res.Err)
+	}
+	total := 0
+	maxMs := 0.0
+	for _, rep := range res.Reports {
+		want, err := v.SerialMakespan(rep.Cluster, rep.Scenarios, app.Months)
+		if err != nil {
+			return fmt.Errorf("grid: campaign %d: %w", res.ID, err)
+		}
+		if math.Float64bits(rep.Makespan) != math.Float64bits(want) {
+			return fmt.Errorf("grid: campaign %d: cluster %s with %d scenarios reported %g, serial evaluation %g",
+				res.ID, rep.Cluster, rep.Scenarios, rep.Makespan, want)
+		}
+		total += rep.Scenarios
+		if rep.Makespan > maxMs {
+			maxMs = rep.Makespan
+		}
+	}
+	if total != app.Scenarios {
+		return fmt.Errorf("grid: campaign %d executed %d scenarios, want %d", res.ID, total, app.Scenarios)
+	}
+	if math.Float64bits(res.Makespan) != math.Float64bits(maxMs) {
+		return fmt.Errorf("grid: campaign %d makespan %g is not the max report %g", res.ID, res.Makespan, maxMs)
+	}
+	return nil
+}

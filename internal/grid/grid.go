@@ -1,0 +1,389 @@
+// Package grid is the online scheduling layer of the DIET hierarchy: a
+// long-running master-agent daemon that serves simulation campaigns as a
+// service instead of answering one-shot registry queries.
+//
+// The paper submits ocean-atmosphere campaigns through a DIET MA/SeD tree;
+// internal/diet reproduces the six-step protocol of its Figure 9 for a
+// single client-driven run. This package turns the master agent into a
+// service under load:
+//
+//	client ──submit──▶ bounded queue ──▶ dispatchers ──▶ SeD pool
+//	                  (admission        (per-campaign    (per-SeD in-flight
+//	                   control)          protocol run)    limits, heartbeat
+//	                                                      eviction, requeue)
+//
+// A campaign is one full protocol round — performance vectors, Algorithm-1
+// repartition, per-cluster execution — run against whatever SeDs are alive
+// when the campaign reaches the head of the queue. SeDs beacon liveness;
+// daemons that miss the heartbeat deadline are evicted and the scenario
+// chunks they held are re-repartitioned across the survivors, so a SeD
+// killed mid-campaign costs a requeue, not the campaign. Every evaluation a
+// SeD performs goes through internal/engine's batched sweep, which keeps
+// results bit-identical to a serial run.
+//
+// The scheduler speaks the internal/diet gob-over-TCP protocol and is a
+// strict superset of the passive MasterAgent: register/list still work, so
+// the legacy diet.Client can run its one-shot protocol against a live
+// daemon unchanged.
+package grid
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+)
+
+// Config tunes the scheduler daemon. The zero value of each field picks the
+// default documented on it.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// QueueCap bounds the campaign queue; submissions beyond it are rejected
+	// at admission (default 64).
+	QueueCap int
+	// Dispatchers is the number of campaigns served concurrently
+	// (default 4).
+	Dispatchers int
+	// PerSeDInFlight caps concurrent requests the scheduler keeps open
+	// against one SeD (default 4).
+	PerSeDInFlight int
+	// EvictAfter is the heartbeat deadline: a SeD silent for longer is
+	// marked dead and excluded from new dispatches (default 3s).
+	EvictAfter time.Duration
+	// RetryEvery paces campaign retries while no SeD is alive
+	// (default 25ms).
+	RetryEvery time.Duration
+	// CampaignTimeout bounds one campaign end to end, including requeues
+	// (default 2m).
+	CampaignTimeout time.Duration
+	// KeepFinished caps how many finished campaigns stay pollable before
+	// the oldest are forgotten (default 4096).
+	KeepFinished int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 4
+	}
+	if c.PerSeDInFlight <= 0 {
+		c.PerSeDInFlight = 4
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 3 * time.Second
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 25 * time.Millisecond
+	}
+	if c.CampaignTimeout <= 0 {
+		c.CampaignTimeout = 2 * time.Minute
+	}
+	if c.KeepFinished <= 0 {
+		c.KeepFinished = 4096
+	}
+	return c
+}
+
+// vecKey identifies a cached performance vector. Entry k-1 of a vector is
+// the makespan of k scenarios — independent of how many scenarios the
+// campaign that fetched it had — so the cache keys on (months, heuristic)
+// and keeps the longest vector seen per SeD.
+type vecKey struct {
+	months    int
+	heuristic string
+}
+
+// sedState is the scheduler's view of one server daemon.
+type sedState struct {
+	info     diet.SeDInfo
+	alive    bool
+	lastBeat time.Time
+	inFlight int
+	// sem enforces the per-SeD in-flight limit; it survives re-registration
+	// so tokens held across an eviction/rejoin stay accounted.
+	sem     chan struct{}
+	vectors map[vecKey][]float64
+}
+
+// Scheduler is the online master agent.
+type Scheduler struct {
+	cfg Config
+	ln  net.Listener
+
+	queue chan *campaign
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	seds      map[string]*sedState
+	campaigns map[uint64]*campaign
+	doneOrder []uint64
+	nextID    uint64
+	queueLen  int
+	maxQueue  int
+	running   int
+	completed uint64
+	failed    uint64
+	rejected  uint64
+	requeues  uint64
+	evicted   uint64
+}
+
+// Start listens on cfg.Addr and begins serving.
+func Start(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("grid: scheduler listen: %w", err)
+	}
+	s := &Scheduler{
+		cfg:       cfg,
+		ln:        ln,
+		queue:     make(chan *campaign, cfg.QueueCap),
+		done:      make(chan struct{}),
+		seds:      make(map[string]*sedState),
+		campaigns: make(map[uint64]*campaign),
+	}
+	s.wg.Add(1 + cfg.Dispatchers)
+	go s.acceptLoop()
+	go s.evictLoop()
+	for i := 0; i < cfg.Dispatchers; i++ {
+		go s.dispatchLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the daemon's listen address.
+func (s *Scheduler) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the daemon: the listener closes, queued and running campaigns
+// fail with a shutdown error, and the worker goroutines drain.
+func (s *Scheduler) Close() error {
+	err := s.ln.Close()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// evictLoop enforces the heartbeat deadline.
+func (s *Scheduler) evictLoop() {
+	tick := time.NewTicker(s.cfg.EvictAfter / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		s.mu.Lock()
+		for _, st := range s.seds {
+			if st.alive && now.Sub(st.lastBeat) > s.cfg.EvictAfter {
+				st.alive = false
+				s.evicted++
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// register adds or refreshes a SeD entry; beat marks whether the update is a
+// heartbeat (refreshing the liveness deadline and reviving evicted entries).
+func (s *Scheduler) register(info diet.SeDInfo, inFlight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.seds[info.Cluster]
+	if st == nil {
+		st = &sedState{
+			sem:     make(chan struct{}, s.cfg.PerSeDInFlight),
+			vectors: make(map[vecKey][]float64),
+		}
+		s.seds[info.Cluster] = st
+	}
+	if st.info.Addr != "" && st.info.Addr != info.Addr {
+		// A replacement daemon for the cluster: its vectors may differ only
+		// if the profile changed, but a fresh cache is the safe default.
+		st.vectors = make(map[vecKey][]float64)
+	}
+	st.info = info
+	st.alive = true
+	st.lastBeat = time.Now()
+	st.inFlight = inFlight
+}
+
+// sedRef pairs a daemon's state with an info snapshot taken under the
+// mutex: register() overwrites st.info on every heartbeat, so code off the
+// lock must work from the snapshot, never from st.info directly.
+type sedRef struct {
+	st   *sedState
+	info diet.SeDInfo
+}
+
+// aliveSeDs snapshots the dispatchable daemons in deterministic (cluster
+// name) order, so repartition tie-breaks do not depend on map iteration.
+func (s *Scheduler) aliveSeDs() []sedRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sedRef, 0, len(s.seds))
+	for _, st := range s.seds {
+		if st.alive {
+			out = append(out, sedRef{st: st, info: st.info})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.Cluster < out[j].info.Cluster })
+	return out
+}
+
+// markDead records a failed exchange with a SeD: it leaves the pool until a
+// heartbeat revives it.
+func (s *Scheduler) markDead(st *sedState, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Only kill the entry if it still describes the daemon we talked to; a
+	// replacement may have re-registered under the same cluster meanwhile.
+	if st.alive && st.info.Addr == addr {
+		st.alive = false
+		s.evicted++
+	}
+}
+
+// vector returns the SeD's performance vector for at least n scenarios,
+// serving from the per-SeD cache when possible.
+func (s *Scheduler) vector(ref sedRef, n, months int, heuristic string) ([]float64, error) {
+	key := vecKey{months: months, heuristic: heuristic}
+	s.mu.Lock()
+	if v := ref.st.vectors[key]; len(v) >= n {
+		s.mu.Unlock()
+		return v[:n:n], nil
+	}
+	s.mu.Unlock()
+
+	resp, err := diet.RoundTripTimeout(ref.info.Addr, &diet.Request{Kind: diet.KindPerf, Perf: &diet.PerfRequest{
+		Scenarios: n,
+		Months:    months,
+		Heuristic: heuristic,
+	}}, sedCallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Perf == nil || len(resp.Perf.Vector) < n {
+		return nil, fmt.Errorf("grid: SeD %s returned a short vector", ref.info.Cluster)
+	}
+	vec := resp.Perf.Vector
+	s.mu.Lock()
+	if len(vec) > len(ref.st.vectors[key]) {
+		ref.st.vectors[key] = vec
+	}
+	s.mu.Unlock()
+	return vec[:n:n], nil
+}
+
+// sedCallTimeout bounds one scheduler→SeD exchange. Evaluations are virtual
+// time and fast, but a loaded box (CI under the race detector) can stall a
+// goroutine well past the transport's 5s default.
+const sedCallTimeout = 30 * time.Second
+
+// Stats snapshots the scheduler's gauges and the SeD table.
+func (s *Scheduler) Stats() diet.StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := diet.StatsResponse{
+		QueueDepth:    s.queueLen,
+		MaxQueueDepth: s.maxQueue,
+		Running:       s.running,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Rejected:      s.rejected,
+		Requeues:      s.requeues,
+		Evicted:       s.evicted,
+	}
+	now := time.Now()
+	for _, st := range s.seds {
+		out.SeDs = append(out.SeDs, diet.SeDStatus{
+			Cluster:     st.info.Cluster,
+			Addr:        st.info.Addr,
+			Procs:       st.info.Procs,
+			Alive:       st.alive,
+			InFlight:    st.inFlight,
+			Outstanding: len(st.sem),
+			SinceBeat:   now.Sub(st.lastBeat),
+		})
+	}
+	sort.Slice(out.SeDs, func(i, j int) bool { return out.SeDs[i].Cluster < out.SeDs[j].Cluster })
+	return out
+}
+
+// admit applies admission control and enqueues a campaign. A malformed
+// request returns an error (a protocol-level failure the client must not
+// retry); a full queue returns a nil campaign with Accepted=false (a
+// transient verdict worth retrying).
+func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitResponse, error) {
+	app := core.Application{Scenarios: req.Scenarios, Months: req.Months}
+	if err := app.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := core.ByName(req.Heuristic); err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	if s.queueLen >= s.cfg.QueueCap {
+		s.rejected++
+		depth := s.queueLen
+		s.mu.Unlock()
+		return nil, &diet.SubmitResponse{Reason: "queue full", QueueDepth: depth}, nil
+	}
+	s.nextID++
+	c := &campaign{
+		id:        s.nextID,
+		app:       app,
+		heuristic: req.Heuristic,
+		status:    diet.CampaignQueued,
+		done:      make(chan struct{}),
+	}
+	s.campaigns[c.id] = c
+	s.queueLen++
+	if s.queueLen > s.maxQueue {
+		s.maxQueue = s.queueLen
+	}
+	depth := s.queueLen
+	s.mu.Unlock()
+	// queueLen never exceeds cap(queue), so this send cannot block.
+	s.queue <- c
+	return c, &diet.SubmitResponse{ID: c.id, Accepted: true, QueueDepth: depth}, nil
+}
+
+// lookup returns a campaign by ID.
+func (s *Scheduler) lookup(id uint64) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// finish moves a campaign out of the running gauge and prunes the oldest
+// finished entries beyond the retention cap.
+func (s *Scheduler) finish(c *campaign, failed bool) {
+	s.mu.Lock()
+	s.running--
+	if failed {
+		s.failed++
+	} else {
+		s.completed++
+	}
+	s.doneOrder = append(s.doneOrder, c.id)
+	for len(s.doneOrder) > s.cfg.KeepFinished {
+		delete(s.campaigns, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,131 @@
+package grid
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"oagrid/internal/diet"
+)
+
+// frameTimeout bounds one decode or encode on a scheduler connection.
+const frameTimeout = 5 * time.Second
+
+// acceptLoop serves connections until the listener closes. The scheduler
+// brings its own loop (instead of diet.Serve) because submit-wait
+// connections stream two response frames.
+func (s *Scheduler) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Scheduler) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req diet.Request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	if req.Kind == diet.KindSubmit {
+		s.serveSubmit(conn, enc, req.Submit)
+		return
+	}
+	resp := s.handle(&req)
+	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+	_ = enc.Encode(resp)
+}
+
+// serveSubmit answers a campaign submission. With Wait set the connection
+// streams: the admission verdict goes out immediately, the campaign result
+// follows on the same connection when the run completes.
+func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, req *diet.SubmitRequest) {
+	if req == nil {
+		_ = enc.Encode(&diet.Response{Err: "submit: empty payload"})
+		return
+	}
+	c, verdict, err := s.admit(req)
+	if err != nil {
+		// Malformed campaign: a protocol error, not an admission verdict —
+		// retrying it can never succeed.
+		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+		_ = enc.Encode(&diet.Response{Err: err.Error()})
+		return
+	}
+	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+	if err := enc.Encode(&diet.Response{Submit: verdict}); err != nil {
+		return
+	}
+	if c == nil || !req.Wait {
+		return
+	}
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.CampaignTimeout + frameTimeout))
+	select {
+	case <-c.done:
+		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+		_ = enc.Encode(&diet.Response{Result: c.snapshot()})
+	case <-s.done:
+		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+		_ = enc.Encode(&diet.Response{Err: "grid: scheduler shut down"})
+	}
+}
+
+// handle serves the one-shot request kinds. Register and list keep the
+// passive MasterAgent contract, so legacy diet clients work against a live
+// scheduler unchanged.
+func (s *Scheduler) handle(req *diet.Request) *diet.Response {
+	switch req.Kind {
+	case diet.KindRegister:
+		if req.Register == nil {
+			return &diet.Response{Err: "register: empty payload"}
+		}
+		s.register(diet.SeDInfo(*req.Register), 0)
+		return &diet.Response{Register: &diet.RegisterResponse{Accepted: true}}
+	case diet.KindHeartbeat:
+		if req.Heartbeat == nil {
+			return &diet.Response{Err: "heartbeat: empty payload"}
+		}
+		hb := req.Heartbeat
+		s.register(diet.SeDInfo{Cluster: hb.Cluster, Addr: hb.Addr, Procs: hb.Procs}, hb.InFlight)
+		return &diet.Response{Heartbeat: &diet.HeartbeatResponse{OK: true}}
+	case diet.KindList:
+		return &diet.Response{List: &diet.ListResponse{SeDs: s.listSeDs()}}
+	case diet.KindResult:
+		if req.Result == nil {
+			return &diet.Response{Err: "result: empty payload"}
+		}
+		c := s.lookup(req.Result.ID)
+		if c == nil {
+			return &diet.Response{Err: fmt.Sprintf("grid: unknown campaign %d", req.Result.ID)}
+		}
+		return &diet.Response{Result: c.snapshot()}
+	case diet.KindStats:
+		stats := s.Stats()
+		return &diet.Response{Stats: &stats}
+	default:
+		return &diet.Response{Err: fmt.Sprintf("grid: scheduler: unsupported request %q", req.Kind)}
+	}
+}
+
+// listSeDs exposes the live daemons in the MasterAgent's list format.
+func (s *Scheduler) listSeDs() []diet.SeDInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]diet.SeDInfo, 0, len(s.seds))
+	for _, st := range s.seds {
+		if st.alive {
+			out = append(out, st.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cluster < out[j].Cluster })
+	return out
+}
