@@ -1,0 +1,239 @@
+package oagrid
+
+import (
+	"context"
+	"sync"
+)
+
+// Campaign is the unit of work a climatologist submits: an ensemble
+// experiment plus the heuristic that should plan it. The same value runs
+// unchanged through every Runner — in-process (Local) or against a grid
+// daemon (Dial) — and yields bit-identical Results at default options.
+type Campaign struct {
+	// Experiment is the ensemble to run: NS scenarios of NM months.
+	Experiment Experiment
+	// Heuristic names the planning heuristic ("basic", "redistribute",
+	// "all-to-main", "knapsack"). Empty uses the runner's default
+	// (WithHeuristic, or "knapsack").
+	Heuristic string
+}
+
+// NewCampaign builds a campaign for an ensemble of the given shape, planned
+// by the runner's default heuristic.
+func NewCampaign(scenarios, months int) Campaign {
+	return Campaign{Experiment: NewExperiment(scenarios, months)}
+}
+
+// Runner executes campaigns. Run returns immediately with a handle that
+// streams typed Events and resolves to the final CampaignResult; the error
+// covers only immediately-detectable problems (malformed campaign, unknown
+// heuristic) — admission rejections and execution failures surface through
+// the handle with the package's typed errors (ErrRejected,
+// ErrCampaignFailed, ErrProtocol).
+//
+// Cancelling ctx stops the campaign cooperatively: a local run stops its
+// worker pool between evaluations, a remote run releases its connection
+// (the daemon-side campaign keeps running to its own deadline). Either way
+// the handle resolves with ctx's error.
+type Runner interface {
+	// Run starts one campaign.
+	Run(ctx context.Context, c Campaign) (*Handle, error)
+	// Close releases the runner's resources. Handles already returned stay
+	// valid.
+	Close() error
+}
+
+// Event is one typed progress notification of a running campaign. The
+// concrete types are EventPlanned, EventChunkDone, EventProgress and
+// EventResult.
+type Event interface{ isEvent() }
+
+// PlannedShare is one cluster's slice of a repartition.
+type PlannedShare struct {
+	// Cluster is the cluster's name.
+	Cluster string
+	// Scenarios is how many scenarios the cluster received.
+	Scenarios int
+}
+
+// EventPlanned reports a computed repartition: Algorithm 1 has assigned the
+// campaign's (remaining) scenarios to clusters. A campaign emits it once per
+// repartition round — more than once only when a cluster died and its share
+// was requeued.
+type EventPlanned struct {
+	// Shares lists each loaded cluster's scenario count for this round.
+	Shares []PlannedShare
+}
+
+// EventChunkDone reports one cluster finishing its scenario share.
+type EventChunkDone struct {
+	// Report is the finished chunk's evaluation report.
+	Report ClusterReport
+	// Done and Total count completed scenarios campaign-wide.
+	Done, Total int
+}
+
+// EventProgress reports scenario-level completion, including chunks lost to
+// a dead cluster and sent back for re-repartition.
+type EventProgress struct {
+	// Done and Total count completed scenarios campaign-wide.
+	Done, Total int
+	// Requeued is non-zero when this update reports scenarios returned to
+	// the queue after their cluster died.
+	Requeued int
+}
+
+// EventResult is the terminal event: the campaign's final state, mirrored by
+// Handle.Wait.
+type EventResult struct {
+	// Result is the campaign's report; nil when Err is set.
+	Result *CampaignResult
+	// Err is the campaign's failure, nil on success.
+	Err error
+}
+
+func (EventPlanned) isEvent()   {}
+func (EventChunkDone) isEvent() {}
+func (EventProgress) isEvent()  {}
+func (EventResult) isEvent()    {}
+
+// ClusterReport is one cluster's evaluation of its scenario share.
+type ClusterReport struct {
+	// Cluster is the cluster's name.
+	Cluster string
+	// Scenarios is the size of the share.
+	Scenarios int
+	// Makespan is the share's completion time in seconds.
+	Makespan float64
+	// Allocation is the processor grouping the cluster used.
+	Allocation Allocation
+	// Result carries the full backend report (utilization, trace, ...) on
+	// local runs; remote runs transfer only the fields above and leave it
+	// nil.
+	Result *Result
+}
+
+// CampaignResult is a campaign's final report. It is bit-identical between
+// Local and Dial runners at default options, and bit-identical to a serial
+// engine evaluation of each cluster's share — cancellation or no
+// cancellation, whatever the worker count.
+type CampaignResult struct {
+	// Makespan is the global makespan: the slowest cluster's.
+	Makespan float64
+	// Reports holds one entry per evaluated chunk, sorted by (cluster,
+	// scenarios). A cluster appears more than once only when work was
+	// requeued onto it after a failure.
+	Reports []ClusterReport
+	// Requeues counts chunks that were re-dispatched after a cluster died.
+	Requeues int
+}
+
+// Handle is a running campaign. Events streams typed progress; Wait blocks
+// for the final result. Both may be used together or alone — events buffer
+// internally, so a caller that only Waits never blocks the runner, and a
+// caller that subscribes late still sees every event from the start.
+type Handle struct {
+	mu    sync.Mutex
+	queue []Event
+	ended bool
+	// change is closed and replaced on every publish: a broadcast that
+	// wakes every subscriber pump at once.
+	change chan struct{}
+	done   chan struct{}
+	result *CampaignResult
+	err    error
+	// scenarios sizes subscription buffers: the event count of any healthy
+	// campaign is a small multiple of its scenario count.
+	scenarios int
+}
+
+func newHandle(scenarios int) *Handle {
+	return &Handle{change: make(chan struct{}), done: make(chan struct{}), scenarios: scenarios}
+}
+
+// publish appends one event to the stream and wakes all subscribers; it
+// never blocks the producer.
+func (h *Handle) publish(ev Event) {
+	h.mu.Lock()
+	h.queue = append(h.queue, ev)
+	h.broadcastLocked()
+	h.mu.Unlock()
+}
+
+// broadcastLocked wakes every pump parked on the current change channel.
+// Callers hold h.mu.
+func (h *Handle) broadcastLocked() {
+	close(h.change)
+	h.change = make(chan struct{})
+}
+
+// finish publishes the terminal EventResult, stores the outcome for Wait and
+// closes the stream.
+func (h *Handle) finish(res *CampaignResult, err error) {
+	h.mu.Lock()
+	h.result, h.err = res, err
+	h.queue = append(h.queue, EventResult{Result: res, Err: err})
+	h.ended = true
+	h.broadcastLocked()
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// Events returns one subscription to the campaign's event stream. Every
+// call gets its own channel that replays all events already emitted, then
+// follows the campaign live, and closes after the terminal EventResult —
+// independent subscribers each see the complete stream. Events never block
+// the campaign itself (they buffer), and the subscription channel is sized
+// to hold any healthy campaign's full stream, so a consumer that stops
+// reading early (break after the first chunk, say) does not strand the
+// delivery goroutine: it finishes into the buffer and exits. Only a
+// pathological stream bigger than the buffer (thousands of requeue rounds)
+// falls back to blocking delivery, where abandoning the channel would pin
+// the goroutine — drain until close when consuming such campaigns.
+func (h *Handle) Events() <-chan Event {
+	h.mu.Lock()
+	// Replay + live allowance: 4 frames per scenario covers planned, chunk,
+	// progress and requeue events across several repartition rounds.
+	size := len(h.queue) + 4*h.scenarios + 32
+	h.mu.Unlock()
+	out := make(chan Event, size)
+	go h.pump(out)
+	return out
+}
+
+// pump delivers the full event sequence in order to one subscriber and
+// closes its channel after the terminal event.
+func (h *Handle) pump(out chan<- Event) {
+	next := 0
+	for {
+		h.mu.Lock()
+		if next < len(h.queue) {
+			ev := h.queue[next]
+			h.mu.Unlock()
+			out <- ev
+			next++
+			continue
+		}
+		ended := h.ended
+		change := h.change
+		h.mu.Unlock()
+		if ended {
+			close(out)
+			return
+		}
+		<-change
+	}
+}
+
+// Done returns a channel that closes when the campaign reaches a terminal
+// state.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the campaign ends and returns its final result. The
+// error wraps ErrRejected for admission rejections, ErrCampaignFailed for
+// campaigns that started but could not finish, ErrProtocol for wire-level
+// violations, and is the context's error when the campaign was cancelled.
+func (h *Handle) Wait() (*CampaignResult, error) {
+	<-h.done
+	return h.result, h.err
+}

@@ -1,0 +1,316 @@
+package oagrid
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"oagrid/internal/grid"
+	"oagrid/internal/platform"
+)
+
+// testFleet returns the cluster profiles the grid test fabric serves: the
+// first n of the paper's five Grid'5000 profiles at 30 processors.
+func testFleet(n int) []*Cluster {
+	clusters := platform.FiveClusters()[:n]
+	for _, cl := range clusters {
+		cl.Procs = 30
+	}
+	return clusters
+}
+
+// startTestFabric boots an in-process daemon plus SeD fleet matching
+// testFleet(n).
+func startTestFabric(t *testing.T, n int) *grid.Fabric {
+	t.Helper()
+	f, err := grid.StartFabric(grid.Config{Addr: "127.0.0.1:0"}, n, 30, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	if err := f.WaitAlive(n, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestLocalAndDialBitIdentical is the acceptance criterion of the client
+// API: the same Campaign through the same Runner interface, once in-process
+// and once against a live daemon serving the same cluster profiles, must
+// produce bit-identical Results.
+func TestLocalAndDialBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	campaign := NewCampaign(10, 24)
+
+	local, err := Local(testFleet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	fabric := startTestFabric(t, 3)
+	remote, err := Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	results := make(map[string]*CampaignResult, 2)
+	for name, runner := range map[string]Runner{"local": local, "remote": remote} {
+		h, err := runner.Run(ctx, campaign)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var planned, chunks int
+		var lastProgress EventProgress
+		for ev := range h.Events() {
+			switch ev := ev.(type) {
+			case EventPlanned:
+				planned++
+				if len(ev.Shares) == 0 {
+					t.Errorf("%s: planned event without shares", name)
+				}
+			case EventChunkDone:
+				chunks++
+			case EventProgress:
+				lastProgress = ev
+			}
+		}
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if planned == 0 || chunks == 0 {
+			t.Errorf("%s: event stream missed stages: %d planned, %d chunks", name, planned, chunks)
+		}
+		if lastProgress.Done != campaign.Experiment.Scenarios || lastProgress.Total != campaign.Experiment.Scenarios {
+			t.Errorf("%s: last progress %d/%d, want %d/%d", name,
+				lastProgress.Done, lastProgress.Total, campaign.Experiment.Scenarios, campaign.Experiment.Scenarios)
+		}
+		results[name] = res
+	}
+
+	l, r := results["local"], results["remote"]
+	if math.Float64bits(l.Makespan) != math.Float64bits(r.Makespan) {
+		t.Fatalf("makespans differ: local %g, remote %g", l.Makespan, r.Makespan)
+	}
+	if len(l.Reports) != len(r.Reports) {
+		t.Fatalf("report counts differ: local %d, remote %d", len(l.Reports), len(r.Reports))
+	}
+	for i := range l.Reports {
+		lr, rr := l.Reports[i], r.Reports[i]
+		if lr.Cluster != rr.Cluster || lr.Scenarios != rr.Scenarios {
+			t.Fatalf("report %d differs: local %s×%d, remote %s×%d", i, lr.Cluster, lr.Scenarios, rr.Cluster, rr.Scenarios)
+		}
+		if math.Float64bits(lr.Makespan) != math.Float64bits(rr.Makespan) {
+			t.Fatalf("report %d (%s) makespan differs: local %g, remote %g", i, lr.Cluster, lr.Makespan, rr.Makespan)
+		}
+		if lr.Allocation.String() != rr.Allocation.String() {
+			t.Fatalf("report %d (%s) allocation differs: local %v, remote %v", i, lr.Cluster, lr.Allocation, rr.Allocation)
+		}
+	}
+
+	// The campaign result must also be bit-identical to a serial engine
+	// evaluation of each cluster's share.
+	v, err := grid.NewVerifier(fabric.Clusters, KnapsackName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range l.Reports {
+		want, err := v.SerialMakespan(rep.Cluster, rep.Scenarios, campaign.Experiment.Months)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(rep.Makespan) != math.Float64bits(want) {
+			t.Fatalf("cluster %s: campaign makespan %g, serial evaluation %g", rep.Cluster, rep.Makespan, want)
+		}
+	}
+}
+
+// TestLocalRunnerCancellation: a ctx cancelled mid-campaign stops the sweep
+// workers promptly and resolves the handle with ctx's error.
+func TestLocalRunnerCancellation(t *testing.T) {
+	// A big enough campaign that cancellation lands mid-sweep.
+	runner, err := Local(testFleet(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := runner.Run(ctx, NewCampaign(10, 1800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	start := time.Now()
+	res, err := h.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled campaign returned a result: %+v", res)
+	}
+	if wait := time.Since(start); wait > 10*time.Second {
+		t.Fatalf("cancellation took %v", wait)
+	}
+}
+
+// TestDialRunnerCancellation: cancelling a remote campaign releases the
+// client connection and does not wedge a daemon dispatcher — the daemon
+// still serves subsequent campaigns.
+func TestDialRunnerCancellation(t *testing.T) {
+	fabric := startTestFabric(t, 3)
+	ctx := context.Background()
+	runner, err := Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	h, err := runner.Run(runCtx, NewCampaign(10, 240))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := h.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait returned %v, want context.Canceled", err)
+	}
+
+	// The daemon must still be fully operational: the abandoned campaign
+	// keeps running (or finishes) server-side, and a fresh one completes.
+	h2, err := runner.Run(ctx, NewCampaign(4, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.Wait()
+	if err != nil {
+		t.Fatalf("campaign after cancellation failed: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("non-positive makespan after cancellation")
+	}
+}
+
+// TestCampaignFailedTyped: a daemon with no live SeD fails the campaign at
+// its deadline, and the failure surfaces as ErrCampaignFailed.
+func TestCampaignFailedTyped(t *testing.T) {
+	sched, err := grid.Start(grid.Config{
+		Addr:            "127.0.0.1:0",
+		CampaignTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sched.Close() })
+
+	runner, err := Dial(context.Background(), sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := runner.Run(context.Background(), NewCampaign(2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); !errors.Is(err, ErrCampaignFailed) {
+		t.Fatalf("Wait returned %v, want ErrCampaignFailed", err)
+	}
+}
+
+// TestInvalidCampaignRejectedUpFront: malformed campaigns and unknown
+// heuristics fail at Run, not through the handle.
+func TestInvalidCampaignRejectedUpFront(t *testing.T) {
+	runner, err := Local(testFleet(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(context.Background(), NewCampaign(0, 12)); err == nil {
+		t.Fatal("zero-scenario campaign accepted")
+	}
+	bad := NewCampaign(2, 12)
+	bad.Heuristic = "no-such-heuristic"
+	if _, err := runner.Run(context.Background(), bad); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+	if _, err := Local(nil); err == nil {
+		t.Fatal("Local without clusters accepted")
+	}
+}
+
+// TestHandleAbandonedSubscriberDoesNotLeak: a consumer that breaks out of
+// the event loop early must not strand the delivery goroutine — the
+// buffered subscription lets the pump finish and exit.
+func TestHandleAbandonedSubscriberDoesNotLeak(t *testing.T) {
+	runner, err := Local(testFleet(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		h, err := runner.Run(context.Background(), NewCampaign(6, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range h.Events() {
+			break // abandon the subscription after one event
+		}
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pumps drain into their buffers and exit; allow them a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines before, %d after 8 abandoned subscriptions", before, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHandleLateSubscriber: Events called after completion still replays
+// the full stream, terminated by the EventResult.
+func TestHandleLateSubscriber(t *testing.T) {
+	runner, err := Local(testFleet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := runner.Run(context.Background(), NewCampaign(4, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two independent subscribers, both late: each must replay the complete
+	// stream including the terminal event.
+	for sub := 0; sub < 2; sub++ {
+		var sawPlanned bool
+		var events int
+		var final *CampaignResult
+		for ev := range h.Events() {
+			events++
+			switch ev := ev.(type) {
+			case EventPlanned:
+				sawPlanned = true
+			case EventResult:
+				final = ev.Result
+			}
+		}
+		if !sawPlanned {
+			t.Fatalf("subscriber %d missed the planned event", sub)
+		}
+		if events < 3 { // planned + ≥1 chunk/progress + result
+			t.Fatalf("subscriber %d saw only %d events", sub, events)
+		}
+		if final == nil || math.Float64bits(final.Makespan) != math.Float64bits(want.Makespan) {
+			t.Fatalf("subscriber %d result %+v does not match Wait %+v", sub, final, want)
+		}
+	}
+}

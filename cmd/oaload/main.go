@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -26,13 +27,14 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
-	"oagrid/internal/core"
-	"oagrid/internal/diet"
+	"oagrid"
 	"oagrid/internal/grid"
 )
 
@@ -72,7 +74,7 @@ func main() {
 		gap       = flag.Duration("gap", 100*time.Millisecond, "pause between bursts (burst pattern)")
 		ns        = flag.Int("ns", 4, "scenarios per campaign")
 		months    = flag.Int("months", 12, "months per scenario")
-		heuristic = flag.String("heuristic", core.NameKnapsack, "planning heuristic")
+		heuristic = flag.String("heuristic", oagrid.KnapsackName, "planning heuristic")
 		kill      = flag.Float64("kill", 0, "kill one SeD after this fraction of submissions (self-hosted only, 0 = never)")
 		verify    = flag.Bool("verify", true, "check reports bit-for-bit against serial evaluation (self-hosted only)")
 		seds      = flag.Int("seds", 3, "in-process SeDs (self-hosted only)")
@@ -85,10 +87,11 @@ func main() {
 	)
 	flag.Parse()
 
-	app := core.Application{Scenarios: *ns, Months: *months}
-	if err := app.Validate(); err != nil {
-		fail(err)
-	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	campaign := oagrid.NewCampaign(*ns, *months)
+	campaign.Heuristic = *heuristic
 
 	report := loadReport{
 		Campaigns:  *campaigns,
@@ -146,11 +149,20 @@ func main() {
 	fmt.Printf("== oaload: %d campaigns (NS=%d, NM=%d, %s), %s arrivals against %s ==\n",
 		*campaigns, *ns, *months, *heuristic, *arrival, target)
 
+	// All submissions flow through the public client API: one shared Runner,
+	// one streamed campaign per goroutine, typed ErrRejected for the
+	// admission-retry loop.
+	runner, err := oagrid.Dial(ctx, target, oagrid.WithTimeout(*timeout))
+	if err != nil {
+		fail(err)
+	}
+	defer runner.Close()
+
 	var killOnce sync.Once
 	latencies := make([]time.Duration, *campaigns)
 	rejections := make([]int, *campaigns)
 	errs := make([]error, *campaigns)
-	results := make([]*diet.CampaignResult, *campaigns)
+	results := make([]*oagrid.CampaignResult, *campaigns)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -171,11 +183,8 @@ func main() {
 				})
 			}
 			t0 := time.Now()
-			client := &grid.Client{Addr: target, Timeout: *timeout}
-			res, rej, err := client.RunRetry(app, *heuristic, 5*time.Millisecond, t0.Add(*timeout))
+			results[i], rejections[i], errs[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout))
 			latencies[i] = time.Since(t0)
-			rejections[i] = rej
-			results[i], errs[i] = res, err
 		}(i)
 	}
 	wg.Wait()
@@ -207,7 +216,7 @@ func main() {
 	}
 
 	if *verify {
-		if err := verifyAll(fabric, app, *heuristic, results); err != nil {
+		if err := verifyAll(fabric, campaign, results); err != nil {
 			fail(err)
 		}
 		report.Verified = true
@@ -287,21 +296,51 @@ func percentileMs(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[rank]) / float64(time.Millisecond)
 }
 
+// runCampaign drives one campaign through the Runner with admission-control
+// backoff: rejected submissions retry every few milliseconds until accepted
+// or the deadline passes. Returns the result and the rejections absorbed.
+func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time) (*oagrid.CampaignResult, int, error) {
+	rejected := 0
+	for {
+		h, err := runner.Run(ctx, c)
+		if err != nil {
+			return nil, rejected, err
+		}
+		res, err := h.Wait()
+		if !errors.Is(err, oagrid.ErrRejected) {
+			return res, rejected, err
+		}
+		rejected++
+		if time.Now().Add(5 * time.Millisecond).After(deadline) {
+			return nil, rejected, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, rejected, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
 // verifyAll re-evaluates every chunk report serially in-process through
 // grid.Verifier and demands bit-identical makespans — the service must be
 // an exact distributed replay of engine.Evaluate, even across
 // failure-driven requeues.
-func verifyAll(fabric *grid.Fabric, app core.Application, heuristic string, results []*diet.CampaignResult) error {
-	v, err := grid.NewVerifier(fabric.Clusters, heuristic)
+func verifyAll(fabric *grid.Fabric, c oagrid.Campaign, results []*oagrid.CampaignResult) error {
+	v, err := grid.NewVerifier(fabric.Clusters, c.Heuristic)
 	if err != nil {
 		return err
 	}
-	for _, res := range results {
+	for i, res := range results {
 		if res == nil {
 			continue
 		}
-		if err := v.Verify(app, res); err != nil {
-			return err
+		chunks := make([]grid.ChunkReport, len(res.Reports))
+		for j, rep := range res.Reports {
+			chunks[j] = grid.ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan}
+		}
+		if err := v.VerifyChunks(c.Experiment, res.Makespan, chunks); err != nil {
+			return fmt.Errorf("campaign %d: %w", i, err)
 		}
 	}
 	return nil

@@ -16,10 +16,12 @@
 // positive, that many in-process SeDs (the paper's five Grid'5000 cluster
 // profiles, -cprocs processors each) registered against it with heartbeats.
 // External SeDs can join at any time by heartbeating the same address.
-// Submit campaigns with cmd/oaload or internal/grid.Client; stop with ^C.
+// Submit campaigns with cmd/oaload or the public client API (oagrid.Dial);
+// stop with ^C.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -165,13 +167,13 @@ func runDaemon(addr string, seds, cprocs, queueCap, inflight, dispatchers int, h
 		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 	tick := time.NewTicker(5 * time.Second)
 	defer tick.Stop()
 	for {
 		select {
-		case <-sig:
+		case <-ctx.Done():
 			fmt.Println("\nshutting down")
 			return
 		case <-tick.C:

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"oagrid/internal/baseline"
@@ -70,12 +73,20 @@ func main() {
 		hs = []core.Heuristic{h}
 	}
 
+	// ^C cancels the sweeps cooperatively: workers stop claiming jobs and
+	// the partial table is abandoned with a clean error.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	opts := engine.Options{Exec: exec.Options{Policy: pol, RecordTrace: *gantt}}
 	jobs := make([]engine.Job, len(hs))
 	for i, h := range hs {
 		jobs[i] = engine.Job{App: app, Cluster: cluster, Heuristic: h, Opts: opts}
 	}
-	simulated := engine.Sweep(engine.DES{}, jobs, *workers)
+	simulated, err := engine.SweepContext(ctx, engine.DES{}, jobs, *workers)
+	if err != nil {
+		fail(err)
+	}
 	// Model column: re-evaluate the simulated allocations analytically, so
 	// each heuristic plans once and both columns describe the same plan.
 	modelJobs := make([]engine.Job, len(jobs))
@@ -84,7 +95,10 @@ func main() {
 		j.Alloc = simulated[i].Alloc
 		modelJobs[i] = j
 	}
-	modeled := engine.Sweep(engine.Model{}, modelJobs, *workers)
+	modeled, err := engine.SweepContext(ctx, engine.Model{}, modelJobs, *workers)
+	if err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("cluster: %d processors, speed %.3f (T[11]=%.0fs)  workload: %d scenarios × %d months\n\n",
 		*r, *speed, mustMain(timing, platform.MaxGroup), *ns, *nm)

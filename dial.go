@@ -1,0 +1,123 @@
+package oagrid
+
+import (
+	"context"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+	"oagrid/internal/grid"
+)
+
+// remoteRunner drives campaigns against a grid scheduler daemon over the
+// versioned diet wire protocol.
+type remoteRunner struct {
+	client grid.Client
+	cfg    runnerConfig
+}
+
+// Dial builds a Runner over a live grid scheduler daemon (cmd/oarun
+// -daemon). It verifies the daemon answers before returning — ctx bounds
+// that probe. Each campaign then streams on its own connection: admission
+// verdict, per-campaign progress frames (protocol v2; a v1 daemon simply
+// sends none), and the final result, with the frame deadline refreshed on
+// every frame so campaigns may outlive any single timeout. At default
+// options a dialed campaign's Result is bit-identical to a Local run over
+// the same cluster profiles.
+func Dial(ctx context.Context, addr string, opts ...RunnerOption) (Runner, error) {
+	cfg := newRunnerConfig(opts)
+	if _, err := core.ByName(cfg.heuristic); err != nil {
+		return nil, err
+	}
+	r := &remoteRunner{
+		client: grid.Client{Addr: addr, Timeout: cfg.timeout},
+		cfg:    cfg,
+	}
+	if _, err := r.client.StatsContext(ctx); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run implements Runner.
+func (r *remoteRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
+	app := core.Application(c.Experiment)
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	name := c.Heuristic
+	if name == "" {
+		name = r.cfg.heuristic
+	}
+	if _, err := core.ByName(name); err != nil {
+		return nil, err
+	}
+	handle := newHandle(app.Scenarios)
+	go r.run(ctx, handle, app, name)
+	return handle, nil
+}
+
+// Close implements Runner. Campaigns dial their own connections, so there
+// is nothing to release.
+func (r *remoteRunner) Close() error { return nil }
+
+func (r *remoteRunner) run(ctx context.Context, handle *Handle, app core.Application, heuristic string) {
+	res, err := r.client.RunContext(ctx, app, heuristic, func(u *diet.ProgressUpdate) {
+		for _, ev := range progressEvents(u) {
+			handle.publish(ev)
+		}
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+		}
+		handle.finish(nil, err)
+		return
+	}
+	handle.finish(fromWire(res), nil)
+}
+
+// progressEvents maps one wire progress frame onto the typed event stream.
+func progressEvents(u *diet.ProgressUpdate) []Event {
+	switch u.Stage {
+	case diet.StagePlanned:
+		shares := make([]PlannedShare, len(u.Planned))
+		for i, p := range u.Planned {
+			shares[i] = PlannedShare{Cluster: p.Cluster, Scenarios: p.Scenarios}
+		}
+		return []Event{EventPlanned{Shares: shares}}
+	case diet.StageChunk:
+		if u.Chunk == nil {
+			return nil
+		}
+		return []Event{
+			EventChunkDone{
+				Report: ClusterReport{
+					Cluster:    u.Chunk.Cluster,
+					Scenarios:  u.Chunk.Scenarios,
+					Makespan:   u.Chunk.Makespan,
+					Allocation: u.Chunk.Allocation,
+				},
+				Done: u.Done, Total: u.Total,
+			},
+			EventProgress{Done: u.Done, Total: u.Total},
+		}
+	case diet.StageRequeue:
+		return []Event{EventProgress{Done: u.Done, Total: u.Total, Requeued: u.Requeued}}
+	default:
+		return nil
+	}
+}
+
+// fromWire maps the daemon's campaign result onto the public shape.
+func fromWire(res *diet.CampaignResult) *CampaignResult {
+	out := &CampaignResult{Makespan: res.Makespan, Requeues: res.Requeues}
+	for _, rep := range res.Reports {
+		out.Reports = append(out.Reports, ClusterReport{
+			Cluster:    rep.Cluster,
+			Scenarios:  rep.Scenarios,
+			Makespan:   rep.Makespan,
+			Allocation: rep.Allocation,
+		})
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package oagrid
+
+import "oagrid/internal/grid"
+
+// The typed error taxonomy of the campaign API. Errors returned by
+// Handle.Wait (and surfaced as EventResult.Err) wrap exactly one of these
+// sentinels, so callers branch with errors.Is instead of string-matching
+// messages from internal packages they cannot import.
+var (
+	// ErrRejected reports an admission-control rejection: the daemon's
+	// bounded campaign queue was full. Back off and retry.
+	ErrRejected = grid.ErrRejected
+	// ErrCampaignFailed reports a campaign that was accepted but could not
+	// run to completion — a timeout, a shutdown, no live cluster, or a
+	// planning/evaluation failure. The wrapping error carries the reason.
+	ErrCampaignFailed = grid.ErrCampaignFailed
+	// ErrProtocol reports a wire-level violation talking to a daemon: a
+	// missing or malformed frame, or an incompatible protocol version.
+	// Retrying the same exchange cannot succeed.
+	ErrProtocol = grid.ErrProtocol
+)

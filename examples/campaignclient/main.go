@@ -1,0 +1,95 @@
+// Campaignclient: the client API v1 end to end — one Campaign, one Runner
+// interface, two interchangeable implementations. The campaign first runs
+// in-process (oagrid.Local), then against a live grid scheduler daemon
+// (oagrid.Dial) serving the same cluster profiles, streaming typed progress
+// events both times; the two final results are bit-identical.
+//
+// Run with: go run ./examples/campaignclient
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"oagrid"
+	"oagrid/internal/grid"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	campaign := oagrid.NewCampaign(10, 120) // a 10-scenario, 10-year study
+	campaign.Heuristic = oagrid.KnapsackName
+
+	// In-process: the engine's sweep pool plays the cluster fleet.
+	clusters := oagrid.FiveClusters()[:3]
+	for _, cl := range clusters {
+		cl.Procs = 33
+	}
+	local, err := oagrid.Local(clusters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== local runner ==")
+	localRes := runOnce(ctx, local, campaign)
+
+	// Remote: the same campaign against a scheduler daemon with an identical
+	// SeD fleet (in-process here; point Dial at cmd/oarun -daemon in real
+	// deployments).
+	fabric, err := grid.StartFabric(grid.Config{Addr: "127.0.0.1:0"}, 3, 33, 100*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fabric.Close()
+	if err := fabric.WaitAlive(3, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	remote, err := oagrid.Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+	fmt.Println("\n== remote runner (grid daemon) ==")
+	remoteRes := runOnce(ctx, remote, campaign)
+
+	same := math.Float64bits(localRes.Makespan) == math.Float64bits(remoteRes.Makespan)
+	fmt.Printf("\nlocal %.6f s, remote %.6f s — bit-identical: %v\n",
+		localRes.Makespan, remoteRes.Makespan, same)
+	if !same {
+		log.Fatal("local and remote campaign results diverged")
+	}
+}
+
+// runOnce drives one campaign and narrates its event stream.
+func runOnce(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign) *oagrid.CampaignResult {
+	h, err := runner.Run(ctx, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ev := range h.Events() {
+		switch ev := ev.(type) {
+		case oagrid.EventPlanned:
+			fmt.Print("planned: ")
+			for _, s := range ev.Shares {
+				fmt.Printf("%s×%d ", s.Cluster, s.Scenarios)
+			}
+			fmt.Println()
+		case oagrid.EventChunkDone:
+			fmt.Printf("chunk:   %-12s %d scenario(s) in %.1f days\n",
+				ev.Report.Cluster, ev.Report.Scenarios, ev.Report.Makespan/86400)
+		case oagrid.EventProgress:
+			fmt.Printf("progress: %d/%d scenarios done\n", ev.Done, ev.Total)
+		}
+	}
+	res, err := h.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result:  global makespan %.1f days over %d cluster(s)\n",
+		res.Makespan/86400, len(res.Reports))
+	return res
+}

@@ -16,6 +16,7 @@
 package diet
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -23,6 +24,36 @@ import (
 
 	"oagrid/internal/core"
 )
+
+// Protocol versions. Version 1 is the PR-2 wire format: envelopes without a
+// Version field (gob decodes them with Version == 0, which reads as v1) and
+// submit-wait connections that stream exactly two frames, the admission
+// verdict and the final result. Version 2 adds per-campaign progress frames
+// on submit-wait connections.
+//
+// Negotiation is min(client, server): the client states its version in the
+// Request, the server answers every frame with the effective version, and
+// features above the effective version stay off the wire. Old clients never
+// see frames they cannot parse; new clients detect old servers from the
+// verdict frame's version.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// ProtocolVersion is the highest version this build speaks.
+	ProtocolVersion = ProtocolV2
+)
+
+// NegotiateVersion resolves the effective version of a connection from the
+// version a peer announced (0 means a pre-versioning peer, i.e. v1).
+func NegotiateVersion(peer int) int {
+	if peer <= 0 {
+		return ProtocolV1
+	}
+	if peer > ProtocolVersion {
+		return ProtocolVersion
+	}
+	return peer
+}
 
 // Message kinds.
 const (
@@ -40,6 +71,9 @@ const (
 
 // Request is the envelope every connection carries exactly one of.
 type Request struct {
+	// Version is the protocol version the client speaks (0 reads as v1, the
+	// pre-versioning wire format).
+	Version   int
 	Kind      string
 	Register  *RegisterRequest
 	List      *ListRequest
@@ -53,9 +87,13 @@ type Request struct {
 
 // Response is the reply envelope. A Submit connection with Wait set is the
 // one place the protocol streams: the scheduler writes a Submit frame
-// (admission verdict) and, once the campaign finishes, a Result frame on the
+// (admission verdict), then — at protocol v2 with SubmitRequest.Progress
+// set — any number of Progress frames, and finally a Result frame on the
 // same connection.
 type Response struct {
+	// Version is the effective protocol version the server negotiated for
+	// this connection (0 reads as v1: a pre-versioning server).
+	Version   int
 	Err       string
 	Register  *RegisterResponse
 	List      *ListResponse
@@ -64,6 +102,7 @@ type Response struct {
 	Heartbeat *HeartbeatResponse
 	Submit    *SubmitResponse
 	Result    *CampaignResult
+	Progress  *ProgressUpdate
 	Stats     *StatsResponse
 }
 
@@ -144,6 +183,10 @@ type SubmitRequest struct {
 	// Wait keeps the connection open: the scheduler streams the admission
 	// verdict immediately and the campaign result when it completes.
 	Wait bool
+	// Progress asks for per-campaign progress frames between the verdict and
+	// the result. Honored only on Wait connections at protocol v2 or later;
+	// a v1 server ignores the field entirely.
+	Progress bool
 }
 
 // SubmitResponse is the admission verdict. Accepted=false means the bounded
@@ -177,6 +220,41 @@ type CampaignResult struct {
 	// Requeues counts chunks that had to be re-dispatched after a SeD died.
 	Requeues int
 	Err      string
+}
+
+// Progress stages reported by ProgressUpdate.Stage.
+const (
+	// StagePlanned: the repartition is computed; Planned lists each cluster's
+	// scenario share for this attempt.
+	StagePlanned = "planned"
+	// StageChunk: one cluster finished its share; Chunk carries its report.
+	StageChunk = "chunk"
+	// StageRequeue: a cluster died mid-chunk and its scenarios went back on
+	// the campaign's plate for re-repartition.
+	StageRequeue = "requeue"
+)
+
+// PlannedChunk is one cluster's share of a repartition attempt.
+type PlannedChunk struct {
+	Cluster   string
+	Scenarios int
+}
+
+// ProgressUpdate is one v2 progress frame: a campaign's state transition.
+// Done/Total count scenarios with a finished chunk report, so clients can
+// render completion without understanding the stages.
+type ProgressUpdate struct {
+	ID    uint64
+	Stage string
+	// Planned is set on StagePlanned frames.
+	Planned []PlannedChunk
+	// Chunk is set on StageChunk frames.
+	Chunk *ExecResponse
+	// Requeued is set on StageRequeue frames: the scenario count sent back
+	// for re-repartition.
+	Requeued int
+	Done     int
+	Total    int
 }
 
 // StatsRequest asks the scheduler for its gauges.
@@ -232,25 +310,71 @@ func RoundTrip(addr string, req *Request) (*Response, error) {
 // exchange. Long-poll exchanges (Submit with Wait) need deadlines sized to
 // the campaign, not to the transport.
 func RoundTripTimeout(addr string, req *Request, d time.Duration) (*Response, error) {
-	conn, err := net.DialTimeout("tcp", addr, d)
+	return RoundTripContext(context.Background(), addr, req, d)
+}
+
+// RoundTripContext is RoundTripTimeout under a context: cancelling ctx
+// aborts the dial and unblocks an in-flight read or write immediately.
+func RoundTripContext(ctx context.Context, addr string, req *Request, d time.Duration) (*Response, error) {
+	dialer := net.Dialer{Timeout: d}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("diet: dialing %s: %w", addr, err)
 	}
 	defer conn.Close()
+	stop := AbortOnDone(ctx, conn)
+	defer stop()
 	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
 		return nil, err
 	}
 	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("diet: encoding %s request to %s: %w", req.Kind, addr, err)
 	}
 	var resp Response
 	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("diet: decoding %s response from %s: %w", req.Kind, addr, err)
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
 	}
 	return &resp, nil
+}
+
+// AbortOnDone ties a connection to a context: when ctx is cancelled the
+// connection's deadline is forced into the past, which unblocks any reader
+// or writer parked on it with a timeout error. The past deadline is
+// re-asserted until stop is called, so a caller that refreshes the deadline
+// concurrently with the cancellation (a per-frame refresh racing the abort)
+// still aborts within milliseconds instead of re-arming the connection. The
+// returned stop function releases the watcher; callers must invoke it
+// before closing the connection.
+func AbortOnDone(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-quit:
+			return
+		}
+		for {
+			_ = conn.SetDeadline(time.Unix(1, 0))
+			select {
+			case <-quit:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	return func() { close(quit) }
 }
 
 // serveConn handles one connection with the given dispatcher.

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/platform"
+)
+
+// slowEvaluator wraps DES and blocks until release closes on its first
+// call, so a test can hold the sweep mid-flight deterministically.
+type slowEvaluator struct {
+	started chan struct{} // receives one token per evaluation started
+	release chan struct{}
+}
+
+func (s *slowEvaluator) Name() string { return "slow" }
+
+func (s *slowEvaluator) Evaluate(app core.Application, cluster *platform.Cluster, alloc core.Allocation, opts Options) (Result, error) {
+	s.started <- struct{}{}
+	<-s.release
+	return DES{}.Evaluate(app, cluster, alloc, opts)
+}
+
+// TestSweepContextCancellation: a ctx cancelled mid-sweep stops workers
+// promptly — running jobs finish, unstarted jobs carry ctx.Err(), and the
+// sweep returns ctx.Err().
+func TestSweepContextCancellation(t *testing.T) {
+	cluster := platform.ReferenceCluster(20)
+	ev := &slowEvaluator{started: make(chan struct{}, 64), release: make(chan struct{})}
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = Job{
+			App:       core.Application{Scenarios: 2, Months: 6},
+			Cluster:   cluster,
+			Heuristic: core.Knapsack{},
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		results []JobResult
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, err := SweepContext(ctx, ev, jobs, 2)
+		done <- outcome{results, err}
+	}()
+
+	// Both workers are now parked inside an evaluation; cancel and let them
+	// go. No further jobs may start.
+	<-ev.started
+	<-ev.started
+	cancel()
+	close(ev.release)
+
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sweep did not return after cancellation")
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("SweepContext returned %v, want context.Canceled", out.err)
+	}
+	finished, cancelled := 0, 0
+	for i, r := range out.results {
+		switch {
+		case r.Err == nil:
+			finished++
+			if r.Result.Makespan <= 0 {
+				t.Fatalf("job %d finished with non-positive makespan", i)
+			}
+		case errors.Is(r.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("job %d failed with %v", i, r.Err)
+		}
+	}
+	if finished != 2 {
+		t.Fatalf("%d jobs finished, want exactly the 2 in flight at cancellation", finished)
+	}
+	if cancelled != len(jobs)-2 {
+		t.Fatalf("%d jobs cancelled, want %d", cancelled, len(jobs)-2)
+	}
+}
+
+// TestSweepContextCleanRunMatchesSweep: without cancellation the ctx-aware
+// sweep is the plain sweep.
+func TestSweepContextCleanRunMatchesSweep(t *testing.T) {
+	cluster := platform.ReferenceCluster(25)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{
+			App:       core.Application{Scenarios: i%4 + 1, Months: 12},
+			Cluster:   cluster,
+			Heuristic: core.Knapsack{},
+		}
+	}
+	plain := Sweep(DES{}, jobs, 3)
+	withCtx, err := SweepContext(context.Background(), DES{}, jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Err != nil || withCtx[i].Err != nil {
+			t.Fatalf("job %d errored: %v / %v", i, plain[i].Err, withCtx[i].Err)
+		}
+		if plain[i].Result.Makespan != withCtx[i].Result.Makespan {
+			t.Fatalf("job %d differs: %g vs %g", i, plain[i].Result.Makespan, withCtx[i].Result.Makespan)
+		}
+	}
+}
+
+// TestEvaluateContextShortCircuits: a done ctx never reaches the backend.
+func TestEvaluateContextShortCircuits(t *testing.T) {
+	cluster := platform.ReferenceCluster(20)
+	app := core.Application{Scenarios: 2, Months: 6}
+	alloc, err := (core.Knapsack{}).Plan(app, cluster.Timing, cluster.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateContext(ctx, DES{}, app, cluster, alloc, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateContext returned %v, want context.Canceled", err)
+	}
+	if res, err := EvaluateContext(context.Background(), DES{}, app, cluster, alloc, Options{}); err != nil || res.Makespan <= 0 {
+		t.Fatalf("live ctx evaluation failed: %v %+v", err, res)
+	}
+}

@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 
 	"oagrid/internal/core"
@@ -124,6 +125,22 @@ func (DES) Evaluate(app core.Application, cluster *platform.Cluster, alloc core.
 		RestartedMains:  res.RestartedMains,
 		Trace:           res.Trace,
 	}, nil
+}
+
+// EvaluateContext runs one evaluation under a context. A single evaluation
+// is virtual-time and fast (micro- to milliseconds), so cancellation is
+// cooperative at the job boundary: a done ctx short-circuits before the
+// backend runs, and the result of a run that did start is returned whole —
+// never a torn, partially-evaluated Result. This is the unit SweepContext
+// cancels between.
+func EvaluateContext(ctx context.Context, ev Evaluator, app core.Application, cluster *platform.Cluster, alloc core.Allocation, opts Options) (Result, error) {
+	if ev == nil {
+		ev = Default()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return ev.Evaluate(app, cluster, alloc, opts)
 }
 
 // Default returns the backend figures and the facade use unless told

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -63,9 +64,20 @@ func FirstError(results []JobResult) error {
 // influences the output. Distinct clusters are validated and their timings
 // memoized once, serially, before the pool starts.
 func Sweep(ev Evaluator, jobs []Job, workers int) []JobResult {
+	results, _ := SweepContext(context.Background(), ev, jobs, workers)
+	return results
+}
+
+// SweepContext is Sweep with cooperative cancellation: workers stop claiming
+// jobs once ctx is done, jobs never started carry ctx's error in their slot,
+// and the sweep returns ctx.Err(). Cancellation is checked between jobs — a
+// job already running finishes (evaluations are virtual-time and fast), so
+// results that are present are exactly the results a serial run would have
+// produced for those indices.
+func SweepContext(ctx context.Context, ev Evaluator, jobs []Job, workers int) ([]JobResult, error) {
 	results := make([]JobResult, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return results, ctx.Err()
 	}
 	if ev == nil {
 		ev = Default()
@@ -141,9 +153,13 @@ func Sweep(ev Evaluator, jobs []Job, workers int) []JobResult {
 
 	if workers == 1 {
 		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				results[i] = JobResult{Err: err}
+				continue
+			}
 			results[i] = run(jobs[i])
 		}
-		return results
+		return results, ctx.Err()
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -156,12 +172,16 @@ func Sweep(ev Evaluator, jobs []Job, workers int) []JobResult {
 				if i >= len(jobs) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					results[i] = JobResult{Err: err}
+					continue
+				}
 				results[i] = run(jobs[i])
 			}
 		}()
 	}
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }
 
 // Variant is one executor configuration of a sweep matrix.
@@ -263,6 +283,13 @@ func PerformanceVector(ev Evaluator, app core.Application, cluster *platform.Clu
 // Figure-9 protocol — in one batched sweep. Entry [c][k-1] is cluster c's
 // makespan for k scenarios.
 func PerformanceVectors(ev Evaluator, app core.Application, clusters []*platform.Cluster, h core.Heuristic, opts Options, workers int) ([][]float64, error) {
+	return PerformanceVectorsContext(context.Background(), ev, app, clusters, h, opts, workers)
+}
+
+// PerformanceVectorsContext is PerformanceVectors under a context: the
+// underlying sweep stops claiming jobs once ctx is done and the call returns
+// ctx's error.
+func PerformanceVectorsContext(ctx context.Context, ev Evaluator, app core.Application, clusters []*platform.Cluster, h core.Heuristic, opts Options, workers int) ([][]float64, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -280,7 +307,10 @@ func PerformanceVectors(ev Evaluator, app core.Application, clusters []*platform
 			})
 		}
 	}
-	results := Sweep(ev, jobs, workers)
+	results, err := SweepContext(ctx, ev, jobs, workers)
+	if err != nil {
+		return nil, err
+	}
 	vecs := make([][]float64, len(clusters))
 	for ci, cl := range clusters {
 		vec := make([]float64, app.Scenarios)

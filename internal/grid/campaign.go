@@ -22,10 +22,60 @@ type campaign struct {
 	reports  []diet.ExecResponse
 	requeues int
 	errMsg   string
+	// scenariosDone counts scenarios with a finished chunk report, the Done
+	// gauge of progress frames.
+	scenariosDone int
+	// history keeps every progress frame published so far, so a subscriber
+	// that attaches after dispatch started still sees the full story.
+	history []diet.ProgressUpdate
+	subs    map[chan diet.ProgressUpdate]struct{}
 
 	// done closes when the campaign reaches a terminal state; submit-wait
 	// connections and pollers block on it.
 	done chan struct{}
+}
+
+// subscribe registers a progress listener and replays the frames published
+// so far into it. The channel is buffered; fan-out never blocks the
+// dispatcher — a subscriber that stops draining loses frames, not the
+// campaign (the final result travels separately on c.done).
+func (c *campaign) subscribe() chan diet.ProgressUpdate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Room for the full replay plus a generous live allowance: 4 frames per
+	// scenario covers chunk + requeue across several repartition rounds.
+	ch := make(chan diet.ProgressUpdate, len(c.history)+4*c.app.Scenarios+16)
+	for _, u := range c.history {
+		ch <- u // buffer holds at least len(history); cannot block
+	}
+	if c.subs == nil {
+		c.subs = make(map[chan diet.ProgressUpdate]struct{})
+	}
+	c.subs[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe detaches a listener.
+func (c *campaign) unsubscribe(ch chan diet.ProgressUpdate) {
+	c.mu.Lock()
+	delete(c.subs, ch)
+	c.mu.Unlock()
+}
+
+// publish records one progress frame and fans it out without blocking.
+func (c *campaign) publish(u diet.ProgressUpdate) {
+	u.ID = c.id
+	u.Total = c.app.Scenarios
+	c.mu.Lock()
+	u.Done = c.scenariosDone
+	c.history = append(c.history, u)
+	for ch := range c.subs {
+		select {
+		case ch <- u:
+		default: // slow subscriber: drop the frame, keep the dispatcher live
+		}
+	}
+	c.mu.Unlock()
 }
 
 // snapshot copies the campaign's client-visible state.
@@ -169,6 +219,13 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		for slot, cl := range rep.Assignment {
 			chunks[cl] = append(chunks[cl], remaining[slot])
 		}
+		planned := make([]diet.PlannedChunk, 0, len(pool))
+		for i, ref := range pool {
+			if len(chunks[i]) > 0 {
+				planned = append(planned, diet.PlannedChunk{Cluster: ref.info.Cluster, Scenarios: len(chunks[i])})
+			}
+		}
+		c.publish(diet.ProgressUpdate{Stage: diet.StagePlanned, Planned: planned})
 
 		// Steps 5-6: dispatch every chunk concurrently, each behind its
 		// SeD's in-flight semaphore.
@@ -190,9 +247,14 @@ func (s *Scheduler) runCampaign(c *campaign) {
 				s.markDead(r.ref.st, r.ref.info.Addr)
 				remaining = append(remaining, r.ids...)
 				requeues++
+				c.publish(diet.ProgressUpdate{Stage: diet.StageRequeue, Requeued: len(r.ids)})
 				continue
 			}
 			reports = append(reports, *r.resp)
+			c.mu.Lock()
+			c.scenariosDone += r.resp.Scenarios
+			c.mu.Unlock()
+			c.publish(diet.ProgressUpdate{Stage: diet.StageChunk, Chunk: r.resp})
 		}
 		sort.Ints(remaining)
 		if len(remaining) > 0 {

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -11,16 +12,34 @@ import (
 	"oagrid/internal/diet"
 )
 
-// ErrRejected reports an admission-control rejection: the daemon's bounded
-// queue was full. Callers may back off and retry.
-var ErrRejected = errors.New("grid: campaign rejected")
+// Typed failure taxonomy of the campaign client. The oagrid facade re-exports
+// these, so importers can errors.Is against them instead of string-matching
+// messages from a package they cannot import.
+var (
+	// ErrRejected reports an admission-control rejection: the daemon's bounded
+	// queue was full. Callers may back off and retry.
+	ErrRejected = errors.New("grid: campaign rejected")
+	// ErrCampaignFailed reports a campaign the daemon accepted but could not
+	// drive to completion (timeout, shutdown, no live SeD, ...). The daemon's
+	// reason is in the wrapping error's message.
+	ErrCampaignFailed = errors.New("grid: campaign failed")
+	// ErrProtocol reports a wire-level violation: a missing or malformed
+	// frame, or a remote speaking an incompatible protocol. Retrying the same
+	// exchange cannot succeed.
+	ErrProtocol = errors.New("grid: protocol error")
+)
 
 // Client submits campaigns to a scheduler daemon.
 type Client struct {
 	// Addr is the scheduler's address.
 	Addr string
-	// Timeout bounds one Run end to end (default 2m, matching the daemon's
-	// campaign timeout).
+	// Timeout bounds one protocol frame: the dial, the submit write, and each
+	// received frame (verdict, progress, result) gets this long. The deadline
+	// is refreshed on every frame, so a streamed campaign may run arbitrarily
+	// long as a whole — it dies only when the daemon goes silent for Timeout
+	// (default 2m, matching the daemon's campaign timeout; against a v1
+	// daemon, which sends no progress frames, this is also the whole-campaign
+	// bound).
 	Timeout time.Duration
 }
 
@@ -32,61 +51,112 @@ func (c *Client) timeout() time.Duration {
 }
 
 // Run submits a campaign and streams until its result arrives on the same
-// connection. A full queue returns an error wrapping ErrRejected; a campaign
-// that the daemon reports as failed returns the daemon's error.
+// connection; see RunContext.
 func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResult, error) {
-	conn, err := net.DialTimeout("tcp", c.Addr, frameTimeout)
+	return c.RunContext(context.Background(), app, heuristic, nil)
+}
+
+// RunContext submits a campaign and streams on one connection until the
+// result arrives. Progress frames (protocol v2) are delivered to onProgress
+// when non-nil; they double as liveness, refreshing the frame deadline. A
+// full queue returns an error wrapping ErrRejected; a campaign the daemon
+// reports as failed returns its snapshot and an error wrapping
+// ErrCampaignFailed; cancelling ctx abandons the stream — the daemon
+// notices on its next frame write and releases the connection, while the
+// campaign itself keeps running server-side to its own deadline.
+func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
+	dialer := net.Dialer{Timeout: c.timeout()}
+	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("grid: dialing %s: %w", c.Addr, err)
 	}
 	defer conn.Close()
+	stop := diet.AbortOnDone(ctx, conn)
+	defer stop()
+
+	// ctxErr folds a deadline/abort failure back into the context's error
+	// when the context caused it.
+	ctxErr := func(err error) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
 	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
 		return nil, err
 	}
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&diet.Request{Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+	if err := enc.Encode(&diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
 		Scenarios: app.Scenarios,
 		Months:    app.Months,
 		Heuristic: heuristic,
 		Wait:      true,
+		Progress:  true,
 	}}); err != nil {
-		return nil, fmt.Errorf("grid: encoding submit to %s: %w", c.Addr, err)
+		return nil, ctxErr(fmt.Errorf("grid: encoding submit to %s: %w", c.Addr, err))
+	}
+
+	// nextFrame refreshes the deadline before every decode: the stream stays
+	// alive as long as the daemon keeps talking, however long the campaign.
+	// The explicit ctx checks bracket the refresh so a cancellation landing
+	// between decodes is honored instead of silently re-armed away (the
+	// AbortOnDone watcher keeps re-asserting the past deadline as a
+	// backstop for the refresh race).
+	nextFrame := func(resp *diet.Response) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = conn.SetDeadline(time.Now().Add(c.timeout()))
+		if err := dec.Decode(resp); err != nil {
+			return ctxErr(err)
+		}
+		return ctx.Err()
 	}
 
 	var verdict diet.Response
-	if err := dec.Decode(&verdict); err != nil {
+	if err := nextFrame(&verdict); err != nil {
 		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
 	}
 	if verdict.Err != "" {
-		return nil, fmt.Errorf("grid: submit: remote error: %s", verdict.Err)
+		return nil, fmt.Errorf("%w: submit to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
 	}
 	if verdict.Submit == nil {
-		return nil, fmt.Errorf("grid: %s sent no admission verdict", c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
 	}
 	if !verdict.Submit.Accepted {
 		return nil, fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, verdict.Submit.Reason, verdict.Submit.QueueDepth)
 	}
+	id := verdict.Submit.ID
 
-	var final diet.Response
-	if err := dec.Decode(&final); err != nil {
-		return nil, fmt.Errorf("grid: waiting for campaign %d result: %w", verdict.Submit.ID, err)
+	for {
+		var frame diet.Response
+		if err := nextFrame(&frame); err != nil {
+			return nil, fmt.Errorf("grid: waiting for campaign %d result: %w", id, err)
+		}
+		switch {
+		case frame.Err != "":
+			return nil, fmt.Errorf("%w: campaign %d: remote error: %s", ErrCampaignFailed, id, frame.Err)
+		case frame.Progress != nil:
+			if onProgress != nil {
+				onProgress(frame.Progress)
+			}
+		case frame.Result != nil:
+			if frame.Result.Status == diet.CampaignFailed {
+				return frame.Result, fmt.Errorf("%w: campaign %d: %s", ErrCampaignFailed, frame.Result.ID, frame.Result.Err)
+			}
+			return frame.Result, nil
+		default:
+			return nil, fmt.Errorf("%w: %s sent an empty frame for campaign %d", ErrProtocol, c.Addr, id)
+		}
 	}
-	if final.Err != "" {
-		return nil, fmt.Errorf("grid: campaign %d: remote error: %s", verdict.Submit.ID, final.Err)
-	}
-	if final.Result == nil {
-		return nil, fmt.Errorf("grid: %s sent no result for campaign %d", c.Addr, verdict.Submit.ID)
-	}
-	if final.Result.Status == diet.CampaignFailed {
-		return final.Result, fmt.Errorf("grid: campaign %d failed: %s", final.Result.ID, final.Result.Err)
-	}
-	return final.Result, nil
 }
 
 // RunRetry is Run with admission-control backoff: a rejected submission is
 // retried every pause until accepted or the deadline passes. It returns the
-// result and how many rejections were absorbed.
+// result and how many rejections were absorbed. (Context-aware callers sit
+// on the public oagrid Runner surface and bring their own retry loop.)
 func (c *Client) RunRetry(app core.Application, heuristic string, pause time.Duration, deadline time.Time) (*diet.CampaignResult, int, error) {
 	if pause <= 0 {
 		pause = 10 * time.Millisecond
@@ -107,16 +177,22 @@ func (c *Client) RunRetry(app core.Application, heuristic string, pause time.Dur
 
 // Submit enqueues a campaign without waiting; poll with Result.
 func (c *Client) Submit(app core.Application, heuristic string) (*diet.SubmitResponse, error) {
-	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+	return c.SubmitContext(context.Background(), app, heuristic)
+}
+
+// SubmitContext enqueues a campaign without waiting (the async half of the
+// protocol); poll with ResultContext.
+func (c *Client) SubmitContext(ctx context.Context, app core.Application, heuristic string) (*diet.SubmitResponse, error) {
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
 		Scenarios: app.Scenarios,
 		Months:    app.Months,
 		Heuristic: heuristic,
-	}})
+	}}, c.timeout())
 	if err != nil {
 		return nil, err
 	}
 	if resp.Submit == nil {
-		return nil, fmt.Errorf("grid: %s sent no admission verdict", c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
 	}
 	if !resp.Submit.Accepted {
 		return resp.Submit, fmt.Errorf("%w: %s", ErrRejected, resp.Submit.Reason)
@@ -126,24 +202,34 @@ func (c *Client) Submit(app core.Application, heuristic string) (*diet.SubmitRes
 
 // Result polls a campaign's current state by ID.
 func (c *Client) Result(id uint64) (*diet.CampaignResult, error) {
-	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindResult, Result: &diet.ResultRequest{ID: id}})
+	return c.ResultContext(context.Background(), id)
+}
+
+// ResultContext polls a campaign's current state by ID.
+func (c *Client) ResultContext(ctx context.Context, id uint64) (*diet.CampaignResult, error) {
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindResult, Result: &diet.ResultRequest{ID: id}}, c.timeout())
 	if err != nil {
 		return nil, err
 	}
 	if resp.Result == nil {
-		return nil, fmt.Errorf("grid: %s sent no result for campaign %d", c.Addr, id)
+		return nil, fmt.Errorf("%w: %s sent no result for campaign %d", ErrProtocol, c.Addr, id)
 	}
 	return resp.Result, nil
 }
 
 // Stats fetches the daemon's gauges.
 func (c *Client) Stats() (*diet.StatsResponse, error) {
-	resp, err := diet.RoundTrip(c.Addr, &diet.Request{Kind: diet.KindStats, Stats: &diet.StatsRequest{}})
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext fetches the daemon's gauges.
+func (c *Client) StatsContext(ctx context.Context) (*diet.StatsResponse, error) {
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{}}, c.timeout())
 	if err != nil {
 		return nil, err
 	}
 	if resp.Stats == nil {
-		return nil, fmt.Errorf("grid: %s sent no stats", c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no stats", ErrProtocol, c.Addr)
 	}
 	return resp.Stats, nil
 }

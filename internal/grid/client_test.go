@@ -1,0 +1,244 @@
+package grid
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+)
+
+// fakeDaemon accepts one submit-wait connection and plays a scripted frame
+// sequence with a fixed pause between frames, standing in for a daemon
+// whose campaign runs much longer than any single frame timeout.
+func fakeDaemon(t *testing.T, frames []*diet.Response, pause time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var req diet.Request
+		if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+			return
+		}
+		enc := gob.NewEncoder(conn)
+		for i, frame := range frames {
+			if i > 0 {
+				time.Sleep(pause)
+			}
+			if err := enc.Encode(frame); err != nil {
+				return
+			}
+		}
+		// Leave the connection open: a scripted silence, not an EOF.
+		time.Sleep(10 * time.Second)
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientSurvivesCampaignLongerThanTimeout is the regression test for
+// the dial-time-deadline bug: a streamed campaign whose total duration
+// exceeds the client Timeout must survive as long as frames keep arriving,
+// because every received frame refreshes the deadline.
+func TestClientSurvivesCampaignLongerThanTimeout(t *testing.T) {
+	mkProgress := func(done int) *diet.Response {
+		return &diet.Response{Version: diet.ProtocolV2, Progress: &diet.ProgressUpdate{
+			ID: 1, Stage: diet.StageChunk, Done: done, Total: 4,
+			Chunk: &diet.ExecResponse{Cluster: "c", Scenarios: 1, Makespan: 1},
+		}}
+	}
+	frames := []*diet.Response{
+		{Version: diet.ProtocolV2, Submit: &diet.SubmitResponse{ID: 1, Accepted: true}},
+		mkProgress(1), mkProgress(2), mkProgress(3), mkProgress(4),
+		{Version: diet.ProtocolV2, Result: &diet.CampaignResult{ID: 1, Status: diet.CampaignDone, Makespan: 1}},
+	}
+	// 5 inter-frame pauses of 120ms ≈ 600ms total stream against a 250ms
+	// frame timeout: the old single-deadline client dies mid-stream, the
+	// per-frame client finishes.
+	addr := fakeDaemon(t, frames, 120*time.Millisecond)
+	c := &Client{Addr: addr, Timeout: 250 * time.Millisecond}
+	var seen int
+	res, err := c.RunContext(context.Background(), core.Application{Scenarios: 4, Months: 6}, core.NameKnapsack,
+		func(u *diet.ProgressUpdate) { seen++ })
+	if err != nil {
+		t.Fatalf("streamed campaign died: %v", err)
+	}
+	if res.Status != diet.CampaignDone {
+		t.Fatalf("status %q, want done", res.Status)
+	}
+	if seen != 4 {
+		t.Fatalf("saw %d progress frames, want 4", seen)
+	}
+}
+
+// TestClientTimesOutOnSilentDaemon: a daemon that goes silent mid-stream
+// fails the campaign within roughly one frame timeout, not never.
+func TestClientTimesOutOnSilentDaemon(t *testing.T) {
+	frames := []*diet.Response{
+		{Version: diet.ProtocolV2, Submit: &diet.SubmitResponse{ID: 1, Accepted: true}},
+		// ... then silence.
+	}
+	addr := fakeDaemon(t, frames, 0)
+	c := &Client{Addr: addr, Timeout: 200 * time.Millisecond}
+	start := time.Now()
+	_, err := c.RunContext(context.Background(), core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, nil)
+	if err == nil {
+		t.Fatal("silent daemon did not fail the campaign")
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("timeout took %v", wait)
+	}
+}
+
+// TestClientContextCancelMidStream: cancelling the context unblocks a read
+// parked on a silent connection immediately and surfaces ctx.Err().
+func TestClientContextCancelMidStream(t *testing.T) {
+	frames := []*diet.Response{
+		{Version: diet.ProtocolV2, Submit: &diet.SubmitResponse{ID: 1, Accepted: true}},
+	}
+	addr := fakeDaemon(t, frames, 0)
+	c := &Client{Addr: addr, Timeout: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.RunContext(ctx, core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext returned %v, want context.Canceled", err)
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("cancellation took %v (the minute-long frame deadline won)", wait)
+	}
+}
+
+// submitRaw opens a raw submit-wait connection at the given protocol
+// version and returns every frame the daemon streams back.
+func submitRaw(t *testing.T, addr string, version int, req *diet.SubmitRequest) []diet.Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := gob.NewEncoder(conn).Encode(&diet.Request{Version: version, Kind: diet.KindSubmit, Submit: req}); err != nil {
+		t.Fatal(err)
+	}
+	dec := gob.NewDecoder(conn)
+	var frames []diet.Response
+	for {
+		var resp diet.Response
+		if err := dec.Decode(&resp); err != nil {
+			return frames
+		}
+		frames = append(frames, resp)
+		if resp.Err != "" || resp.Result != nil {
+			return frames
+		}
+	}
+}
+
+// TestProtocolVersionNegotiation: a v1 client gets the PR-2 wire behaviour
+// (verdict + result, no progress frames, even if it asks) while a v2 client
+// gets the streamed campaign; both against the same daemon.
+func TestProtocolVersionNegotiation(t *testing.T) {
+	f := startFabric(t, testConfig(), 3)
+	req := func() *diet.SubmitRequest {
+		return &diet.SubmitRequest{Scenarios: 6, Months: 12, Heuristic: core.NameKnapsack, Wait: true, Progress: true}
+	}
+
+	// Version 0 (a pre-versioning client) and 1 negotiate down to v1.
+	for _, v := range []int{0, diet.ProtocolV1} {
+		frames := submitRaw(t, f.Sched.Addr(), v, req())
+		if len(frames) != 2 {
+			t.Fatalf("v%d client got %d frames, want verdict + result only", v, len(frames))
+		}
+		if frames[0].Version != diet.ProtocolV1 || frames[1].Version != diet.ProtocolV1 {
+			t.Fatalf("v%d client saw negotiated versions %d, %d, want %d", v, frames[0].Version, frames[1].Version, diet.ProtocolV1)
+		}
+		if frames[1].Result == nil || frames[1].Result.Status != diet.CampaignDone {
+			t.Fatalf("v%d client campaign did not complete: %+v", v, frames[1])
+		}
+	}
+
+	// A v2 client on the same daemon streams progress between the frames.
+	frames := submitRaw(t, f.Sched.Addr(), diet.ProtocolV2, req())
+	if len(frames) < 4 { // verdict + planned + ≥1 chunk + result
+		t.Fatalf("v2 client got only %d frames", len(frames))
+	}
+	var planned, chunks int
+	for _, fr := range frames[1 : len(frames)-1] {
+		if fr.Version != diet.ProtocolV2 {
+			t.Fatalf("v2 frame carried version %d", fr.Version)
+		}
+		if fr.Progress == nil {
+			t.Fatalf("v2 mid-stream frame without progress: %+v", fr)
+		}
+		switch fr.Progress.Stage {
+		case diet.StagePlanned:
+			planned++
+		case diet.StageChunk:
+			chunks++
+		}
+	}
+	if planned == 0 || chunks == 0 {
+		t.Fatalf("v2 stream missed stages: %d planned, %d chunk frames", planned, chunks)
+	}
+	final := frames[len(frames)-1]
+	if final.Result == nil || final.Result.Status != diet.CampaignDone {
+		t.Fatalf("v2 campaign did not complete: %+v", final)
+	}
+	if last := frames[len(frames)-2]; last.Progress != nil && last.Progress.Done != 6 {
+		t.Fatalf("last progress frame reports %d/6 scenarios", last.Progress.Done)
+	}
+
+	// A client announcing a future version negotiates down to the server's.
+	frames = submitRaw(t, f.Sched.Addr(), diet.ProtocolVersion+7, req())
+	if frames[0].Version != diet.ProtocolVersion {
+		t.Fatalf("future client negotiated %d, want %d", frames[0].Version, diet.ProtocolVersion)
+	}
+
+	// A versioned no-progress wait keeps the two-frame shape.
+	noProg := req()
+	noProg.Progress = false
+	frames = submitRaw(t, f.Sched.Addr(), diet.ProtocolV2, noProg)
+	if len(frames) != 2 {
+		t.Fatalf("v2 no-progress wait got %d frames, want 2", len(frames))
+	}
+}
+
+// TestRunContextStreamsBitIdenticalResult: the ctx client against a real
+// fabric returns the same bit-identical reports the legacy Run did, plus a
+// gapless progress stream ending at Done == Total.
+func TestRunContextStreamsBitIdenticalResult(t *testing.T) {
+	f := startFabric(t, testConfig(), 3)
+	app := core.Application{Scenarios: 8, Months: 12}
+	c := &Client{Addr: f.Sched.Addr()}
+	var last *diet.ProgressUpdate
+	res, err := c.RunContext(context.Background(), app, core.NameKnapsack, func(u *diet.ProgressUpdate) { last = u })
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyReports(t, f, app, core.NameKnapsack, res)
+	if last == nil || last.Done != app.Scenarios || last.Total != app.Scenarios {
+		t.Fatalf("final progress %+v, want %d/%d", last, app.Scenarios, app.Scenarios)
+	}
+	// Typed taxonomy: a malformed submission is a protocol-level error.
+	_, err = c.RunContext(context.Background(), core.Application{Scenarios: 0, Months: 12}, core.NameKnapsack, nil)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("malformed submit returned %v, want ErrProtocol", err)
+	}
+}

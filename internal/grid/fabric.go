@@ -146,16 +146,39 @@ func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error 
 	if res.Status != diet.CampaignDone {
 		return fmt.Errorf("grid: campaign %d status %q: %s", res.ID, res.Status, res.Err)
 	}
+	chunks := make([]ChunkReport, len(res.Reports))
+	for i, rep := range res.Reports {
+		chunks[i] = ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan}
+	}
+	if err := v.VerifyChunks(app, res.Makespan, chunks); err != nil {
+		return fmt.Errorf("grid: campaign %d: %w", res.ID, err)
+	}
+	return nil
+}
+
+// ChunkReport is the transport-agnostic (cluster, scenarios, makespan)
+// triple VerifyChunks checks — the shape shared by diet.ExecResponse and
+// the public client API's cluster reports.
+type ChunkReport struct {
+	Cluster   string
+	Scenarios int
+	Makespan  float64
+}
+
+// VerifyChunks checks a campaign outcome given as chunk triples: every
+// chunk bit-identical to its serial replay, all scenarios accounted for,
+// and the campaign makespan equal to the slowest chunk.
+func (v *Verifier) VerifyChunks(app core.Application, makespan float64, chunks []ChunkReport) error {
 	total := 0
 	maxMs := 0.0
-	for _, rep := range res.Reports {
+	for _, rep := range chunks {
 		want, err := v.SerialMakespan(rep.Cluster, rep.Scenarios, app.Months)
 		if err != nil {
-			return fmt.Errorf("grid: campaign %d: %w", res.ID, err)
+			return err
 		}
 		if math.Float64bits(rep.Makespan) != math.Float64bits(want) {
-			return fmt.Errorf("grid: campaign %d: cluster %s with %d scenarios reported %g, serial evaluation %g",
-				res.ID, rep.Cluster, rep.Scenarios, rep.Makespan, want)
+			return fmt.Errorf("grid: cluster %s with %d scenarios reported %g, serial evaluation %g",
+				rep.Cluster, rep.Scenarios, rep.Makespan, want)
 		}
 		total += rep.Scenarios
 		if rep.Makespan > maxMs {
@@ -163,10 +186,10 @@ func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error 
 		}
 	}
 	if total != app.Scenarios {
-		return fmt.Errorf("grid: campaign %d executed %d scenarios, want %d", res.ID, total, app.Scenarios)
+		return fmt.Errorf("grid: executed %d scenarios, want %d", total, app.Scenarios)
 	}
-	if math.Float64bits(res.Makespan) != math.Float64bits(maxMs) {
-		return fmt.Errorf("grid: campaign %d makespan %g is not the max report %g", res.ID, res.Makespan, maxMs)
+	if math.Float64bits(makespan) != math.Float64bits(maxMs) {
+		return fmt.Errorf("grid: campaign makespan %g is not the max report %g", makespan, maxMs)
 	}
 	return nil
 }

@@ -36,46 +36,83 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
+	ver := diet.NegotiateVersion(req.Version)
 	if req.Kind == diet.KindSubmit {
-		s.serveSubmit(conn, enc, req.Submit)
+		s.serveSubmit(conn, enc, ver, req.Submit)
 		return
 	}
 	resp := s.handle(&req)
+	resp.Version = ver
 	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
 	_ = enc.Encode(resp)
 }
 
 // serveSubmit answers a campaign submission. With Wait set the connection
-// streams: the admission verdict goes out immediately, the campaign result
-// follows on the same connection when the run completes.
-func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, req *diet.SubmitRequest) {
+// streams: the admission verdict goes out immediately; at protocol v2 with
+// Progress set, per-campaign progress frames follow; the campaign result
+// closes the stream when the run completes. Every frame write refreshes the
+// connection deadline, so a stream stays alive exactly as long as its
+// campaign — and a client gone mid-stream fails a frame write, which
+// releases this goroutine without touching the dispatcher that runs the
+// campaign.
+func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *diet.SubmitRequest) {
+	send := func(resp *diet.Response) error {
+		resp.Version = ver
+		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+		return enc.Encode(resp)
+	}
 	if req == nil {
-		_ = enc.Encode(&diet.Response{Err: "submit: empty payload"})
+		_ = send(&diet.Response{Err: "submit: empty payload"})
 		return
 	}
 	c, verdict, err := s.admit(req)
 	if err != nil {
 		// Malformed campaign: a protocol error, not an admission verdict —
 		// retrying it can never succeed.
-		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-		_ = enc.Encode(&diet.Response{Err: err.Error()})
+		_ = send(&diet.Response{Err: err.Error()})
 		return
 	}
-	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-	if err := enc.Encode(&diet.Response{Submit: verdict}); err != nil {
+	// Subscribe before acknowledging admission: the dispatcher may pop the
+	// campaign immediately, and a subscription taken later would race the
+	// first planned frame (the history replay makes even that race benign,
+	// but late frames would reorder around the verdict).
+	var sub chan diet.ProgressUpdate
+	if c != nil && req.Wait && req.Progress && ver >= diet.ProtocolV2 {
+		sub = c.subscribe()
+		defer c.unsubscribe(sub)
+	}
+	if err := send(&diet.Response{Submit: verdict}); err != nil {
 		return
 	}
 	if c == nil || !req.Wait {
 		return
 	}
-	_ = conn.SetDeadline(time.Now().Add(s.cfg.CampaignTimeout + frameTimeout))
-	select {
-	case <-c.done:
-		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-		_ = enc.Encode(&diet.Response{Result: c.snapshot()})
-	case <-s.done:
-		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-		_ = enc.Encode(&diet.Response{Err: "grid: scheduler shut down"})
+	for {
+		select {
+		case u := <-sub: // nil sub: never ready, plain v1 wait
+			if err := send(&diet.Response{Progress: &u}); err != nil {
+				return
+			}
+		case <-c.done:
+			// Drain progress frames published before completion so the
+			// stream is gapless, then close with the result.
+			for {
+				select {
+				case u := <-sub:
+					if err := send(&diet.Response{Progress: &u}); err != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			_ = send(&diet.Response{Result: c.snapshot()})
+			return
+		case <-s.done:
+			_ = send(&diet.Response{Err: "grid: scheduler shut down"})
+			return
+		}
 	}
 }
 

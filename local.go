@@ -1,0 +1,173 @@
+package oagrid
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"oagrid/internal/core"
+	"oagrid/internal/engine"
+)
+
+// localRunner drives campaigns through the in-process engine: performance
+// vectors, Algorithm-1 repartition and per-cluster evaluation all run on the
+// engine's deterministic parallel sweep pool.
+type localRunner struct {
+	clusters []*Cluster
+	cfg      runnerConfig
+}
+
+// Local builds a Runner over the in-process engine and the given clusters —
+// the same pipeline a grid daemon's SeD fleet runs, minus the wire. Clusters
+// are ordered by name internally (the daemon's tie-break order), so a Local
+// run of a campaign is bit-identical to a Dial run against a daemon serving
+// the same cluster profiles, at default options.
+func Local(clusters []*Cluster, opts ...RunnerOption) (Runner, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("oagrid: Local needs at least one cluster")
+	}
+	sorted := make([]*Cluster, len(clusters))
+	copy(sorted, clusters)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, cl := range sorted {
+		if err := cl.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := newRunnerConfig(opts)
+	if _, err := core.ByName(cfg.heuristic); err != nil {
+		return nil, err
+	}
+	return &localRunner{clusters: sorted, cfg: cfg}, nil
+}
+
+// Run implements Runner.
+func (r *localRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
+	app := core.Application(c.Experiment)
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	name := c.Heuristic
+	if name == "" {
+		name = r.cfg.heuristic
+	}
+	h, err := core.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	handle := newHandle(app.Scenarios)
+	go r.run(ctx, handle, app, h)
+	return handle, nil
+}
+
+// Close implements Runner; a local runner holds no resources.
+func (r *localRunner) Close() error { return nil }
+
+// run is the campaign body: the Figure-9 protocol against in-process
+// clusters. Cancellation is cooperative between sweep jobs; a cancelled
+// campaign resolves with ctx's error.
+func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Application, h core.Heuristic) {
+	opts := r.cfg.engineOptions()
+
+	// Steps 1-3: every cluster's performance vector, one batched sweep.
+	vecs, err := engine.PerformanceVectorsContext(ctx, r.cfg.backend, app, r.clusters, h, opts, r.cfg.workers)
+	if err != nil {
+		handle.finish(nil, campaignErr(ctx, err))
+		return
+	}
+
+	// Step 4: Algorithm-1 repartition.
+	rep, err := core.Repartition(vecs)
+	if err != nil {
+		handle.finish(nil, campaignErr(ctx, err))
+		return
+	}
+	var shares []PlannedShare
+	for i, cl := range r.clusters {
+		if rep.Counts[i] > 0 {
+			shares = append(shares, PlannedShare{Cluster: cl.Name, Scenarios: rep.Counts[i]})
+		}
+	}
+	handle.publish(EventPlanned{Shares: shares})
+
+	// Steps 5-6: evaluate each loaded cluster's share concurrently, one
+	// goroutine per chunk (campaigns load at most a handful of clusters).
+	// Chunk events stream as evaluations complete — the same live,
+	// arrival-ordered progress a daemon campaign shows — while the final
+	// report list is sorted, so the Result stays deterministic.
+	type chunkOut struct {
+		report ClusterReport
+		err    error
+	}
+	var launched int
+	outs := make(chan chunkOut)
+	for i := range r.clusters {
+		if rep.Counts[i] == 0 {
+			continue
+		}
+		launched++
+		go func(cl *Cluster, share int) {
+			sub := core.Application{Scenarios: share, Months: app.Months}
+			alloc, err := h.Plan(sub, cl.Timing, cl.Procs)
+			if err != nil {
+				outs <- chunkOut{err: err}
+				return
+			}
+			result, err := engine.EvaluateContext(ctx, r.cfg.backend, sub, cl, alloc, opts)
+			if err != nil {
+				outs <- chunkOut{err: err}
+				return
+			}
+			outs <- chunkOut{report: ClusterReport{
+				Cluster:    cl.Name,
+				Scenarios:  share,
+				Makespan:   result.Makespan,
+				Allocation: alloc,
+				Result:     &result,
+			}}
+		}(r.clusters[i], rep.Counts[i])
+	}
+
+	res := &CampaignResult{}
+	done := 0
+	var firstErr error
+	for ; launched > 0; launched-- {
+		out := <-outs
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		done += out.report.Scenarios
+		handle.publish(EventChunkDone{Report: out.report, Done: done, Total: app.Scenarios})
+		handle.publish(EventProgress{Done: done, Total: app.Scenarios})
+		res.Reports = append(res.Reports, out.report)
+		if out.report.Makespan > res.Makespan {
+			res.Makespan = out.report.Makespan
+		}
+	}
+	if firstErr != nil {
+		handle.finish(nil, campaignErr(ctx, firstErr))
+		return
+	}
+	// Stable report order whatever the arrival interleaving — the daemon's
+	// (cluster, scenarios) order; clusters appear at most once per campaign.
+	sort.Slice(res.Reports, func(i, j int) bool {
+		if res.Reports[i].Cluster != res.Reports[j].Cluster {
+			return res.Reports[i].Cluster < res.Reports[j].Cluster
+		}
+		return res.Reports[i].Scenarios < res.Reports[j].Scenarios
+	})
+	handle.finish(res, nil)
+}
+
+// campaignErr maps a campaign failure onto the error taxonomy: context
+// cancellation stays the context's error, everything else wraps
+// ErrCampaignFailed.
+func campaignErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("%w: %v", ErrCampaignFailed, err)
+}

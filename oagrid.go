@@ -12,7 +12,29 @@
 // executor, and distributes scenarios over heterogeneous grids with the
 // paper's greedy repartition.
 //
-// Quick start:
+// The client API v1 is one concept: a Runner accepts a Campaign and returns
+// a Handle streaming typed Events (planned, chunk-done, progress, result).
+// Two runners share the interface — Local runs the campaign on the
+// in-process engine, Dial submits it to a grid scheduler daemon over the
+// versioned wire protocol — and both produce bit-identical Results at
+// default options:
+//
+//	runner, _ := oagrid.Local(oagrid.FiveClusters())
+//	h, _ := runner.Run(ctx, oagrid.NewCampaign(10, 1800))
+//	for ev := range h.Events() {
+//		if p, ok := ev.(oagrid.EventProgress); ok {
+//			fmt.Printf("%d/%d scenarios\n", p.Done, p.Total)
+//		}
+//	}
+//	res, err := h.Wait()
+//
+// Swapping the engine for a live daemon is one line:
+//
+//	runner, err := oagrid.Dial(ctx, "127.0.0.1:7714")
+//
+// The pre-campaign entry points (Plan, Simulate, Evaluate, Compare,
+// Distribute, Sweep) remain as thin wrappers over the same engine the Local
+// runner uses:
 //
 //	app := oagrid.NewExperiment(10, 1800)           // 10 scenarios × 150 years
 //	cluster := oagrid.ReferenceCluster(53)          // 53 processors
@@ -27,6 +49,7 @@
 package oagrid
 
 import (
+	"context"
 	"fmt"
 
 	"oagrid/internal/core"
@@ -78,6 +101,22 @@ var (
 func Sweep(ev Evaluator, jobs []SweepJob, workers int) []SweepResult {
 	return engine.Sweep(ev, jobs, workers)
 }
+
+// SweepContext is Sweep with cooperative cancellation: workers stop
+// claiming jobs once ctx is done, unstarted jobs carry ctx's error in their
+// slot, and the call returns ctx.Err(). Results that are present are
+// exactly what a serial run would have produced for those indices.
+func SweepContext(ctx context.Context, ev Evaluator, jobs []SweepJob, workers int) ([]SweepResult, error) {
+	return engine.SweepContext(ctx, ev, jobs, workers)
+}
+
+// Heuristic names, the values Campaign.Heuristic and WithHeuristic accept.
+const (
+	BasicName        = core.NameBasic
+	RedistributeName = core.NameRedistribute
+	AllToMainName    = core.NameAllToMain
+	KnapsackName     = core.NameKnapsack
+)
 
 // The four heuristics of the paper, in presentation order.
 var (
@@ -137,21 +176,28 @@ func EstimateMakespan(app Experiment, cluster *Cluster, group int) (float64, err
 }
 
 // Simulate replays an allocation on the event-driven executor and returns
-// the measured makespan (and the trace when Options.RecordTrace is set).
+// the measured makespan (and the trace when Options.RecordTrace is set). It
+// is a thin wrapper over the same engine path the Local runner drives;
+// EvaluateContext is the cancellable form.
 func Simulate(app Experiment, cluster *Cluster, alloc Allocation, opt Options) (Result, error) {
-	if err := cluster.Validate(); err != nil {
-		return Result{}, err
-	}
-	return DESBackend.Evaluate(app, cluster, alloc, engine.Options{Exec: opt})
+	return Evaluate(DESBackend, app, cluster, alloc, opt)
 }
 
 // Evaluate runs an allocation through any backend — the engine-level entry
 // the three evaluators share.
 func Evaluate(ev Evaluator, app Experiment, cluster *Cluster, alloc Allocation, opt Options) (Result, error) {
+	return EvaluateContext(context.Background(), ev, app, cluster, alloc, opt)
+}
+
+// EvaluateContext is Evaluate under a context: a done ctx short-circuits
+// before the backend runs. Evaluations are virtual-time and fast, so
+// cancellation is cooperative at the evaluation boundary — a result that is
+// returned is always whole.
+func EvaluateContext(ctx context.Context, ev Evaluator, app Experiment, cluster *Cluster, alloc Allocation, opt Options) (Result, error) {
 	if err := cluster.Validate(); err != nil {
 		return Result{}, err
 	}
-	return ev.Evaluate(app, cluster, alloc, engine.Options{Exec: opt})
+	return engine.EvaluateContext(ctx, ev, app, cluster, alloc, engine.Options{Exec: opt})
 }
 
 // GridPlan is the outcome of distributing an experiment over a grid.

@@ -1,0 +1,100 @@
+package oagrid
+
+import (
+	"time"
+
+	"oagrid/internal/engine"
+	"oagrid/internal/exec"
+)
+
+// RunnerOption configures a Runner at construction (Local, Dial). Options
+// that have no meaning for a runner flavour are documented as such and
+// silently ignored there, so a configuration can be shared between a local
+// and a remote runner.
+type RunnerOption func(*runnerConfig)
+
+// runnerConfig is the resolved option set of a runner.
+type runnerConfig struct {
+	backend   Evaluator
+	heuristic string
+	workers   int
+	jitter    float64
+	seed      uint64
+	trace     bool
+	timeout   time.Duration
+}
+
+func newRunnerConfig(opts []RunnerOption) runnerConfig {
+	cfg := runnerConfig{
+		backend:   DESBackend,
+		heuristic: KnapsackName,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// engineOptions assembles the evaluation options a local runner passes to
+// the engine.
+func (cfg runnerConfig) engineOptions() engine.Options {
+	return engine.Options{Exec: exec.Options{
+		Jitter:      cfg.jitter,
+		Seed:        cfg.seed,
+		RecordTrace: cfg.trace,
+	}}
+}
+
+// WithBackend selects the evaluator a Local runner uses (ModelBackend,
+// DESBackend, or a realrun backend). The default is DESBackend, the
+// event-driven ground truth. Remote runners ignore it: the daemon's SeDs
+// own their backend.
+func WithBackend(ev Evaluator) RunnerOption {
+	return func(cfg *runnerConfig) {
+		if ev != nil {
+			cfg.backend = ev
+		}
+	}
+}
+
+// WithHeuristic sets the runner's default planning heuristic, used by
+// campaigns that leave Campaign.Heuristic empty. The default is "knapsack",
+// the paper's best performer.
+func WithHeuristic(name string) RunnerOption {
+	return func(cfg *runnerConfig) {
+		if name != "" {
+			cfg.heuristic = name
+		}
+	}
+}
+
+// WithWorkers bounds the Local runner's sweep pool (0 or less uses
+// GOMAXPROCS). Results are bit-identical whatever the worker count. Remote
+// runners ignore it.
+func WithWorkers(n int) RunnerOption {
+	return func(cfg *runnerConfig) { cfg.workers = n }
+}
+
+// WithJitter perturbs every task duration of a Local evaluation by a
+// deterministic pseudo-random factor in [1−amp, 1+amp], stream selected by
+// seed. Jittered campaigns are reproducible but no longer bit-identical to
+// a remote run. Remote runners ignore it.
+func WithJitter(amp float64, seed uint64) RunnerOption {
+	return func(cfg *runnerConfig) { cfg.jitter, cfg.seed = amp, seed }
+}
+
+// WithTrace records per-task spans on Local evaluations; each
+// ClusterReport.Result then carries a trace (costs memory on large runs).
+// Remote runners ignore it: traces do not travel the wire.
+func WithTrace() RunnerOption {
+	return func(cfg *runnerConfig) { cfg.trace = true }
+}
+
+// WithTimeout bounds one protocol frame of a remote campaign: the dial and
+// every streamed frame (verdict, progress, result) must arrive within d.
+// Progress frames refresh the deadline, so a streamed campaign may run
+// longer than d in total — it fails only when the daemon goes silent for d
+// (default 2m). Local runners ignore it: cancel the Run context instead.
+func WithTimeout(d time.Duration) RunnerOption {
+	return func(cfg *runnerConfig) { cfg.timeout = d }
+}
