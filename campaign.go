@@ -3,6 +3,8 @@ package oagrid
 import (
 	"context"
 	"sync"
+
+	"oagrid/internal/diet"
 )
 
 // Campaign is the unit of work a climatologist submits: an ensemble
@@ -38,15 +40,32 @@ func NewCampaign(scenarios, months int) Campaign {
 type Runner interface {
 	// Run starts one campaign.
 	Run(ctx context.Context, c Campaign) (*Handle, error)
+	// Attach reconnects to a previously started campaign by the ID its
+	// EventAdmitted (or Handle.ID) reported. The returned handle replays
+	// the campaign's full progress history from the start, follows it live,
+	// and resolves to the final result — against a daemon this works across
+	// network cuts, client restarts, and daemon restarts on a state dir
+	// (WithStateDir / oarun -state). An unknown ID resolves the handle with
+	// an error wrapping ErrUnknownCampaign.
+	Attach(ctx context.Context, id uint64) (*Handle, error)
 	// Close releases the runner's resources. Handles already returned stay
 	// valid.
 	Close() error
 }
 
 // Event is one typed progress notification of a running campaign. The
-// concrete types are EventPlanned, EventChunkDone, EventProgress and
-// EventResult.
+// concrete types are EventAdmitted, EventPlanned, EventChunkDone,
+// EventProgress and EventResult.
 type Event interface{ isEvent() }
+
+// EventAdmitted reports the campaign's admission and carries its ID — the
+// durable name for the campaign: it polls, reattaches (Runner.Attach), and
+// survives a daemon restart on a state dir. Hold on to it if the campaign
+// may outlive this connection.
+type EventAdmitted struct {
+	// ID is the runner-issued campaign ID.
+	ID uint64
+}
 
 // PlannedShare is one cluster's slice of a repartition.
 type PlannedShare struct {
@@ -92,6 +111,7 @@ type EventResult struct {
 	Err error
 }
 
+func (EventAdmitted) isEvent()  {}
 func (EventPlanned) isEvent()   {}
 func (EventChunkDone) isEvent() {}
 func (EventProgress) isEvent()  {}
@@ -107,9 +127,14 @@ type ClusterReport struct {
 	Makespan float64
 	// Allocation is the processor grouping the cluster used.
 	Allocation Allocation
+	// Round is the repartition round that dispatched the share: 0 for the
+	// first attempt, higher for work requeued after a cluster failure or
+	// resumed after a restart. Rounds run sequentially, so the campaign
+	// makespan is the sum of per-round maxima.
+	Round int
 	// Result carries the full backend report (utilization, trace, ...) on
-	// local runs; remote runs transfer only the fields above and leave it
-	// nil.
+	// live local runs; remote runs and journal-recovered local campaigns
+	// transfer only the fields above and leave it nil.
 	Result *Result
 }
 
@@ -118,14 +143,28 @@ type ClusterReport struct {
 // engine evaluation of each cluster's share — cancellation or no
 // cancellation, whatever the worker count.
 type CampaignResult struct {
-	// Makespan is the global makespan: the slowest cluster's.
+	// Makespan is the campaign's completion time: the sum over repartition
+	// rounds of each round's slowest chunk. A campaign with no failures has
+	// one round, so this is simply the slowest cluster's makespan.
 	Makespan float64
 	// Reports holds one entry per evaluated chunk, sorted by (cluster,
-	// scenarios). A cluster appears more than once only when work was
-	// requeued onto it after a failure.
+	// scenarios, round). A cluster appears more than once only when work
+	// was requeued onto it after a failure or resumed after a restart.
 	Reports []ClusterReport
 	// Requeues counts chunks that were re-dispatched after a cluster died.
 	Requeues int
+}
+
+// resultMakespan folds chunk reports into the campaign makespan: rounds run
+// sequentially, so it is the sum of per-round chunk maxima. It delegates to
+// the one shared fold (diet.CampaignMakespan), so local and remote results
+// stay bit-identical.
+func resultMakespan(reports []ClusterReport) float64 {
+	folded := make([]diet.ExecResponse, 0, len(reports))
+	for _, r := range reports {
+		folded = append(folded, diet.ExecResponse{Makespan: r.Makespan, Round: r.Round})
+	}
+	return diet.CampaignMakespan(folded)
 }
 
 // Handle is a running campaign. Events streams typed progress; Wait blocks
@@ -142,6 +181,8 @@ type Handle struct {
 	done   chan struct{}
 	result *CampaignResult
 	err    error
+	// id is the runner-issued campaign ID, set at admission.
+	id uint64
 	// scenarios sizes subscription buffers: the event count of any healthy
 	// campaign is a small multiple of its scenario count.
 	scenarios int
@@ -149,6 +190,39 @@ type Handle struct {
 
 func newHandle(scenarios int) *Handle {
 	return &Handle{change: make(chan struct{}), done: make(chan struct{}), scenarios: scenarios}
+}
+
+// ID returns the campaign's runner-issued ID — the value to pass to
+// Runner.Attach after a cut or restart. It is 0 until the campaign is
+// admitted; subscribe to EventAdmitted to learn it as soon as it exists.
+func (h *Handle) ID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.id
+}
+
+// setID records the campaign ID at admission.
+func (h *Handle) setID(id uint64) {
+	h.mu.Lock()
+	h.id = id
+	h.mu.Unlock()
+}
+
+// setScenarios sizes subscription buffers once the campaign shape is known —
+// an attached handle learns it from the attach verdict, not at creation.
+func (h *Handle) setScenarios(n int) {
+	h.mu.Lock()
+	if n > h.scenarios {
+		h.scenarios = n
+	}
+	h.mu.Unlock()
+}
+
+// finished reports whether the campaign reached its terminal event.
+func (h *Handle) finished() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ended
 }
 
 // publish appends one event to the stream and wakes all subscribers; it

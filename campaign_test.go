@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"oagrid/internal/diet"
 	"oagrid/internal/grid"
 	"oagrid/internal/platform"
+	"oagrid/internal/store"
 )
 
 // testFleet returns the cluster profiles the grid test fabric serves: the
@@ -312,5 +314,310 @@ func TestHandleLateSubscriber(t *testing.T) {
 		if final == nil || math.Float64bits(final.Makespan) != math.Float64bits(want.Makespan) {
 			t.Fatalf("subscriber %d result %+v does not match Wait %+v", sub, final, want)
 		}
+	}
+}
+
+// TestDialAttachReplaysHistory: Runner.Attach against a daemon returns a
+// handle that replays the campaign's full event history — admission,
+// planned shares, every chunk — and resolves to a result bit-identical to
+// the one the original handle saw.
+func TestDialAttachReplaysHistory(t *testing.T) {
+	ctx := context.Background()
+	fabric := startTestFabric(t, 3)
+	runner, err := Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	h, err := runner.Run(ctx, NewCampaign(6, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := h.ID()
+	if id == 0 {
+		t.Fatal("completed campaign has no ID")
+	}
+
+	ah, err := runner.Attach(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted, planned, chunks int
+	var final *CampaignResult
+	for ev := range ah.Events() {
+		switch ev := ev.(type) {
+		case EventAdmitted:
+			admitted++
+			if ev.ID != id {
+				t.Fatalf("attached handle admitted as %d, want %d", ev.ID, id)
+			}
+		case EventPlanned:
+			planned++
+		case EventChunkDone:
+			chunks++
+		case EventResult:
+			final = ev.Result
+		}
+	}
+	if admitted != 1 || planned == 0 || chunks == 0 || final == nil {
+		t.Fatalf("attach replay missed stages: %d admitted, %d planned, %d chunks, result %v",
+			admitted, planned, chunks, final != nil)
+	}
+	got, err := ah.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ah.ID() != id {
+		t.Fatalf("attached handle ID %d, want %d", ah.ID(), id)
+	}
+	assertSameResult(t, want, got)
+
+	// An unknown ID resolves the handle with the typed error.
+	uh, err := runner.Attach(ctx, 424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uh.Wait(); !errors.Is(err, ErrUnknownCampaign) {
+		t.Fatalf("attach to unknown campaign resolved with %v, want ErrUnknownCampaign", err)
+	}
+}
+
+// assertSameResult compares two campaign results bit for bit on everything
+// that travels wires and journals (the full backend Result does not).
+func assertSameResult(t *testing.T, want, got *CampaignResult) {
+	t.Helper()
+	if math.Float64bits(want.Makespan) != math.Float64bits(got.Makespan) {
+		t.Fatalf("makespan %g, want %g", got.Makespan, want.Makespan)
+	}
+	if got.Requeues != want.Requeues || len(got.Reports) != len(want.Reports) {
+		t.Fatalf("result %+v, want %+v", got, want)
+	}
+	for i := range want.Reports {
+		w, g := want.Reports[i], got.Reports[i]
+		if w.Cluster != g.Cluster || w.Scenarios != g.Scenarios || w.Round != g.Round ||
+			math.Float64bits(w.Makespan) != math.Float64bits(g.Makespan) ||
+			w.Allocation.String() != g.Allocation.String() {
+			t.Fatalf("report %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+// TestLocalDurableRecoveryAndAttach: a Local runner with a state dir
+// journals its campaigns; a new runner on the same dir serves them again —
+// same IDs, same event history, bit-identical results.
+func TestLocalDurableRecoveryAndAttach(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	r1, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r1.Run(ctx, NewCampaign(6, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := h.ID()
+	if id == 0 {
+		t.Fatal("durable local campaign has no ID")
+	}
+	want, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	ah, err := r2.Attach(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ah.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, got)
+	var admitted, planned, chunks int
+	for ev := range ah.Events() {
+		switch ev.(type) {
+		case EventAdmitted:
+			admitted++
+		case EventPlanned:
+			planned++
+		case EventChunkDone:
+			chunks++
+		}
+	}
+	if admitted != 1 || planned == 0 || chunks == 0 {
+		t.Fatalf("recovered handle replay missed stages: %d admitted, %d planned, %d chunks", admitted, planned, chunks)
+	}
+	// Unknown IDs resolve through the handle, the same shape as Dial.
+	uh, err := r2.Attach(ctx, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uh.Wait(); !errors.Is(err, ErrUnknownCampaign) {
+		t.Fatalf("attach to unknown local campaign resolved with %v, want ErrUnknownCampaign", err)
+	}
+}
+
+// TestLocalResumesInterruptedCampaign: a journal with an admitted campaign
+// and one completed chunk (the shape a crash mid-campaign leaves) is
+// resumed on construction — only the remaining scenarios re-run, and every
+// report stays bit-identical to serial evaluation.
+func TestLocalResumesInterruptedCampaign(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fleet := testFleet(2)
+	clusters := map[string]*Cluster{}
+	for _, cl := range fleet {
+		clusters[cl.Name] = cl
+	}
+	v, err := grid.NewVerifier(clusters, KnapsackName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the half-finished journal: scenarios 0 and 1 completed on the
+	// first cluster with the exact serial makespan and plan a real run
+	// would have journaled.
+	const months = 12
+	doneChunk := NewExperiment(2, months)
+	alloc, err := Plan(Knapsack, doneChunk, fleet[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := v.SerialMakespan(fleet[0].Name, 2, months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []store.Record{
+		{Kind: store.KindAdmitted, ID: 3, Scenarios: 5, Months: months, Heuristic: KnapsackName},
+		{Kind: store.KindPlanned, ID: 3, Round: 0, Planned: []diet.PlannedChunk{{Cluster: fleet[0].Name, Scenarios: 2}, {Cluster: fleet[1].Name, Scenarios: 3}}},
+		{Kind: store.KindChunk, ID: 3, IDs: []int{0, 1}, Chunk: &diet.ExecResponse{
+			Cluster: fleet[0].Name, Makespan: ms, Allocation: alloc, Scenarios: 2, Round: 0, FirstScenario: 0,
+		}},
+	} {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	r, err := Local(fleet, WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ah, err := r.Attach(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ah.Wait()
+	if err != nil {
+		t.Fatalf("resumed campaign failed: %v", err)
+	}
+
+	// All five scenarios accounted for, the journaled chunk kept verbatim,
+	// the resumed work in round 1, and every chunk bit-identical to serial.
+	total := 0
+	sawRecovered, sawResumed := false, false
+	for _, rep := range res.Reports {
+		total += rep.Scenarios
+		if rep.Round == 0 {
+			if rep.Cluster != fleet[0].Name || rep.Scenarios != 2 ||
+				math.Float64bits(rep.Makespan) != math.Float64bits(ms) {
+				t.Fatalf("recovered chunk mangled: %+v", rep)
+			}
+			sawRecovered = true
+		} else {
+			sawResumed = true
+		}
+		wantMs, err := v.SerialMakespan(rep.Cluster, rep.Scenarios, months)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(rep.Makespan) != math.Float64bits(wantMs) {
+			t.Fatalf("resumed chunk %s×%d makespan %g, serial %g", rep.Cluster, rep.Scenarios, rep.Makespan, wantMs)
+		}
+	}
+	if total != 5 || !sawRecovered || !sawResumed {
+		t.Fatalf("resumed campaign reports %+v: %d scenarios, recovered %v, resumed %v",
+			res.Reports, total, sawRecovered, sawResumed)
+	}
+	if got := resultMakespan(res.Reports); math.Float64bits(res.Makespan) != math.Float64bits(got) {
+		t.Fatalf("resumed makespan %g is not the per-round sum %g", res.Makespan, got)
+	}
+}
+
+// TestLocalRecoverFullyChunkedCampaign: a crash can land between the last
+// chunk record and the terminal record. The recovered campaign has nothing
+// remaining — it must finalize as done from the banked reports, not fail on
+// a zero-scenario repartition.
+func TestLocalRecoverFullyChunkedCampaign(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fleet := testFleet(1)
+	const months = 12
+	app := NewExperiment(3, months)
+	alloc, err := Plan(Knapsack, app, fleet[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := grid.NewVerifier(map[string]*Cluster{fleet[0].Name: fleet[0]}, KnapsackName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := v.SerialMakespan(fleet[0].Name, 3, months)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range []store.Record{
+		{Kind: store.KindAdmitted, ID: 1, Scenarios: 3, Months: months, Heuristic: KnapsackName},
+		{Kind: store.KindPlanned, ID: 1, Round: 0, Planned: []diet.PlannedChunk{{Cluster: fleet[0].Name, Scenarios: 3}}},
+		{Kind: store.KindChunk, ID: 1, IDs: []int{0, 1, 2}, Chunk: &diet.ExecResponse{
+			Cluster: fleet[0].Name, Makespan: ms, Allocation: alloc, Scenarios: 3, Round: 0, FirstScenario: 0,
+		}},
+		// ... and no terminal record: the process died right here.
+	} {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	r, err := Local(fleet, WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ah, err := r.Attach(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ah.Wait()
+	if err != nil {
+		t.Fatalf("fully-chunked campaign recovered as failure: %v", err)
+	}
+	if len(res.Reports) != 1 || math.Float64bits(res.Makespan) != math.Float64bits(ms) {
+		t.Fatalf("recovered result %+v, want one report with makespan %g", res, ms)
 	}
 }

@@ -10,10 +10,14 @@
 //	oaload -campaigns 50 -arrival poisson -rate 40
 //	oaload -arrival burst -burst 10 -gap 100ms
 //	oaload -kill 0.3                        # kill one SeD after 30% of submissions
-//	oaload -addr 127.0.0.1:7714             # drive an external daemon (-kill/-verify off)
+//	oaload -restart 0.5                     # kill + restart the daemon mid-run
+//	oaload -addr 127.0.0.1:7714             # drive an external daemon (injection off)
 //
 // Without -addr the injector starts its own scheduler and SeDs on loopback
-// ports, which is also the hostile mode: -kill closes one daemon mid-run and
+// ports, which is also the hostile mode: -kill closes one SeD daemon
+// mid-run, -restart kills the scheduler itself after a fraction of the
+// submissions and restarts it on the same address and state dir (clients
+// reattach by campaign ID and resume from the replayed journal), and
 // -verify (default on) checks every chunk report bit-for-bit against a
 // serial in-process evaluation of the same (cluster, scenario count).
 package main
@@ -40,28 +44,31 @@ import (
 
 // loadReport is the BENCH_grid.json schema.
 type loadReport struct {
-	Campaigns     int     `json:"campaigns"`
-	Arrival       string  `json:"arrival"`
-	RatePerSec    float64 `json:"rate_per_sec"`
-	Burst         int     `json:"burst,omitempty"`
-	Scenarios     int     `json:"scenarios"`
-	Months        int     `json:"months"`
-	Heuristic     string  `json:"heuristic"`
-	SeDs          int     `json:"seds"`
-	SeDKilled     bool    `json:"sed_killed"`
-	Seed          int64   `json:"seed"`
-	GoMaxProcs    int     `json:"gomaxprocs"`
-	Completed     int     `json:"completed"`
-	Rejections    int     `json:"rejections"`
-	Requeues      uint64  `json:"requeues"`
-	Evictions     uint64  `json:"evictions"`
-	Verified      bool    `json:"verified_bit_identical"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	ThroughputCPS float64 `json:"throughput_cps"`
-	P50Ms         float64 `json:"p50_ms"`
-	P95Ms         float64 `json:"p95_ms"`
-	P99Ms         float64 `json:"p99_ms"`
-	MaxQueueDepth int     `json:"max_queue_depth"`
+	Campaigns      int     `json:"campaigns"`
+	Arrival        string  `json:"arrival"`
+	RatePerSec     float64 `json:"rate_per_sec"`
+	Burst          int     `json:"burst,omitempty"`
+	Scenarios      int     `json:"scenarios"`
+	Months         int     `json:"months"`
+	Heuristic      string  `json:"heuristic"`
+	SeDs           int     `json:"seds"`
+	SeDKilled      bool    `json:"sed_killed"`
+	Seed           int64   `json:"seed"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	Completed      int     `json:"completed"`
+	Rejections     int     `json:"rejections"`
+	Requeues       uint64  `json:"requeues"`
+	Evictions      uint64  `json:"evictions"`
+	DaemonRestarts int     `json:"daemon_restarts"`
+	Reattaches     int     `json:"reattaches"`
+	Resubmits      int     `json:"resubmits"`
+	Verified       bool    `json:"verified_bit_identical"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ThroughputCPS  float64 `json:"throughput_cps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
 }
 
 func main() {
@@ -76,6 +83,8 @@ func main() {
 		months    = flag.Int("months", 12, "months per scenario")
 		heuristic = flag.String("heuristic", oagrid.KnapsackName, "planning heuristic")
 		kill      = flag.Float64("kill", 0, "kill one SeD after this fraction of submissions (self-hosted only, 0 = never)")
+		restart   = flag.Float64("restart", 0, "kill the daemon after this fraction of submissions and restart it on the same state dir (self-hosted only, 0 = never)")
+		state     = flag.String("state", "", "daemon state dir (self-hosted; default: a temp dir when -restart > 0)")
 		verify    = flag.Bool("verify", true, "check reports bit-for-bit against serial evaluation (self-hosted only)")
 		seds      = flag.Int("seds", 3, "in-process SeDs (self-hosted only)")
 		cprocs    = flag.Int("cprocs", 30, "processors per in-process SeD cluster")
@@ -110,14 +119,24 @@ func main() {
 
 	// Self-hosted fabric unless pointed at an external daemon.
 	target := *addr
+	stateDir := *state
 	var fabric *grid.Fabric
 	if target == "" {
+		if *restart > 0 && stateDir == "" {
+			tmp, err := os.MkdirTemp("", "oaload-state-*")
+			if err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(tmp)
+			stateDir = tmp
+		}
 		var err error
 		fabric, err = grid.StartFabric(grid.Config{
 			Addr:           "127.0.0.1:0",
 			QueueCap:       *queueCap,
 			PerSeDInFlight: *inflight,
 			EvictAfter:     time.Second,
+			StateDir:       stateDir,
 		}, *seds, *cprocs, 100*time.Millisecond)
 		if err != nil {
 			fail(err)
@@ -129,9 +148,9 @@ func main() {
 		if err := fabric.WaitAlive(*seds, 5*time.Second); err != nil {
 			fail(err)
 		}
-	} else if *kill > 0 || *verify {
-		fmt.Fprintln(os.Stderr, "oaload: -kill and -verify need the self-hosted fabric; disabled against an external daemon")
-		*kill, *verify = 0, false
+	} else if *kill > 0 || *restart > 0 || *verify {
+		fmt.Fprintln(os.Stderr, "oaload: -kill, -restart and -verify need the self-hosted fabric; disabled against an external daemon")
+		*kill, *restart, *verify = 0, 0, false
 	}
 
 	arrivals, err := schedule(*arrival, *campaigns, *rate, *burst, *gap, *seed)
@@ -143,6 +162,13 @@ func main() {
 		killAt = int(*kill * float64(*campaigns))
 		if killAt >= *campaigns {
 			killAt = *campaigns - 1
+		}
+	}
+	restartAt := -1
+	if *restart > 0 && fabric != nil {
+		restartAt = int(*restart * float64(*campaigns))
+		if restartAt >= *campaigns {
+			restartAt = *campaigns - 1
 		}
 	}
 
@@ -158,11 +184,46 @@ func main() {
 	}
 	defer runner.Close()
 
-	var killOnce sync.Once
+	var killOnce, restartOnce sync.Once
 	latencies := make([]time.Duration, *campaigns)
-	rejections := make([]int, *campaigns)
-	errs := make([]error, *campaigns)
-	results := make([]*oagrid.CampaignResult, *campaigns)
+	outcomes := make([]campaignOutcome, *campaigns)
+
+	// Scheduler-level gauges do not survive a restart (they are process
+	// state, not journal state), so the pre-restart numbers are banked here
+	// and folded into the report — otherwise BENCH_grid.json would report
+	// the fresh instance's near-zero requeue/eviction counters.
+	var preRequeues, preEvictions uint64
+	var preMaxQueue int
+
+	// restartDaemon replaces the scheduler with a fresh one on the same
+	// address and state dir — the load-time equivalent of a crashed daemon
+	// coming back: SeDs rejoin on their next heartbeat, the journal
+	// re-admits unfinished campaigns, and streaming clients reattach by ID.
+	restartDaemon := func(i int) {
+		addr := fabric.Sched.Addr()
+		fmt.Printf("-- restarting daemon at campaign %d --\n", i)
+		stats := fabric.Sched.Stats()
+		preRequeues, preEvictions, preMaxQueue = stats.Requeues, stats.Evicted, stats.MaxQueueDepth
+		fabric.Sched.Close()
+		var err error
+		for attempt := 0; attempt < 100; attempt++ {
+			var sched *grid.Scheduler
+			sched, err = grid.Start(grid.Config{
+				Addr:           addr,
+				QueueCap:       *queueCap,
+				PerSeDInFlight: *inflight,
+				EvictAfter:     time.Second,
+				StateDir:       stateDir,
+			})
+			if err == nil {
+				fabric.Sched = sched
+				report.DaemonRestarts++
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		fail(fmt.Errorf("oaload: daemon restart on %s: %w", addr, err))
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -182,8 +243,11 @@ func main() {
 					report.SeDKilled = true
 				})
 			}
+			if i == restartAt {
+				restartOnce.Do(func() { restartDaemon(i) })
+			}
 			t0 := time.Now()
-			results[i], rejections[i], errs[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout))
+			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0)
 			latencies[i] = time.Since(t0)
 		}(i)
 	}
@@ -191,12 +255,16 @@ func main() {
 	wall := time.Since(start)
 
 	completed := 0
-	for i, err := range errs {
-		if err != nil {
-			fail(fmt.Errorf("campaign %d: %w", i, err))
+	results := make([]*oagrid.CampaignResult, *campaigns)
+	for i, out := range outcomes {
+		if out.err != nil {
+			fail(fmt.Errorf("campaign %d: %w", i, out.err))
 		}
 		completed++
-		report.Rejections += rejections[i]
+		results[i] = out.res
+		report.Rejections += out.rejections
+		report.Reattaches += out.reattaches
+		report.Resubmits += out.resubmits
 	}
 	report.Completed = completed
 	report.WallSeconds = wall.Seconds()
@@ -211,8 +279,11 @@ func main() {
 
 	if stats, err := (&grid.Client{Addr: target}).Stats(); err == nil {
 		report.MaxQueueDepth = stats.MaxQueueDepth
-		report.Requeues = stats.Requeues
-		report.Evictions = stats.Evicted
+		if preMaxQueue > report.MaxQueueDepth {
+			report.MaxQueueDepth = preMaxQueue
+		}
+		report.Requeues = stats.Requeues + preRequeues
+		report.Evictions = stats.Evicted + preEvictions
 	}
 
 	if *verify {
@@ -226,6 +297,10 @@ func main() {
 		completed, *campaigns, report.WallSeconds, report.ThroughputCPS)
 	fmt.Printf("latency p50 %.1fms  p95 %.1fms  p99 %.1fms   max queue depth %d  rejections %d  requeues %d\n",
 		report.P50Ms, report.P95Ms, report.P99Ms, report.MaxQueueDepth, report.Rejections, report.Requeues)
+	if report.DaemonRestarts > 0 {
+		fmt.Printf("restart injection: %d daemon restart(s), %d reattach(es), %d resubmit(s)\n",
+			report.DaemonRestarts, report.Reattaches, report.Resubmits)
+	}
 	if report.Verified {
 		fmt.Println("verification: every chunk report bit-identical to serial evaluation")
 	}
@@ -296,28 +371,104 @@ func percentileMs(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[rank]) / float64(time.Millisecond)
 }
 
+// campaignOutcome is one injected campaign's bookkeeping.
+type campaignOutcome struct {
+	res        *oagrid.CampaignResult
+	rejections int
+	reattaches int
+	resubmits  int
+	err        error
+}
+
 // runCampaign drives one campaign through the Runner with admission-control
 // backoff: rejected submissions retry every few milliseconds until accepted
-// or the deadline passes. Returns the result and the rejections absorbed.
-func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time) (*oagrid.CampaignResult, int, error) {
-	rejected := 0
-	for {
-		h, err := runner.Run(ctx, c)
-		if err != nil {
-			return nil, rejected, err
-		}
-		res, err := h.Wait()
-		if !errors.Is(err, oagrid.ErrRejected) {
-			return res, rejected, err
-		}
-		rejected++
+// or the deadline passes. With restart injection on, a stream that dies
+// after admission is recovered through Runner.Attach — retried until the
+// (possibly restarting) daemon answers — and only an ErrUnknownCampaign
+// verdict falls back to resubmission.
+func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time, reattach bool) campaignOutcome {
+	var out campaignOutcome
+	pause := func() bool {
 		if time.Now().Add(5 * time.Millisecond).After(deadline) {
-			return nil, rejected, err
+			return false
 		}
 		select {
 		case <-ctx.Done():
-			return nil, rejected, ctx.Err()
+			return false
 		case <-time.After(5 * time.Millisecond):
+		}
+		return true
+	}
+	for {
+		h, err := runner.Run(ctx, c)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		res, err := h.Wait()
+		if err == nil {
+			out.res = res
+			return out
+		}
+		if errors.Is(err, oagrid.ErrRejected) {
+			out.rejections++
+			if !pause() {
+				out.err = err
+				return out
+			}
+			continue
+		}
+		id := h.ID()
+		if !reattach || id == 0 {
+			// No restart injection (any failure is real), or the stream died
+			// before the admission verdict: resubmit if we can.
+			if !reattach {
+				out.err = err
+				return out
+			}
+			out.resubmits++
+			if !pause() {
+				out.err = err
+				return out
+			}
+			continue
+		}
+		// Admitted, then the stream broke: the campaign lives on (journal or
+		// daemon memory) — reattach until the daemon answers. A journaled
+		// terminal failure keeps answering ErrCampaignFailed on every attach;
+		// allow a couple of retries (the shutdown window of a restarting
+		// daemon also reads as ErrCampaignFailed) and then treat it as the
+		// permanent verdict it is, instead of replaying the history until the
+		// deadline.
+		failedVerdicts := 0
+		for {
+			ah, aerr := runner.Attach(ctx, id)
+			if aerr == nil {
+				res, aerr = ah.Wait()
+				if aerr == nil {
+					out.reattaches++
+					out.res = res
+					return out
+				}
+				if errors.Is(aerr, oagrid.ErrUnknownCampaign) {
+					out.resubmits++
+					break // back to a fresh submission
+				}
+				if errors.Is(aerr, oagrid.ErrCampaignFailed) {
+					if failedVerdicts++; failedVerdicts >= 3 {
+						out.err = aerr
+						return out
+					}
+				}
+			}
+			if !pause() {
+				out.err = aerr
+				return out
+			}
+		}
+		if !pause() {
+			out.err = err
+			return out
 		}
 	}
 }
@@ -337,7 +488,7 @@ func verifyAll(fabric *grid.Fabric, c oagrid.Campaign, results []*oagrid.Campaig
 		}
 		chunks := make([]grid.ChunkReport, len(res.Reports))
 		for j, rep := range res.Reports {
-			chunks[j] = grid.ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan}
+			chunks[j] = grid.ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan, Round: rep.Round}
 		}
 		if err := v.VerifyChunks(c.Experiment, res.Makespan, chunks); err != nil {
 			return fmt.Errorf("campaign %d: %w", i, err)

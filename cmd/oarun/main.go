@@ -11,6 +11,7 @@
 //	oarun -calibrate                                    # Figure-1 table
 //	oarun -schedule -ns 3 -months 2 -r 20               # realrun an ensemble
 //	oarun -daemon -addr 127.0.0.1:7714 -seds 3          # scheduler daemon
+//	oarun -daemon -state /var/lib/oagrid                # durable daemon
 //
 // Daemon mode starts an internal/grid scheduler on -addr and, when -seds is
 // positive, that many in-process SeDs (the paper's five Grid'5000 cluster
@@ -18,6 +19,13 @@
 // External SeDs can join at any time by heartbeating the same address.
 // Submit campaigns with cmd/oaload or the public client API (oagrid.Dial);
 // stop with ^C.
+//
+// With -state the daemon is durable: campaign transitions are journaled to
+// an append-only WAL under the directory, and a daemon restarted on the
+// same -state (after a crash, a kill -9, or a clean ^C) re-admits every
+// unfinished campaign and keeps serving previously issued campaign IDs —
+// clients reattach with oagrid's Runner.Attach and resume streaming from
+// the replayed history.
 package main
 
 import (
@@ -60,11 +68,12 @@ func main() {
 		dispatch = flag.Int("dispatchers", 4, "daemon concurrent campaign dispatchers")
 		hbEvery  = flag.Duration("hb", 500*time.Millisecond, "SeD heartbeat interval")
 		evict    = flag.Duration("evict", 3*time.Second, "daemon heartbeat eviction deadline")
+		state    = flag.String("state", "", "daemon state dir: journal campaigns and recover them on restart (empty = in-memory only)")
 	)
 	flag.Parse()
 
 	if *daemon {
-		runDaemon(*addr, *seds, *cprocs, *queueCap, *inflight, *dispatch, *hbEvery, *evict)
+		runDaemon(*addr, *state, *seds, *cprocs, *queueCap, *inflight, *dispatch, *hbEvery, *evict)
 		return
 	}
 
@@ -148,13 +157,14 @@ func main() {
 
 // runDaemon serves the online scheduler until SIGINT/SIGTERM, printing a
 // stats line every few seconds.
-func runDaemon(addr string, seds, cprocs, queueCap, inflight, dispatchers int, hbEvery, evict time.Duration) {
+func runDaemon(addr, state string, seds, cprocs, queueCap, inflight, dispatchers int, hbEvery, evict time.Duration) {
 	fabric, err := grid.StartFabric(grid.Config{
 		Addr:           addr,
 		QueueCap:       queueCap,
 		Dispatchers:    dispatchers,
 		PerSeDInFlight: inflight,
 		EvictAfter:     evict,
+		StateDir:       state,
 	}, seds, cprocs, hbEvery)
 	if err != nil {
 		fail(err)
@@ -163,6 +173,9 @@ func runDaemon(addr string, seds, cprocs, queueCap, inflight, dispatchers int, h
 	sched := fabric.Sched
 	fmt.Printf("scheduler daemon listening on %s (queue %d, %d dispatchers, %d in-flight/SeD)\n",
 		sched.Addr(), queueCap, dispatchers, inflight)
+	if state != "" {
+		fmt.Printf("durable: campaign journal under %s (restart on the same -state to recover)\n", state)
+	}
 	for _, sed := range fabric.SeDs {
 		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)
 	}

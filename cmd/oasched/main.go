@@ -5,12 +5,20 @@
 // simulated columns come from the same two pluggable backends the figure
 // harness uses, and the per-heuristic evaluations run as one batched sweep.
 //
+// With -addr the configuration is submitted as a campaign to a live grid
+// scheduler daemon (oarun -daemon) instead of simulated locally, streaming
+// typed progress; -attach reconnects to a campaign the daemon already
+// knows — after a network cut, or a daemon restart on a -state dir — and
+// replays its full history before following it live.
+//
 // Usage:
 //
 //	oasched -r 53 -ns 10 -nm 1800                  # the paper's worked example
 //	oasched -r 53 -ns 4 -nm 6 -heuristic knapsack -gantt
 //	oasched -r 60 -speed 1.29                      # a slower cluster profile
 //	oasched -r 53 -heuristic cpa                   # related-work baseline
+//	oasched -addr 127.0.0.1:7714 -ns 10 -nm 1800   # submit to a daemon
+//	oasched -addr 127.0.0.1:7714 -attach 17        # reattach to campaign 17
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"syscall"
 	"text/tabwriter"
 
+	"oagrid"
 	"oagrid/internal/baseline"
 	"oagrid/internal/core"
 	"oagrid/internal/engine"
@@ -39,12 +48,22 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart (small workloads only)")
 		policy    = flag.String("policy", "least-advanced", "dispatch policy: least-advanced, round-robin, most-advanced")
 		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		addr      = flag.String("addr", "", "grid scheduler daemon address: submit the campaign remotely instead of simulating locally")
+		attach    = flag.Uint64("attach", 0, "with -addr: reattach to a campaign the daemon already knows by ID")
 	)
 	flag.Parse()
 
 	app := core.Application{Scenarios: *ns, Months: *nm}
 	if err := app.Validate(); err != nil {
 		fail(err)
+	}
+
+	if *addr != "" {
+		runRemote(*addr, *attach, app, *heuristic)
+		return
+	}
+	if *attach != 0 {
+		fail(fmt.Errorf("-attach needs -addr: only a daemon holds reattachable campaigns"))
 	}
 	timing := platform.ReferenceTiming()
 	timing.Speed = *speed
@@ -134,6 +153,56 @@ func main() {
 		}
 	}
 	w.Flush()
+}
+
+// runRemote drives the configuration through a grid scheduler daemon via
+// the public client API: submit (or reattach to) one campaign, stream its
+// typed events, and print the final accounting. The admission line prints
+// the campaign ID — the durable name to reattach with after a cut or a
+// daemon restart.
+func runRemote(addr string, attach uint64, app core.Application, heuristic string) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	runner, err := oagrid.Dial(ctx, addr)
+	if err != nil {
+		fail(err)
+	}
+	defer runner.Close()
+
+	var h *oagrid.Handle
+	if attach != 0 {
+		h, err = runner.Attach(ctx, attach)
+	} else {
+		h, err = runner.Run(ctx, oagrid.Campaign{Experiment: oagrid.Experiment(app), Heuristic: heuristic})
+	}
+	if err != nil {
+		fail(err)
+	}
+	for ev := range h.Events() {
+		switch ev := ev.(type) {
+		case oagrid.EventAdmitted:
+			fmt.Printf("campaign %d admitted at %s (reattach with -addr %s -attach %d)\n", ev.ID, addr, addr, ev.ID)
+		case oagrid.EventPlanned:
+			fmt.Printf("planned:")
+			for _, share := range ev.Shares {
+				fmt.Printf("  %s×%d", share.Cluster, share.Scenarios)
+			}
+			fmt.Println()
+		case oagrid.EventChunkDone:
+			fmt.Printf("  chunk done: %s ×%d round %d makespan %.0fs  (%d/%d scenarios)\n",
+				ev.Report.Cluster, ev.Report.Scenarios, ev.Report.Round, ev.Report.Makespan, ev.Done, ev.Total)
+		case oagrid.EventProgress:
+			if ev.Requeued > 0 {
+				fmt.Printf("  requeued %d scenario(s) after a cluster failure\n", ev.Requeued)
+			}
+		}
+	}
+	res, err := h.Wait()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("campaign %d done: makespan %.0fs over %d chunk(s), %d requeue(s)\n",
+		h.ID(), res.Makespan, len(res.Reports), res.Requeues)
 }
 
 // byName resolves the paper's heuristics plus the related-work baselines.

@@ -56,16 +56,64 @@ func (r *remoteRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
 	return handle, nil
 }
 
+// Attach implements Runner: it reconnects to a daemon-side campaign by ID
+// over a KindAttach stream. The handle replays the campaign's full progress
+// history — including everything published before a network cut or a
+// daemon restart on a state dir — then follows it live to the result.
+// Attach blocks until the attach verdict (one dial plus one frame, bounded
+// by WithTimeout) or the failure that precedes it: the verdict carries the
+// campaign shape that sizes event-subscription buffers, so a handle
+// returned earlier could hand Events() an undersized channel and strand an
+// abandoning consumer's delivery goroutine.
+func (r *remoteRunner) Attach(ctx context.Context, id uint64) (*Handle, error) {
+	handle := newHandle(0) // shape arrives with the attach verdict
+	ready := make(chan struct{})
+	go r.attach(ctx, handle, id, ready)
+	select {
+	case <-ready: // verdict arrived; scenarios are set
+	case <-handle.done: // failed before the verdict (dial error, unknown ID)
+	}
+	return handle, nil
+}
+
 // Close implements Runner. Campaigns dial their own connections, so there
 // is nothing to release.
 func (r *remoteRunner) Close() error { return nil }
 
 func (r *remoteRunner) run(ctx context.Context, handle *Handle, app core.Application, heuristic string) {
-	res, err := r.client.RunContext(ctx, app, heuristic, func(u *diet.ProgressUpdate) {
-		for _, ev := range progressEvents(u) {
-			handle.publish(ev)
+	res, err := r.client.RunContext(ctx, app, heuristic,
+		func(id uint64) {
+			handle.setID(id)
+			handle.publish(EventAdmitted{ID: id})
+		},
+		func(u *diet.ProgressUpdate) {
+			for _, ev := range progressEvents(u) {
+				handle.publish(ev)
+			}
+		})
+	if err != nil {
+		if ctx.Err() != nil {
+			err = ctx.Err()
 		}
-	})
+		handle.finish(nil, err)
+		return
+	}
+	handle.finish(fromWire(res), nil)
+}
+
+func (r *remoteRunner) attach(ctx context.Context, handle *Handle, id uint64, ready chan<- struct{}) {
+	res, err := r.client.AttachContext(ctx, id,
+		func(v *diet.AttachResponse) {
+			handle.setID(v.ID)
+			handle.setScenarios(v.Total)
+			handle.publish(EventAdmitted{ID: v.ID})
+			close(ready)
+		},
+		func(u *diet.ProgressUpdate) {
+			for _, ev := range progressEvents(u) {
+				handle.publish(ev)
+			}
+		})
 	if err != nil {
 		if ctx.Err() != nil {
 			err = ctx.Err()
@@ -91,13 +139,8 @@ func progressEvents(u *diet.ProgressUpdate) []Event {
 		}
 		return []Event{
 			EventChunkDone{
-				Report: ClusterReport{
-					Cluster:    u.Chunk.Cluster,
-					Scenarios:  u.Chunk.Scenarios,
-					Makespan:   u.Chunk.Makespan,
-					Allocation: u.Chunk.Allocation,
-				},
-				Done: u.Done, Total: u.Total,
+				Report: reportFromWire(*u.Chunk),
+				Done:   u.Done, Total: u.Total,
 			},
 			EventProgress{Done: u.Done, Total: u.Total},
 		}
@@ -108,16 +151,23 @@ func progressEvents(u *diet.ProgressUpdate) []Event {
 	}
 }
 
+// reportFromWire maps one wire chunk report onto the public shape. The full
+// backend Result does not travel the wire (or the journal), so it stays nil.
+func reportFromWire(rep diet.ExecResponse) ClusterReport {
+	return ClusterReport{
+		Cluster:    rep.Cluster,
+		Scenarios:  rep.Scenarios,
+		Makespan:   rep.Makespan,
+		Allocation: rep.Allocation,
+		Round:      rep.Round,
+	}
+}
+
 // fromWire maps the daemon's campaign result onto the public shape.
 func fromWire(res *diet.CampaignResult) *CampaignResult {
 	out := &CampaignResult{Makespan: res.Makespan, Requeues: res.Requeues}
 	for _, rep := range res.Reports {
-		out.Reports = append(out.Reports, ClusterReport{
-			Cluster:    rep.Cluster,
-			Scenarios:  rep.Scenarios,
-			Makespan:   rep.Makespan,
-			Allocation: rep.Allocation,
-		})
+		out.Reports = append(out.Reports, reportFromWire(rep))
 	}
 	return out
 }

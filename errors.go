@@ -18,4 +18,8 @@ var (
 	// missing or malformed frame, or an incompatible protocol version.
 	// Retrying the same exchange cannot succeed.
 	ErrProtocol = grid.ErrProtocol
+	// ErrUnknownCampaign reports an Attach to a campaign ID the runner does
+	// not know — never admitted, pruned past the daemon's retention cap, or
+	// issued by a different runner/state dir. Resubmit instead of retrying.
+	ErrUnknownCampaign = grid.ErrUnknownCampaign
 )

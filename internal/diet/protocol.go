@@ -67,6 +67,10 @@ const (
 	KindSubmit    = "submit"
 	KindResult    = "result"
 	KindStats     = "stats"
+	// KindAttach reconnects to a previously admitted campaign by ID and
+	// streams like a submit-wait connection: verdict, replayed + live
+	// progress frames (protocol v2), final result.
+	KindAttach = "attach"
 )
 
 // Request is the envelope every connection carries exactly one of.
@@ -83,6 +87,7 @@ type Request struct {
 	Submit    *SubmitRequest
 	Result    *ResultRequest
 	Stats     *StatsRequest
+	Attach    *AttachRequest
 }
 
 // Response is the reply envelope. A Submit connection with Wait set is the
@@ -104,6 +109,7 @@ type Response struct {
 	Result    *CampaignResult
 	Progress  *ProgressUpdate
 	Stats     *StatsResponse
+	Attach    *AttachResponse
 }
 
 // RegisterRequest is a SeD announcing itself to the master agent.
@@ -151,12 +157,50 @@ type ExecRequest struct {
 	Heuristic   string
 }
 
-// ExecResponse is step (6): the execution report.
+// ExecResponse is step (6): the execution report. Round and FirstScenario
+// are filled in by the scheduler, not the SeD: the SeD evaluates one chunk
+// without knowing which repartition round asked for it.
 type ExecResponse struct {
 	Cluster    string
 	Makespan   float64
 	Allocation core.Allocation
 	Scenarios  int
+	// Round is the repartition round that dispatched the chunk (0 for the
+	// first attempt; higher after requeues). Rounds run sequentially, so a
+	// campaign's makespan is the sum of per-round chunk maxima.
+	Round int
+	// FirstScenario is the lowest scenario ID of the chunk. Scenario IDs are
+	// disjoint across completed chunks, so (Cluster, Scenarios,
+	// FirstScenario) is a total order — the tiebreak that keeps report
+	// ordering deterministic when the same cluster serves equal-sized chunks
+	// in two rounds.
+	FirstScenario int
+}
+
+// CampaignMakespan folds chunk reports into a campaign's completion time:
+// repartition rounds run sequentially (a requeued round starts only after
+// the previous round's chunks resolved), so the makespan is the sum of
+// per-round chunk maxima — not the global max over all reports, which
+// undercounts every campaign that survived a failure. Summation runs in
+// ascending round order: float addition is not associative, and every
+// accounting site (scheduler, verifier, local runner) must agree bit for
+// bit, which is why this is the one shared implementation.
+func CampaignMakespan(reports []ExecResponse) float64 {
+	maxByRound := make(map[int]float64)
+	maxRound := 0
+	for _, r := range reports {
+		if r.Makespan > maxByRound[r.Round] {
+			maxByRound[r.Round] = r.Makespan
+		}
+		if r.Round > maxRound {
+			maxRound = r.Round
+		}
+	}
+	total := 0.0
+	for round := 0; round <= maxRound; round++ {
+		total += maxByRound[round]
+	}
+	return total
 }
 
 // HeartbeatRequest is a SeD's liveness beacon to the scheduler. It carries
@@ -201,6 +245,29 @@ type SubmitResponse struct {
 // ResultRequest polls a campaign by ID.
 type ResultRequest struct{ ID uint64 }
 
+// AttachRequest reconnects to a campaign by ID — after a network cut, a
+// client restart, or a scheduler restart that replayed its journal. The
+// connection streams exactly like a submit-wait connection, except the
+// verdict frame is an AttachResponse and the progress stream starts with the
+// campaign's full replayed history.
+type AttachRequest struct {
+	ID uint64
+	// Progress asks for progress frames (replayed history plus live updates)
+	// between the verdict and the result. Honored at protocol v2 or later.
+	Progress bool
+}
+
+// AttachResponse is the attach verdict. Found=false means the scheduler does
+// not know the campaign — it was never admitted, or was pruned past the
+// retention cap; resubmit instead of retrying.
+type AttachResponse struct {
+	ID     uint64
+	Found  bool
+	Status string
+	Done   int
+	Total  int
+}
+
 // Campaign states reported by CampaignResult.Status.
 const (
 	CampaignQueued  = "queued"
@@ -219,7 +286,12 @@ type CampaignResult struct {
 	Reports  []ExecResponse
 	// Requeues counts chunks that had to be re-dispatched after a SeD died.
 	Requeues int
-	Err      string
+	// Done and Total count scenarios with a finished chunk report, so a
+	// polling client (Submit without Wait, then Result) sees progress before
+	// the terminal state, not just "running".
+	Done  int
+	Total int
+	Err   string
 }
 
 // Progress stages reported by ProgressUpdate.Stage.

@@ -8,9 +8,13 @@ import (
 
 	"oagrid/internal/core"
 	"oagrid/internal/diet"
+	"oagrid/internal/store"
 )
 
-// campaign is one submitted protocol round moving through the queue.
+// campaign is one submitted protocol round moving through the queue. The
+// progress fields (remaining, reports, round, ...) live on the campaign
+// rather than in runCampaign's frame so a journal replay can rebuild a
+// half-finished campaign and the dispatcher can resume it mid-flight.
 type campaign struct {
 	id        uint64
 	app       core.Application
@@ -22,6 +26,11 @@ type campaign struct {
 	reports  []diet.ExecResponse
 	requeues int
 	errMsg   string
+	// remaining lists the scenario IDs with no completed chunk, ascending.
+	remaining []int
+	// round is the next repartition round's index; rounds run sequentially,
+	// so the campaign makespan is the sum of per-round chunk maxima.
+	round int
 	// scenariosDone counts scenarios with a finished chunk report, the Done
 	// gauge of progress frames.
 	scenariosDone int
@@ -33,6 +42,50 @@ type campaign struct {
 	// done closes when the campaign reaches a terminal state; submit-wait
 	// connections and pollers block on it.
 	done chan struct{}
+}
+
+// newCampaign builds a fresh campaign with every scenario remaining.
+func newCampaign(id uint64, app core.Application, heuristic string) *campaign {
+	c := &campaign{
+		id:        id,
+		app:       app,
+		heuristic: heuristic,
+		status:    diet.CampaignQueued,
+		remaining: make([]int, app.Scenarios),
+		done:      make(chan struct{}),
+	}
+	for i := range c.remaining {
+		c.remaining[i] = i
+	}
+	return c
+}
+
+// recoveredCampaign rebuilds a campaign from its replayed journal state.
+func recoveredCampaign(rc *store.Campaign) *campaign {
+	c := &campaign{
+		id:            rc.ID,
+		app:           core.Application{Scenarios: rc.Scenarios, Months: rc.Months},
+		heuristic:     rc.Heuristic,
+		status:        diet.CampaignQueued,
+		makespan:      rc.Makespan,
+		reports:       rc.Reports,
+		requeues:      rc.Requeues,
+		errMsg:        rc.Err,
+		remaining:     rc.Remaining,
+		round:         rc.Rounds,
+		scenariosDone: rc.ScenariosDone,
+		history:       rc.History,
+		done:          make(chan struct{}),
+	}
+	if rc.Terminal() {
+		// Chunk records are journaled in arrival order; the terminal result
+		// the original process served was sorted. Re-sort so a recovered
+		// snapshot is byte-for-byte the one clients saw before the restart.
+		sortReports(c.reports)
+		c.status = rc.Status
+		close(c.done)
+	}
+	return c
 }
 
 // subscribe registers a progress listener and replays the frames published
@@ -78,7 +131,9 @@ func (c *campaign) publish(u diet.ProgressUpdate) {
 	c.mu.Unlock()
 }
 
-// snapshot copies the campaign's client-visible state.
+// snapshot copies the campaign's client-visible state, including the
+// scenario-level progress gauges a polling client needs to see motion
+// before the terminal state.
 func (c *campaign) snapshot() *diet.CampaignResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -87,6 +142,8 @@ func (c *campaign) snapshot() *diet.CampaignResult {
 		Status:   c.status,
 		Makespan: c.makespan,
 		Requeues: c.requeues,
+		Done:     c.scenariosDone,
+		Total:    c.app.Scenarios,
 		Err:      c.errMsg,
 	}
 	out.Reports = append(out.Reports, c.reports...)
@@ -139,12 +196,30 @@ func (s *Scheduler) drainQueue() {
 			s.queueLen--
 			s.running++
 			s.mu.Unlock()
-			c.complete(diet.CampaignFailed, 0, nil, 0, "grid: scheduler shut down")
-			s.finish(c, true)
+			s.failCampaign(c, "grid: scheduler shut down", false)
 		default:
 			return
 		}
 	}
+}
+
+// failCampaign drives a campaign to the failed state. journal records the
+// failure as terminal; shutdown failures pass false, because with a state
+// dir a shutdown is a pause — the journal keeps the campaign non-terminal
+// and a restarted daemon re-admits it.
+func (s *Scheduler) failCampaign(c *campaign, msg string, journal bool) {
+	c.mu.Lock()
+	reports := append([]diet.ExecResponse(nil), c.reports...)
+	requeues := c.requeues
+	c.mu.Unlock()
+	// Sort the partial reports like the success path does, so a failed
+	// snapshot — and its journal-recovered twin — have one canonical order.
+	sortReports(reports)
+	if journal {
+		s.journal(store.Record{Kind: store.KindDone, ID: c.id, Status: diet.CampaignFailed, Requeues: requeues, Err: msg})
+	}
+	c.complete(diet.CampaignFailed, 0, reports, requeues, msg)
+	s.finish(c, true)
 }
 
 // chunkReport is one dispatched chunk's outcome.
@@ -158,30 +233,27 @@ type chunkReport struct {
 // runCampaign drives one campaign to a terminal state: repartition the
 // remaining scenarios over the live SeDs, dispatch the chunks under the
 // per-SeD in-flight limits, and requeue chunks lost to dead daemons until
-// nothing remains or the campaign deadline passes.
+// nothing remains or the campaign deadline passes. Recovered campaigns
+// resume here with their journaled remaining set and completed reports.
 func (s *Scheduler) runCampaign(c *campaign) {
 	deadline := time.Now().Add(s.cfg.CampaignTimeout)
-	remaining := make([]int, c.app.Scenarios)
-	for i := range remaining {
-		remaining[i] = i
-	}
-	var reports []diet.ExecResponse
-	requeues := 0
 
-	fail := func(msg string) {
-		c.complete(diet.CampaignFailed, 0, nil, requeues, msg)
-		s.finish(c, true)
-	}
-
-	for len(remaining) > 0 {
+	for {
+		c.mu.Lock()
+		remaining := append([]int(nil), c.remaining...)
+		round := c.round
+		c.mu.Unlock()
+		if len(remaining) == 0 {
+			break
+		}
 		select {
 		case <-s.done:
-			fail("grid: scheduler shut down")
+			s.failCampaign(c, "grid: scheduler shut down", false)
 			return
 		default:
 		}
 		if time.Now().After(deadline) {
-			fail(fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)))
+			s.failCampaign(c, fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)), true)
 			return
 		}
 
@@ -202,7 +274,7 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		if len(pool) == 0 {
 			select {
 			case <-s.done:
-				fail("grid: scheduler shut down")
+				s.failCampaign(c, "grid: scheduler shut down", false)
 				return
 			case <-time.After(s.cfg.RetryEvery):
 			}
@@ -212,7 +284,7 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		// Step 4: Algorithm-1 repartition of the remaining scenarios.
 		rep, err := core.Repartition(perf)
 		if err != nil {
-			fail(err.Error())
+			s.failCampaign(c, err.Error(), true)
 			return
 		}
 		chunks := make([][]int, len(pool))
@@ -225,6 +297,7 @@ func (s *Scheduler) runCampaign(c *campaign) {
 				planned = append(planned, diet.PlannedChunk{Cluster: ref.info.Cluster, Scenarios: len(chunks[i])})
 			}
 		}
+		s.journal(store.Record{Kind: store.KindPlanned, ID: c.id, Round: round, Planned: planned})
 		c.publish(diet.ProgressUpdate{Stage: diet.StagePlanned, Planned: planned})
 
 		// Steps 5-6: dispatch every chunk concurrently, each behind its
@@ -238,47 +311,78 @@ func (s *Scheduler) runCampaign(c *campaign) {
 			launched++
 			go s.dispatchChunk(c, ref, chunks[i], results)
 		}
-		remaining = remaining[:0]
 		for ; launched > 0; launched-- {
 			r := <-results
 			if r.err != nil {
-				// The chunk's scenarios go back on the campaign's plate and
-				// will be re-repartitioned over the survivors.
+				// The chunk's scenarios stay on the campaign's plate and
+				// will be re-repartitioned over the survivors. WAL first:
+				// the requeue is fsynced before it shows up in snapshots.
 				s.markDead(r.ref.st, r.ref.info.Addr)
-				remaining = append(remaining, r.ids...)
-				requeues++
+				s.journal(store.Record{Kind: store.KindRequeue, ID: c.id, Requeued: len(r.ids)})
+				c.mu.Lock()
+				c.requeues++
+				c.mu.Unlock()
+				s.mu.Lock()
+				s.requeues++
+				s.mu.Unlock()
 				c.publish(diet.ProgressUpdate{Stage: diet.StageRequeue, Requeued: len(r.ids)})
 				continue
 			}
-			reports = append(reports, *r.resp)
+			// Stamp the chunk with its provenance: the round (makespan
+			// accounting) and its lowest scenario ID (the report-order
+			// tiebreak). IDs are dispatched ascending, so ids[0] is the
+			// minimum. WAL discipline: the chunk is fsynced before it
+			// becomes visible to snapshots or subscribers, so progress a
+			// polling client observed can never regress across a restart.
+			r.resp.Round = round
+			r.resp.FirstScenario = r.ids[0]
+			s.journal(store.Record{Kind: store.KindChunk, ID: c.id, Chunk: r.resp, IDs: r.ids})
 			c.mu.Lock()
+			c.reports = append(c.reports, *r.resp)
 			c.scenariosDone += r.resp.Scenarios
+			c.remaining = store.Without(c.remaining, r.ids)
 			c.mu.Unlock()
 			c.publish(diet.ProgressUpdate{Stage: diet.StageChunk, Chunk: r.resp})
 		}
-		sort.Ints(remaining)
-		if len(remaining) > 0 {
-			s.mu.Lock()
-			s.requeues++
-			s.mu.Unlock()
-		}
+		c.mu.Lock()
+		c.round++
+		c.mu.Unlock()
 	}
 
-	// Stable report order whatever the arrival interleaving was.
-	sort.Slice(reports, func(i, j int) bool {
+	c.mu.Lock()
+	reports := append([]diet.ExecResponse(nil), c.reports...)
+	requeues := c.requeues
+	c.mu.Unlock()
+
+	sortReports(reports)
+	makespan := diet.CampaignMakespan(reports)
+	s.journal(store.Record{Kind: store.KindDone, ID: c.id, Status: diet.CampaignDone, Makespan: makespan, Requeues: requeues})
+	c.complete(diet.CampaignDone, makespan, reports, requeues, "")
+	s.finish(c, false)
+}
+
+// sortReports puts chunk reports in their stable, deterministic final
+// order, whatever the arrival interleaving was. The sort must be stable
+// with a total-order key: the same cluster can serve equal-sized chunks in
+// two rounds, and an unstable (Cluster, Scenarios) sort would order those
+// ties by interleaving — flaking the bit-identity tests. Round is the
+// public tiebreak (a cluster serves at most one chunk per round, and the
+// Local runner sorts its reports the same way); FirstScenario — unique
+// across completed chunks, whose scenario sets are disjoint — backstops
+// the key into a total order.
+func sortReports(reports []diet.ExecResponse) {
+	sort.SliceStable(reports, func(i, j int) bool {
 		if reports[i].Cluster != reports[j].Cluster {
 			return reports[i].Cluster < reports[j].Cluster
 		}
-		return reports[i].Scenarios < reports[j].Scenarios
-	})
-	makespan := 0.0
-	for _, r := range reports {
-		if r.Makespan > makespan {
-			makespan = r.Makespan
+		if reports[i].Scenarios != reports[j].Scenarios {
+			return reports[i].Scenarios < reports[j].Scenarios
 		}
-	}
-	c.complete(diet.CampaignDone, makespan, reports, requeues, "")
-	s.finish(c, false)
+		if reports[i].Round != reports[j].Round {
+			return reports[i].Round < reports[j].Round
+		}
+		return reports[i].FirstScenario < reports[j].FirstScenario
+	})
 }
 
 // dispatchChunk sends one cluster its scenario share (protocol step 5) and

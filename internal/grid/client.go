@@ -27,6 +27,10 @@ var (
 	// frame, or a remote speaking an incompatible protocol. Retrying the same
 	// exchange cannot succeed.
 	ErrProtocol = errors.New("grid: protocol error")
+	// ErrUnknownCampaign reports an attach to a campaign ID the daemon does
+	// not know: never admitted, or pruned past the retention cap. Resubmit
+	// instead of retrying the attach.
+	ErrUnknownCampaign = errors.New("grid: unknown campaign")
 )
 
 // Client submits campaigns to a scheduler daemon.
@@ -53,86 +57,70 @@ func (c *Client) timeout() time.Duration {
 // Run submits a campaign and streams until its result arrives on the same
 // connection; see RunContext.
 func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResult, error) {
-	return c.RunContext(context.Background(), app, heuristic, nil)
+	return c.RunContext(context.Background(), app, heuristic, nil, nil)
 }
 
-// RunContext submits a campaign and streams on one connection until the
-// result arrives. Progress frames (protocol v2) are delivered to onProgress
-// when non-nil; they double as liveness, refreshing the frame deadline. A
-// full queue returns an error wrapping ErrRejected; a campaign the daemon
-// reports as failed returns its snapshot and an error wrapping
-// ErrCampaignFailed; cancelling ctx abandons the stream — the daemon
-// notices on its next frame write and releases the connection, while the
-// campaign itself keeps running server-side to its own deadline.
-func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
+// campaignStream is one open streaming connection: submit-wait or attach.
+type campaignStream struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	stop func()
+}
+
+func (st *campaignStream) close() {
+	st.stop()
+	st.conn.Close()
+}
+
+// openStream dials the daemon, ties the connection to ctx, and sends req.
+func (c *Client) openStream(ctx context.Context, req *diet.Request) (*campaignStream, error) {
 	dialer := net.Dialer{Timeout: c.timeout()}
 	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("grid: dialing %s: %w", c.Addr, err)
 	}
-	defer conn.Close()
 	stop := diet.AbortOnDone(ctx, conn)
-	defer stop()
+	st := &campaignStream{conn: conn, dec: gob.NewDecoder(conn), stop: stop}
+	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
+		st.close()
+		return nil, err
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		st.close()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("grid: encoding %s to %s: %w", req.Kind, c.Addr, err)
+	}
+	return st, nil
+}
 
-	// ctxErr folds a deadline/abort failure back into the context's error
-	// when the context caused it.
-	ctxErr := func(err error) error {
+// nextFrame refreshes the deadline before every decode: the stream stays
+// alive as long as the daemon keeps talking, however long the campaign.
+// The explicit ctx checks bracket the refresh so a cancellation landing
+// between decodes is honored instead of silently re-armed away (the
+// AbortOnDone watcher keeps re-asserting the past deadline as a backstop
+// for the refresh race).
+func (c *Client) nextFrame(ctx context.Context, st *campaignStream, resp *diet.Response) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = st.conn.SetDeadline(time.Now().Add(c.timeout()))
+	if err := st.dec.Decode(resp); err != nil {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		return err
 	}
+	return ctx.Err()
+}
 
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
-		return nil, err
-	}
-	if err := enc.Encode(&diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
-		Scenarios: app.Scenarios,
-		Months:    app.Months,
-		Heuristic: heuristic,
-		Wait:      true,
-		Progress:  true,
-	}}); err != nil {
-		return nil, ctxErr(fmt.Errorf("grid: encoding submit to %s: %w", c.Addr, err))
-	}
-
-	// nextFrame refreshes the deadline before every decode: the stream stays
-	// alive as long as the daemon keeps talking, however long the campaign.
-	// The explicit ctx checks bracket the refresh so a cancellation landing
-	// between decodes is honored instead of silently re-armed away (the
-	// AbortOnDone watcher keeps re-asserting the past deadline as a
-	// backstop for the refresh race).
-	nextFrame := func(resp *diet.Response) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		_ = conn.SetDeadline(time.Now().Add(c.timeout()))
-		if err := dec.Decode(resp); err != nil {
-			return ctxErr(err)
-		}
-		return ctx.Err()
-	}
-
-	var verdict diet.Response
-	if err := nextFrame(&verdict); err != nil {
-		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
-	}
-	if verdict.Err != "" {
-		return nil, fmt.Errorf("%w: submit to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
-	}
-	if verdict.Submit == nil {
-		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
-	}
-	if !verdict.Submit.Accepted {
-		return nil, fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, verdict.Submit.Reason, verdict.Submit.QueueDepth)
-	}
-	id := verdict.Submit.ID
-
+// streamResult consumes a verdict-acknowledged campaign stream to its end:
+// progress frames go to onProgress, the result frame closes the exchange.
+func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64, onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
 	for {
 		var frame diet.Response
-		if err := nextFrame(&frame); err != nil {
+		if err := c.nextFrame(ctx, st, &frame); err != nil {
 			return nil, fmt.Errorf("grid: waiting for campaign %d result: %w", id, err)
 		}
 		switch {
@@ -151,6 +139,83 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 			return nil, fmt.Errorf("%w: %s sent an empty frame for campaign %d", ErrProtocol, c.Addr, id)
 		}
 	}
+}
+
+// RunContext submits a campaign and streams on one connection until the
+// result arrives. The admission verdict's campaign ID is delivered to
+// onAdmit when non-nil — hold on to it: it is the handle for polling and
+// for Attach after a cut. Progress frames (protocol v2) are delivered to
+// onProgress when non-nil; they double as liveness, refreshing the frame
+// deadline. A full queue returns an error wrapping ErrRejected; a campaign
+// the daemon reports as failed returns its snapshot and an error wrapping
+// ErrCampaignFailed; cancelling ctx abandons the stream — the daemon
+// notices on its next frame write and releases the connection, while the
+// campaign itself keeps running server-side to its own deadline.
+func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, onAdmit func(uint64), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
+	st, err := c.openStream(ctx, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+		Scenarios: app.Scenarios,
+		Months:    app.Months,
+		Heuristic: heuristic,
+		Wait:      true,
+		Progress:  true,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	defer st.close()
+
+	var verdict diet.Response
+	if err := c.nextFrame(ctx, st, &verdict); err != nil {
+		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
+	}
+	if verdict.Err != "" {
+		return nil, fmt.Errorf("%w: submit to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
+	}
+	if verdict.Submit == nil {
+		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
+	}
+	if !verdict.Submit.Accepted {
+		return nil, fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, verdict.Submit.Reason, verdict.Submit.QueueDepth)
+	}
+	if onAdmit != nil {
+		onAdmit(verdict.Submit.ID)
+	}
+	return c.streamResult(ctx, st, verdict.Submit.ID, onProgress)
+}
+
+// AttachContext reconnects to a previously admitted campaign by ID — after
+// a network cut, a client restart, or a daemon restart that replayed its
+// journal — and streams to the result exactly like RunContext, starting
+// with the campaign's full replayed progress history. The attach verdict is
+// delivered to onAttach when non-nil. An ID the daemon does not know
+// returns an error wrapping ErrUnknownCampaign.
+func (c *Client) AttachContext(ctx context.Context, id uint64, onAttach func(*diet.AttachResponse), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
+	st, err := c.openStream(ctx, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindAttach, Attach: &diet.AttachRequest{
+		ID:       id,
+		Progress: true,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	defer st.close()
+
+	var verdict diet.Response
+	if err := c.nextFrame(ctx, st, &verdict); err != nil {
+		return nil, fmt.Errorf("grid: decoding attach verdict from %s: %w", c.Addr, err)
+	}
+	if verdict.Err != "" {
+		return nil, fmt.Errorf("%w: attach to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
+	}
+	if verdict.Attach == nil {
+		return nil, fmt.Errorf("%w: %s sent no attach verdict", ErrProtocol, c.Addr)
+	}
+	if !verdict.Attach.Found {
+		return nil, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+	}
+	if onAttach != nil {
+		onAttach(verdict.Attach)
+	}
+	return c.streamResult(ctx, st, id, onProgress)
 }
 
 // RunRetry is Run with admission-control backoff: a rejected submission is

@@ -148,7 +148,7 @@ func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error 
 	}
 	chunks := make([]ChunkReport, len(res.Reports))
 	for i, rep := range res.Reports {
-		chunks[i] = ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan}
+		chunks[i] = ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan, Round: rep.Round}
 	}
 	if err := v.VerifyChunks(app, res.Makespan, chunks); err != nil {
 		return fmt.Errorf("grid: campaign %d: %w", res.ID, err)
@@ -156,21 +156,24 @@ func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error 
 	return nil
 }
 
-// ChunkReport is the transport-agnostic (cluster, scenarios, makespan)
-// triple VerifyChunks checks — the shape shared by diet.ExecResponse and
-// the public client API's cluster reports.
+// ChunkReport is the transport-agnostic chunk record VerifyChunks checks —
+// the shape shared by diet.ExecResponse and the public client API's cluster
+// reports. Round is the repartition round that dispatched the chunk.
 type ChunkReport struct {
 	Cluster   string
 	Scenarios int
 	Makespan  float64
+	Round     int
 }
 
-// VerifyChunks checks a campaign outcome given as chunk triples: every
+// VerifyChunks checks a campaign outcome given as chunk records: every
 // chunk bit-identical to its serial replay, all scenarios accounted for,
-// and the campaign makespan equal to the slowest chunk.
+// and the campaign makespan equal to the sum of per-round chunk maxima
+// (repartition rounds run sequentially after a requeue, so a multi-round
+// campaign takes longer than its slowest single chunk).
 func (v *Verifier) VerifyChunks(app core.Application, makespan float64, chunks []ChunkReport) error {
 	total := 0
-	maxMs := 0.0
+	folded := make([]diet.ExecResponse, 0, len(chunks))
 	for _, rep := range chunks {
 		want, err := v.SerialMakespan(rep.Cluster, rep.Scenarios, app.Months)
 		if err != nil {
@@ -181,15 +184,16 @@ func (v *Verifier) VerifyChunks(app core.Application, makespan float64, chunks [
 				rep.Cluster, rep.Scenarios, rep.Makespan, want)
 		}
 		total += rep.Scenarios
-		if rep.Makespan > maxMs {
-			maxMs = rep.Makespan
-		}
+		folded = append(folded, diet.ExecResponse{Makespan: rep.Makespan, Round: rep.Round})
 	}
 	if total != app.Scenarios {
 		return fmt.Errorf("grid: executed %d scenarios, want %d", total, app.Scenarios)
 	}
-	if math.Float64bits(makespan) != math.Float64bits(maxMs) {
-		return fmt.Errorf("grid: campaign makespan %g is not the max report %g", makespan, maxMs)
+	// The shared fold keeps the comparison bit-exact with the scheduler's
+	// own accounting.
+	wantMs := diet.CampaignMakespan(folded)
+	if math.Float64bits(makespan) != math.Float64bits(wantMs) {
+		return fmt.Errorf("grid: campaign makespan %g is not the per-round sum %g", makespan, wantMs)
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 
 	"oagrid/internal/core"
 	"oagrid/internal/diet"
+	"oagrid/internal/store"
 )
 
 // Config tunes the scheduler daemon. The zero value of each field picks the
@@ -64,6 +65,14 @@ type Config struct {
 	// KeepFinished caps how many finished campaigns stay pollable before
 	// the oldest are forgotten (default 4096).
 	KeepFinished int
+	// StateDir, when non-empty, makes the scheduler durable: every campaign
+	// transition is journaled to an append-only WAL under the directory
+	// before it is acknowledged, and a scheduler restarted on the same
+	// directory replays the journal — terminal campaigns stay pollable and
+	// attachable under their original IDs, non-terminal campaigns are
+	// re-admitted with their unfinished scenarios requeued. Empty keeps the
+	// scheduler purely in-memory.
+	StateDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,8 +123,9 @@ type sedState struct {
 
 // Scheduler is the online master agent.
 type Scheduler struct {
-	cfg Config
-	ln  net.Listener
+	cfg   Config
+	ln    net.Listener
+	store *store.Store // nil without a StateDir
 
 	queue chan *campaign
 	done  chan struct{}
@@ -136,21 +146,88 @@ type Scheduler struct {
 	evicted   uint64
 }
 
-// Start listens on cfg.Addr and begins serving.
+// Start listens on cfg.Addr and begins serving. With a StateDir, the
+// journal found there is replayed first: terminal campaigns come back
+// pollable, non-terminal campaigns are re-admitted ahead of new traffic.
 func Start(cfg Config) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
+
+	var st *store.Store
+	var byID map[uint64]*store.Campaign
+	if cfg.StateDir != "" {
+		var err error
+		st, byID, err = store.Open(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	recovered := store.ByID(byID)
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, fmt.Errorf("grid: scheduler listen: %w", err)
+	}
+
+	// Size the queue to hold the recovered backlog on top of the admission
+	// bound: re-admission must never block startup, even after a crash with
+	// a full queue.
+	live := 0
+	for _, rc := range recovered {
+		if !rc.Terminal() {
+			live++
+		}
 	}
 	s := &Scheduler{
 		cfg:       cfg,
 		ln:        ln,
-		queue:     make(chan *campaign, cfg.QueueCap),
+		store:     st,
+		queue:     make(chan *campaign, cfg.QueueCap+live),
 		done:      make(chan struct{}),
 		seds:      make(map[string]*sedState),
 		campaigns: make(map[uint64]*campaign),
 	}
+	s.nextID = store.MaxID(byID)
+
+	// Rebuild the campaign table and re-admit the unfinished backlog in
+	// original admission order, before the dispatchers start.
+	for _, rc := range recovered {
+		c := recoveredCampaign(rc)
+		s.campaigns[c.id] = c
+		if rc.Terminal() {
+			s.doneOrder = append(s.doneOrder, c.id)
+			continue
+		}
+		s.queueLen++
+		if s.queueLen > s.maxQueue {
+			s.maxQueue = s.queueLen
+		}
+		s.queue <- c
+	}
+	// Apply the retention cap to the recovered terminal set, then compact
+	// the journal down to what survived: without this, replay would
+	// resurrect campaigns pruned before the restart and the WAL would grow
+	// without bound across restarts. Compaction must happen before the
+	// listener opens — it rewrites the journal from the recovered records,
+	// so appends racing it would be lost.
+	for len(s.doneOrder) > cfg.KeepFinished {
+		delete(s.campaigns, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+	if st != nil && len(recovered) > 0 {
+		kept := make([]*store.Campaign, 0, len(s.campaigns))
+		for _, rc := range recovered {
+			if _, ok := s.campaigns[rc.ID]; ok {
+				kept = append(kept, rc)
+			}
+		}
+		// Best-effort: a failed compaction leaves the previous journal in
+		// place, which replays to at least this state.
+		_ = st.Compact(kept)
+	}
+
 	s.wg.Add(1 + cfg.Dispatchers)
 	go s.acceptLoop()
 	go s.evictLoop()
@@ -160,11 +237,26 @@ func Start(cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
+// journal appends one record to the campaign WAL; a no-op without a state
+// dir. Mid-run append failures are swallowed: losing a journal line only
+// costs re-execution of the affected scenarios after a restart, while
+// failing the live campaign would turn a disk hiccup into lost work now.
+// The admission record is the exception — admit checks its error, because
+// an ID the client holds must always be recoverable.
+func (s *Scheduler) journal(rec store.Record) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.Append(rec)
+}
+
 // Addr returns the daemon's listen address.
 func (s *Scheduler) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the daemon: the listener closes, queued and running campaigns
-// fail with a shutdown error, and the worker goroutines drain.
+// fail with a shutdown error, and the worker goroutines drain. With a state
+// dir the shutdown failures are not journaled as terminal — a scheduler
+// restarted on the same directory re-admits and finishes them.
 func (s *Scheduler) Close() error {
 	err := s.ln.Close()
 	select {
@@ -173,6 +265,9 @@ func (s *Scheduler) Close() error {
 		close(s.done)
 	}
 	s.wg.Wait()
+	if s.store != nil {
+		s.store.Close()
+	}
 	return err
 }
 
@@ -344,13 +439,7 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 		return nil, &diet.SubmitResponse{Reason: "queue full", QueueDepth: depth}, nil
 	}
 	s.nextID++
-	c := &campaign{
-		id:        s.nextID,
-		app:       app,
-		heuristic: req.Heuristic,
-		status:    diet.CampaignQueued,
-		done:      make(chan struct{}),
-	}
+	c := newCampaign(s.nextID, app, req.Heuristic)
 	s.campaigns[c.id] = c
 	s.queueLen++
 	if s.queueLen > s.maxQueue {
@@ -358,6 +447,25 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 	}
 	depth := s.queueLen
 	s.mu.Unlock()
+	// The admission record must be durable before the verdict goes out: an
+	// ID the client holds has to survive a crash, or Attach after a restart
+	// would deny a campaign the daemon accepted.
+	if s.store != nil {
+		if err := s.store.Append(store.Record{
+			Kind:      store.KindAdmitted,
+			ID:        c.id,
+			Scenarios: app.Scenarios,
+			Months:    app.Months,
+			Heuristic: req.Heuristic,
+		}); err != nil {
+			s.mu.Lock()
+			delete(s.campaigns, c.id)
+			s.queueLen--
+			s.rejected++
+			s.mu.Unlock()
+			return nil, nil, fmt.Errorf("grid: journaling admission: %w", err)
+		}
+	}
 	// queueLen never exceeds cap(queue), so this send cannot block.
 	s.queue <- c
 	return c, &diet.SubmitResponse{ID: c.id, Accepted: true, QueueDepth: depth}, nil

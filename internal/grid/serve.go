@@ -41,6 +41,10 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 		s.serveSubmit(conn, enc, ver, req.Submit)
 		return
 	}
+	if req.Kind == diet.KindAttach {
+		s.serveAttach(conn, enc, ver, req.Attach)
+		return
+	}
 	resp := s.handle(&req)
 	resp.Version = ver
 	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
@@ -87,6 +91,54 @@ func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *d
 	if c == nil || !req.Wait {
 		return
 	}
+	s.streamCampaign(send, c, sub)
+}
+
+// serveAttach reconnects a client to a campaign by ID: the attach verdict
+// goes out first, then — at protocol v2 with Progress set — the campaign's
+// full replayed history followed by live frames, and finally the result.
+// Attaching to a finished campaign replays its history and closes with the
+// stored result immediately.
+func (s *Scheduler) serveAttach(conn net.Conn, enc *gob.Encoder, ver int, req *diet.AttachRequest) {
+	send := func(resp *diet.Response) error {
+		resp.Version = ver
+		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
+		return enc.Encode(resp)
+	}
+	if req == nil {
+		_ = send(&diet.Response{Err: "attach: empty payload"})
+		return
+	}
+	c := s.lookup(req.ID)
+	if c == nil {
+		_ = send(&diet.Response{Attach: &diet.AttachResponse{ID: req.ID}})
+		return
+	}
+	// Subscribe before acknowledging, for the same reason serveSubmit does:
+	// the replay inside subscribe() pins the history point the live stream
+	// continues from.
+	var sub chan diet.ProgressUpdate
+	if req.Progress && ver >= diet.ProtocolV2 {
+		sub = c.subscribe()
+		defer c.unsubscribe(sub)
+	}
+	snap := c.snapshot()
+	if err := send(&diet.Response{Attach: &diet.AttachResponse{
+		ID:     c.id,
+		Found:  true,
+		Status: snap.Status,
+		Done:   snap.Done,
+		Total:  snap.Total,
+	}}); err != nil {
+		return
+	}
+	s.streamCampaign(send, c, sub)
+}
+
+// streamCampaign pumps a campaign's progress frames into send until the
+// campaign ends, then closes the stream with the result. sub may be nil
+// (a plain v1 wait): the loop then only waits for completion.
+func (s *Scheduler) streamCampaign(send func(*diet.Response) error, c *campaign, sub chan diet.ProgressUpdate) {
 	for {
 		select {
 		case u := <-sub: // nil sub: never ready, plain v1 wait

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-process use of a
+// state dir is assumed there.
+func lockFile(f *os.File) error { return nil }

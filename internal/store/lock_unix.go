@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on the journal for the life of
+// the owning file descriptor: the second daemon pointed at the same state
+// dir must fail at Open instead of interleaving appends into corruption.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return errors.New("locked by another process")
+		}
+		return err
+	}
+	return nil
+}

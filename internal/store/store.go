@@ -1,0 +1,401 @@
+// Package store is the scheduler's durability layer: an append-only
+// campaign journal (a JSON-lines write-ahead log under a state directory)
+// that records every campaign state transition — admission, per-round
+// repartition, chunk completion, requeue, terminal state — and replays them
+// on startup so a restarted daemon re-admits every non-terminal campaign
+// and keeps serving previously issued campaign IDs.
+//
+// The write path is strict WAL discipline: a record is fsynced before the
+// transition it describes is acknowledged anywhere else (the admission
+// verdict, a progress frame, the terminal result). The read path tolerates
+// the one corruption a kill -9 can produce — a partial final line — by
+// truncating the journal back to the last complete record and resuming
+// appends from there. Anything the journal never saw (a chunk killed
+// mid-write, an in-flight evaluation) is simply work still remaining, which
+// the scheduler re-repartitions; chunk results are deterministic per
+// (cluster, scenario count, months), so recovery cannot change what any
+// chunk evaluates to.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"oagrid/internal/diet"
+)
+
+// Record kinds, in the order a campaign's life emits them.
+const (
+	// KindAdmitted opens a campaign: ID, shape, heuristic.
+	KindAdmitted = "admitted"
+	// KindPlanned starts one repartition round.
+	KindPlanned = "planned"
+	// KindChunk completes one dispatched chunk: the execution report plus
+	// the scenario IDs it covered.
+	KindChunk = "chunk"
+	// KindRequeue returns a failed chunk's scenarios to the campaign.
+	KindRequeue = "requeue"
+	// KindDone closes a campaign with its terminal state.
+	KindDone = "done"
+)
+
+// Record is one journal line. Kind selects which fields are meaningful.
+type Record struct {
+	Kind string `json:"kind"`
+	ID   uint64 `json:"id"`
+
+	// Admitted.
+	Scenarios int    `json:"scenarios,omitempty"`
+	Months    int    `json:"months,omitempty"`
+	Heuristic string `json:"heuristic,omitempty"`
+
+	// Planned.
+	Round   int                 `json:"round,omitempty"`
+	Planned []diet.PlannedChunk `json:"planned,omitempty"`
+
+	// Chunk.
+	Chunk *diet.ExecResponse `json:"chunk,omitempty"`
+	IDs   []int              `json:"ids,omitempty"`
+
+	// Requeue.
+	Requeued int `json:"requeued,omitempty"`
+
+	// Done.
+	Status   string  `json:"status,omitempty"`
+	Makespan float64 `json:"makespan,omitempty"`
+	Requeues int     `json:"requeues,omitempty"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// Campaign is the replayed state of one journaled campaign: everything the
+// scheduler needs to either keep serving its result (terminal) or re-admit
+// it with the unfinished scenarios requeued (non-terminal).
+type Campaign struct {
+	ID        uint64
+	Scenarios int
+	Months    int
+	Heuristic string
+
+	// Status is empty while the campaign is live and diet.CampaignDone /
+	// diet.CampaignFailed once a terminal record was journaled.
+	Status   string
+	Makespan float64
+	Err      string
+
+	// Rounds counts repartition rounds started so far — the next round's
+	// index after recovery.
+	Rounds int
+	// Remaining lists the scenario IDs with no completed chunk, ascending.
+	Remaining []int
+	// Reports holds the completed chunk reports, in journal order.
+	Reports []diet.ExecResponse
+	// Requeues counts chunks returned after a failure.
+	Requeues int
+	// ScenariosDone counts scenarios covered by Reports.
+	ScenariosDone int
+	// History is the campaign's reconstructed progress stream, frame for
+	// frame what publish() emitted before the restart, so a subscriber that
+	// attaches after recovery still sees the full story.
+	History []diet.ProgressUpdate
+
+	// records keeps the campaign's raw journal lines so Compact can rewrite
+	// a fresh journal without re-deriving them from the folded state.
+	records []Record
+}
+
+// Terminal reports whether the campaign reached a journaled terminal state.
+func (c *Campaign) Terminal() bool {
+	return c.Status == diet.CampaignDone || c.Status == diet.CampaignFailed
+}
+
+// Store is an open campaign journal. Append is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// off is the end offset of the last acknowledged record — the rollback
+	// point when a write fails partway.
+	off int64
+}
+
+// journalName is the WAL file inside the state directory.
+const journalName = "campaigns.wal"
+
+// Open creates dir if needed, replays the journal found there (truncating a
+// partial trailing record left by a crash mid-write), and returns the store
+// positioned for appends plus every recovered campaign keyed by ID.
+func Open(dir string) (*Store, map[uint64]*Campaign, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: state dir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening journal %s: %w", path, err)
+	}
+	// Two processes appending to one WAL interleave records into corruption
+	// the next replay must reject; fail the second Open fast instead. The
+	// advisory lock dies with the process, so a kill -9 leaves no stale
+	// lock to clean up.
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	campaigns, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// A crash mid-append leaves a partial last line; cut the journal back to
+	// the last complete record so new appends don't interleave with garbage.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: truncating journal %s to %d: %w", path, good, err)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Store{f: f, path: path, off: good}, campaigns, nil
+}
+
+// Path returns the journal's file path.
+func (s *Store) Path() string { return s.path }
+
+// Append journals one record: marshal, write, fsync. The record is durable
+// when Append returns — callers acknowledge the transition only after. A
+// failed write is rolled back by truncating to the last acknowledged
+// offset: callers swallow mid-run journal errors by design, and without
+// the rollback a torn record (ENOSPC persisting a prefix, say) would sit
+// mid-file once later appends succeed, turning a transient hiccup into a
+// journal the next replay must reject as corrupt.
+func (s *Store) Append(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshaling %s record: %w", rec.Kind, err)
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rollback := func() {
+		_ = s.f.Truncate(s.off)
+		_, _ = s.f.Seek(s.off, 0)
+	}
+	if _, err := s.f.Write(data); err != nil {
+		rollback()
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		rollback()
+		return fmt.Errorf("store: syncing %s: %w", s.path, err)
+	}
+	s.off += int64(len(data))
+	return nil
+}
+
+// Compact atomically rewrites the journal to hold exactly the given
+// campaigns' records, in the given order, dropping everything else. The
+// scheduler calls it once at startup with the campaigns it retained, which
+// bounds journal growth across restarts (records of pruned campaigns do
+// not accumulate forever) and keeps retention consistent: a campaign
+// pruned past the cap stays unknown after a restart instead of being
+// resurrected by replay. The rewrite goes through a temp file and a
+// rename, so a crash mid-compaction leaves either the old journal or the
+// new one, never a mix.
+func (s *Store) Compact(keep []*Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+	}
+	// The lock must travel with the inode that becomes the journal: we hold
+	// the old file's lock, so locking the replacement cannot contend.
+	if err := lockFile(f); err != nil {
+		return abort(err)
+	}
+	var off int64
+	for _, c := range keep {
+		for i := range c.records {
+			data, err := json.Marshal(&c.records[i])
+			if err != nil {
+				return abort(err)
+			}
+			data = append(data, '\n')
+			if _, err := f.Write(data); err != nil {
+				return abort(err)
+			}
+			off += int64(len(data))
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return abort(err)
+	}
+	// Adopt the already-open replacement as the journal — no reopen by
+	// path, which could fail and leave appends going to the unlinked old
+	// inode while reporting success. Every failure path above leaves s.f on
+	// the intact previous journal.
+	s.f.Close()
+	s.f = f
+	s.off = off
+	return nil
+}
+
+// Close releases the journal file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// MaxID returns the highest campaign ID in the recovered set — the floor for
+// a restarted scheduler's ID counter, so re-issued IDs never collide with
+// IDs clients already hold.
+func MaxID(campaigns map[uint64]*Campaign) uint64 {
+	var max uint64
+	for id := range campaigns {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// ByID returns the recovered campaigns sorted by ID, the deterministic
+// re-admission order (a restarted queue serves campaigns in the order they
+// were originally admitted).
+func ByID(campaigns map[uint64]*Campaign) []*Campaign {
+	out := make([]*Campaign, 0, len(campaigns))
+	for _, c := range campaigns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// replay scans the journal and folds every complete record into per-campaign
+// state. It returns the byte offset just past the last complete record;
+// anything after it is for the caller to truncate. Append writes each
+// record and its newline in one Write, and a torn write keeps a prefix —
+// so a line without its terminating '\n' is an unacknowledged append and
+// is dropped, never counted into the good offset (counting it would make
+// the caller's Truncate extend the file past EOF with NUL bytes). A record
+// that fails to decode on a non-final line is real corruption and surfaces
+// as an error rather than silently dropping journaled state.
+func replay(f *os.File) (map[uint64]*Campaign, int64, error) {
+	campaigns := make(map[uint64]*Campaign)
+	r := bufio.NewReader(f)
+	var good int64
+	var pendingErr error
+	for {
+		line, err := r.ReadString('\n')
+		if err == io.EOF {
+			// line, if non-empty, is missing its newline: a torn append.
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: reading journal: %w", err)
+		}
+		if pendingErr != nil {
+			// A malformed record with complete records after it: the journal
+			// is corrupt beyond crash-truncation repair.
+			return nil, 0, pendingErr
+		}
+		var rec Record
+		if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
+			pendingErr = fmt.Errorf("store: corrupt journal record at offset %d: %w", good, jerr)
+			continue
+		}
+		apply(campaigns, &rec)
+		good += int64(len(line))
+	}
+	return campaigns, good, nil
+}
+
+// apply folds one record into the replayed state, reconstructing the exact
+// progress frames the scheduler published for it.
+func apply(campaigns map[uint64]*Campaign, rec *Record) {
+	if rec.Kind == KindAdmitted {
+		c := &Campaign{
+			ID:        rec.ID,
+			Scenarios: rec.Scenarios,
+			Months:    rec.Months,
+			Heuristic: rec.Heuristic,
+			records:   []Record{*rec},
+		}
+		c.Remaining = make([]int, rec.Scenarios)
+		for i := range c.Remaining {
+			c.Remaining[i] = i
+		}
+		campaigns[rec.ID] = c
+		return
+	}
+	c := campaigns[rec.ID]
+	if c == nil {
+		return // record for a campaign compacted away
+	}
+	c.records = append(c.records, *rec)
+	frame := diet.ProgressUpdate{ID: c.ID, Total: c.Scenarios}
+	switch rec.Kind {
+	case KindPlanned:
+		if rec.Round >= c.Rounds {
+			c.Rounds = rec.Round + 1
+		}
+		frame.Stage = diet.StagePlanned
+		frame.Planned = rec.Planned
+	case KindChunk:
+		if rec.Chunk == nil {
+			return
+		}
+		c.Reports = append(c.Reports, *rec.Chunk)
+		c.ScenariosDone += rec.Chunk.Scenarios
+		c.Remaining = Without(c.Remaining, rec.IDs)
+		frame.Stage = diet.StageChunk
+		frame.Chunk = rec.Chunk
+	case KindRequeue:
+		c.Requeues++
+		frame.Stage = diet.StageRequeue
+		frame.Requeued = rec.Requeued
+	case KindDone:
+		c.Status = rec.Status
+		c.Makespan = rec.Makespan
+		c.Requeues = rec.Requeues
+		c.Err = rec.Err
+		return // terminal state travels on the result, not as a frame
+	default:
+		return
+	}
+	frame.Done = c.ScenariosDone
+	c.History = append(c.History, frame)
+}
+
+// Without returns remaining minus ids, preserving order — the completed-
+// chunk subtraction shared by journal replay and the live scheduler.
+func Without(remaining []int, ids []int) []int {
+	drop := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	out := remaining[:0]
+	for _, id := range remaining {
+		if !drop[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"oagrid/internal/diet"
+)
+
+// journalCampaign writes a full happy-path campaign life into st.
+func journalCampaign(t *testing.T, st *Store, id uint64) {
+	t.Helper()
+	recs := []Record{
+		{Kind: KindAdmitted, ID: id, Scenarios: 4, Months: 12, Heuristic: "knapsack"},
+		{Kind: KindPlanned, ID: id, Round: 0, Planned: []diet.PlannedChunk{{Cluster: "a", Scenarios: 3}, {Cluster: "b", Scenarios: 1}}},
+		{Kind: KindChunk, ID: id, IDs: []int{0, 1, 2}, Chunk: &diet.ExecResponse{Cluster: "a", Scenarios: 3, Makespan: 30, Round: 0, FirstScenario: 0}},
+		{Kind: KindRequeue, ID: id, Requeued: 1},
+		{Kind: KindPlanned, ID: id, Round: 1, Planned: []diet.PlannedChunk{{Cluster: "a", Scenarios: 1}}},
+		{Kind: KindChunk, ID: id, IDs: []int{3}, Chunk: &diet.ExecResponse{Cluster: "a", Scenarios: 1, Makespan: 11.5, Round: 1, FirstScenario: 3}},
+		{Kind: KindDone, ID: id, Status: diet.CampaignDone, Makespan: 41.5, Requeues: 1},
+	}
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh journal recovered %d campaigns", len(recovered))
+	}
+	journalCampaign(t, st, 7)
+	// A second, unfinished campaign: admitted, one round planned, one chunk
+	// done, then the process dies.
+	for _, rec := range []Record{
+		{Kind: KindAdmitted, ID: 8, Scenarios: 5, Months: 6, Heuristic: "basic"},
+		{Kind: KindPlanned, ID: 8, Round: 0, Planned: []diet.PlannedChunk{{Cluster: "a", Scenarios: 5}}},
+		{Kind: KindChunk, ID: 8, IDs: []int{1, 3}, Chunk: &diet.ExecResponse{Cluster: "a", Scenarios: 2, Makespan: 9.25, Round: 0, FirstScenario: 1}},
+	} {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d campaigns, want 2", len(recovered))
+	}
+	if got := MaxID(recovered); got != 8 {
+		t.Fatalf("MaxID = %d, want 8", got)
+	}
+
+	done := recovered[7]
+	if !done.Terminal() || done.Status != diet.CampaignDone {
+		t.Fatalf("campaign 7 not terminal: %+v", done)
+	}
+	if math.Float64bits(done.Makespan) != math.Float64bits(41.5) || done.Requeues != 1 {
+		t.Fatalf("campaign 7 terminal state %+v", done)
+	}
+	if len(done.Remaining) != 0 {
+		t.Fatalf("campaign 7 still has remaining %v", done.Remaining)
+	}
+	if len(done.Reports) != 2 || done.ScenariosDone != 4 {
+		t.Fatalf("campaign 7 reports %+v, done %d", done.Reports, done.ScenariosDone)
+	}
+	if done.Rounds != 2 {
+		t.Fatalf("campaign 7 rounds = %d, want 2", done.Rounds)
+	}
+	// History replays frame for frame: planned, chunk, requeue, planned,
+	// chunk — with Done/Total reconstructed.
+	stages := make([]string, len(done.History))
+	for i, u := range done.History {
+		stages[i] = u.Stage
+		if u.ID != 7 || u.Total != 4 {
+			t.Fatalf("frame %d mislabeled: %+v", i, u)
+		}
+	}
+	wantStages := []string{diet.StagePlanned, diet.StageChunk, diet.StageRequeue, diet.StagePlanned, diet.StageChunk}
+	if !reflect.DeepEqual(stages, wantStages) {
+		t.Fatalf("history stages %v, want %v", stages, wantStages)
+	}
+	if done.History[1].Done != 3 || done.History[4].Done != 4 {
+		t.Fatalf("chunk frames carry Done %d, %d; want 3, 4", done.History[1].Done, done.History[4].Done)
+	}
+
+	live := recovered[8]
+	if live.Terminal() {
+		t.Fatalf("campaign 8 recovered terminal: %+v", live)
+	}
+	if !reflect.DeepEqual(live.Remaining, []int{0, 2, 4}) {
+		t.Fatalf("campaign 8 remaining %v, want [0 2 4]", live.Remaining)
+	}
+	if live.ScenariosDone != 2 || len(live.Reports) != 1 {
+		t.Fatalf("campaign 8 progress %d done, %d reports", live.ScenariosDone, len(live.Reports))
+	}
+	if math.Float64bits(live.Reports[0].Makespan) != math.Float64bits(9.25) {
+		t.Fatalf("chunk makespan did not round-trip bit-exact: %v", live.Reports[0].Makespan)
+	}
+
+	// Appends continue cleanly on the reopened journal.
+	if err := st2.Append(Record{Kind: KindDone, ID: 8, Status: diet.CampaignFailed, Err: "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialTrailingRecordTruncated: a kill -9 mid-append leaves a torn
+// final line; Open must drop exactly that line and keep everything before.
+func TestPartialTrailingRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalCampaign(t, st, 1)
+	st.Close()
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"chunk","id":1,"chu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn journal rejected: %v", err)
+	}
+	defer st2.Close()
+	if len(recovered) != 1 || !recovered[1].Terminal() {
+		t.Fatalf("recovered %+v", recovered)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("journal not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+}
+
+// TestMidFileCorruptionRejected: a malformed record with complete records
+// after it is real corruption, not a crash artifact — Open must refuse to
+// silently drop journaled state.
+func TestMidFileCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalCampaign(t, st, 1)
+	st.Close()
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json\n" + `{"kind":"admitted","id":2,"scenarios":1,"months":1}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestByIDOrder(t *testing.T) {
+	m := map[uint64]*Campaign{3: {ID: 3}, 1: {ID: 1}, 2: {ID: 2}}
+	got := ByID(m)
+	for i, want := range []uint64{1, 2, 3} {
+		if got[i].ID != want {
+			t.Fatalf("ByID order %v", got)
+		}
+	}
+}
+
+// TestMissingTrailingNewlineDropped: a torn append can persist every byte
+// of a record except its terminating newline. Such a record was never
+// acknowledged, so Open must drop it — and must NOT count its bytes into
+// the truncation offset (which would extend the file with NUL bytes and
+// poison the next replay).
+func TestMissingTrailingNewlineDropped(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalCampaign(t, st, 1)
+	st.Close()
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete JSON, missing only the '\n'.
+	if _, err := f.WriteString(`{"kind":"admitted","id":2,"scenarios":1,"months":1}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d campaigns, want 1 (the unterminated admit dropped)", len(recovered))
+	}
+	if err := st2.Append(Record{Kind: KindAdmitted, ID: 3, Scenarios: 1, Months: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	// The journal must still be fully parseable on the next open — no NUL
+	// padding, no concatenated records.
+	st3, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatalf("journal poisoned after torn-newline recovery: %v", err)
+	}
+	defer st3.Close()
+	if len(recovered) != 2 || recovered[3] == nil {
+		t.Fatalf("recovered %+v, want campaigns 1 and 3", recovered)
+	}
+}
+
+// TestCompactDropsUnkeptCampaigns: compaction rewrites the journal with
+// exactly the kept campaigns' records; dropped campaigns stay gone on the
+// next replay and appends continue cleanly afterwards.
+func TestCompactDropsUnkeptCampaigns(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journalCampaign(t, st, 1)
+	journalCampaign(t, st, 2)
+	st.Close()
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Compact([]*Campaign{recovered[2]}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Appends after compaction land after the kept records.
+	if err := st2.Append(Record{Kind: KindAdmitted, ID: 5, Scenarios: 2, Months: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if len(recovered) != 2 || recovered[1] != nil || recovered[2] == nil || recovered[5] == nil {
+		t.Fatalf("post-compaction replay recovered %+v, want campaigns 2 and 5 only", recovered)
+	}
+	if !recovered[2].Terminal() || recovered[2].Requeues != 1 || len(recovered[2].Reports) != 2 {
+		t.Fatalf("kept campaign mangled by compaction: %+v", recovered[2])
+	}
+}
+
+// TestSecondOpenLockedOut: two processes (here: two opens) on one state dir
+// would interleave appends into corruption — the second Open must fail
+// fast, and a Close must release the dir for the next owner.
+func TestSecondOpenLockedOut(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a held state dir succeeded")
+	}
+	// Compaction swaps the journal inode; the lock must move with it.
+	journalCampaign(t, st, 1)
+	if err := st.Compact(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("state dir unlocked after compaction")
+	}
+	st.Close()
+	st2, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("state dir still locked after Close: %v", err)
+	}
+	st2.Close()
+}

@@ -4,17 +4,68 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"oagrid/internal/core"
+	"oagrid/internal/diet"
 	"oagrid/internal/engine"
+	"oagrid/internal/store"
 )
 
 // localRunner drives campaigns through the in-process engine: performance
 // vectors, Algorithm-1 repartition and per-cluster evaluation all run on the
-// engine's deterministic parallel sweep pool.
+// engine's deterministic parallel sweep pool. With WithStateDir it is also
+// durable: campaign transitions are journaled to the same WAL format the
+// grid daemon uses, finished campaigns stay attachable across process
+// restarts, and half-finished ones are resumed on construction.
 type localRunner struct {
 	clusters []*Cluster
 	cfg      runnerConfig
+	store    *store.Store // nil without WithStateDir
+
+	// ctx governs runner-owned goroutines (journal-recovered campaign
+	// resumes); Close cancels it and waits for them, so no evaluation or
+	// journal append outlives the store. Campaigns started through Run run
+	// under the caller's context instead — their lifecycle is the caller's.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	resumes sync.WaitGroup
+
+	mu      sync.Mutex
+	nextID  uint64
+	handles map[uint64]*Handle
+	// order tracks handle insertion so pruning drops the oldest finished
+	// campaigns first, mirroring the daemon's KeepFinished retention.
+	order []uint64
+}
+
+// keepLocalHandles caps how many campaign handles a local runner retains:
+// beyond it, the oldest finished handles are dropped (running campaigns are
+// never pruned). The daemon's Config.KeepFinished default, for the same
+// reason: a long-lived embedder must not accumulate every event stream ever.
+const keepLocalHandles = 4096
+
+// register indexes a handle for Attach and prunes past the retention cap.
+// Callers hold no lock.
+func (r *localRunner) register(id uint64, handle *Handle) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handles[id] = handle
+	r.order = append(r.order, id)
+	for len(r.handles) > keepLocalHandles {
+		pruned := false
+		for i, oid := range r.order {
+			if h := r.handles[oid]; h != nil && h.finished() {
+				delete(r.handles, oid)
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			return // everything old is still running; try again next insert
+		}
+	}
 }
 
 // Local builds a Runner over the in-process engine and the given clusters —
@@ -22,6 +73,12 @@ type localRunner struct {
 // are ordered by name internally (the daemon's tie-break order), so a Local
 // run of a campaign is bit-identical to a Dial run against a daemon serving
 // the same cluster profiles, at default options.
+//
+// With WithStateDir, Local replays the journal found there first: terminal
+// campaigns come back attachable under their original IDs with their full
+// event history, and non-terminal campaigns (a previous process died
+// mid-run) are re-admitted in the background, re-running only the scenarios
+// without a completed chunk. Handles live for the runner's lifetime.
 func Local(clusters []*Cluster, opts ...RunnerOption) (Runner, error) {
 	if len(clusters) == 0 {
 		return nil, fmt.Errorf("oagrid: Local needs at least one cluster")
@@ -38,7 +95,105 @@ func Local(clusters []*Cluster, opts ...RunnerOption) (Runner, error) {
 	if _, err := core.ByName(cfg.heuristic); err != nil {
 		return nil, err
 	}
-	return &localRunner{clusters: sorted, cfg: cfg}, nil
+	r := &localRunner{clusters: sorted, cfg: cfg, handles: make(map[uint64]*Handle)}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	if cfg.stateDir != "" {
+		st, byID, err := store.Open(cfg.stateDir)
+		if err != nil {
+			return nil, err
+		}
+		r.store = st
+		r.nextID = store.MaxID(byID)
+		recovered := store.ByID(byID)
+		// Phase 1: rebuild every handle (terminal ones resolve immediately)
+		// and collect the campaigns that need resuming.
+		var jobs []resumeJob
+		for _, rc := range recovered {
+			if job, ok := r.recover(rc); ok {
+				jobs = append(jobs, job)
+			}
+		}
+		// Compact the journal down to what recovery retained, exactly like
+		// the daemon does at startup: pruned campaigns stay pruned across
+		// reopens and the WAL stays bounded. Must run before any new append
+		// — which is why resumes launch only afterwards.
+		if len(recovered) > 0 {
+			kept := make([]*store.Campaign, 0, len(recovered))
+			r.mu.Lock()
+			for _, rc := range recovered {
+				if _, ok := r.handles[rc.ID]; ok {
+					kept = append(kept, rc)
+				}
+			}
+			r.mu.Unlock()
+			_ = st.Compact(kept) // best-effort: the old journal replays the same
+		}
+		// Phase 2: resume the interrupted campaigns under the runner's own
+		// lifecycle context.
+		for _, job := range jobs {
+			r.resumes.Add(1)
+			go func(job resumeJob) {
+				defer r.resumes.Done()
+				r.run(r.ctx, job.handle, job.app, job.h, job.p)
+			}(job)
+		}
+	}
+	return r, nil
+}
+
+// resumeJob is one journal-recovered campaign waiting to continue.
+type resumeJob struct {
+	handle *Handle
+	app    core.Application
+	h      core.Heuristic
+	p      localProgress
+}
+
+// recover rebuilds one journaled campaign: its handle replays the full
+// event history. Terminal campaigns resolve immediately; for a campaign
+// without a terminal record it returns the resume job the caller launches
+// once the journal is compacted.
+func (r *localRunner) recover(rc *store.Campaign) (resumeJob, bool) {
+	handle := newHandle(rc.Scenarios)
+	handle.setID(rc.ID)
+	r.register(rc.ID, handle)
+	handle.publish(EventAdmitted{ID: rc.ID})
+	for i := range rc.History {
+		for _, ev := range progressEvents(&rc.History[i]) {
+			handle.publish(ev)
+		}
+	}
+	if rc.Terminal() {
+		if rc.Status == diet.CampaignDone {
+			res := &CampaignResult{Makespan: rc.Makespan, Requeues: rc.Requeues}
+			for _, rep := range rc.Reports {
+				res.Reports = append(res.Reports, reportFromWire(rep))
+			}
+			// Chunk records are journaled in arrival order; the result the
+			// original process returned was sorted.
+			sortClusterReports(res.Reports)
+			handle.finish(res, nil)
+		} else {
+			handle.finish(nil, fmt.Errorf("%w: %s", ErrCampaignFailed, rc.Err))
+		}
+		return resumeJob{}, false
+	}
+	app := core.Application{Scenarios: rc.Scenarios, Months: rc.Months}
+	h, err := core.ByName(rc.Heuristic)
+	if err != nil {
+		handle.finish(nil, campaignErr(context.Background(), err))
+		return resumeJob{}, false
+	}
+	reports := make([]ClusterReport, 0, len(rc.Reports))
+	for _, rep := range rc.Reports {
+		reports = append(reports, reportFromWire(rep))
+	}
+	return resumeJob{handle: handle, app: app, h: h, p: localProgress{
+		round:     rc.Rounds,
+		remaining: rc.Remaining,
+		reports:   reports,
+		done:      rc.ScenariosDone,
+	}}, true
 }
 
 // Run implements Runner.
@@ -55,39 +210,148 @@ func (r *localRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	r.mu.Unlock()
+	// The admission record must be durable before the handle exists: an ID
+	// the caller holds has to survive a crash, or Attach after a restart
+	// would deny a campaign this runner accepted.
+	if r.store != nil {
+		if err := r.store.Append(store.Record{
+			Kind:      store.KindAdmitted,
+			ID:        id,
+			Scenarios: app.Scenarios,
+			Months:    app.Months,
+			Heuristic: name,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	handle := newHandle(app.Scenarios)
-	go r.run(ctx, handle, app, h)
+	handle.setID(id)
+	r.register(id, handle)
+	handle.publish(EventAdmitted{ID: id})
+	remaining := make([]int, app.Scenarios)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	go r.run(ctx, handle, app, h, localProgress{remaining: remaining})
 	return handle, nil
 }
 
-// Close implements Runner; a local runner holds no resources.
-func (r *localRunner) Close() error { return nil }
+// Attach implements Runner: it returns the handle of a campaign this runner
+// started or recovered from its state dir. Handles replay their full event
+// stream to every subscriber, so attaching late loses nothing. An unknown
+// ID resolves the handle with ErrUnknownCampaign — the same shape the
+// remote runner has, so callers can always go straight to Wait.
+func (r *localRunner) Attach(ctx context.Context, id uint64) (*Handle, error) {
+	r.mu.Lock()
+	handle := r.handles[id]
+	r.mu.Unlock()
+	if handle == nil {
+		handle = newHandle(0)
+		handle.finish(nil, fmt.Errorf("%w: %d", ErrUnknownCampaign, id))
+	}
+	return handle, nil
+}
+
+// Close implements Runner: it stops the runner-owned resume goroutines
+// (their campaigns stay non-terminal in the journal and continue on the
+// next open — Close is a pause, like a daemon shutdown) and then releases
+// the journal. Handles already returned stay valid; handles of interrupted
+// resumes resolve with context.Canceled.
+func (r *localRunner) Close() error {
+	r.cancel()
+	r.resumes.Wait()
+	if r.store != nil {
+		return r.store.Close()
+	}
+	return nil
+}
+
+// journal appends one record to the campaign WAL; a no-op without a state
+// dir. Mid-run append failures are swallowed — losing a journal line only
+// costs re-execution of the affected scenarios after a restart.
+func (r *localRunner) journal(rec store.Record) {
+	if r.store == nil {
+		return
+	}
+	_ = r.store.Append(rec)
+}
+
+// localProgress is a campaign's resumable position: the next round index,
+// the scenario IDs still to run, and the chunk reports already banked. A
+// fresh campaign starts at round 0 with everything remaining; a recovered
+// one starts wherever the journal left off.
+type localProgress struct {
+	round     int
+	remaining []int
+	reports   []ClusterReport
+	done      int
+}
 
 // run is the campaign body: the Figure-9 protocol against in-process
-// clusters. Cancellation is cooperative between sweep jobs; a cancelled
-// campaign resolves with ctx's error.
-func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Application, h core.Heuristic) {
+// clusters, one repartition round over p.remaining. Cancellation is
+// cooperative between sweep jobs; a cancelled campaign resolves with ctx's
+// error.
+func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Application, h core.Heuristic, p localProgress) {
 	opts := r.cfg.engineOptions()
+	id := handle.ID()
+	fail := func(err error) {
+		err = campaignErr(ctx, err)
+		// Cancellation is this process giving up, not the campaign failing:
+		// like a daemon shutdown, it stays non-terminal in the journal, so
+		// the next runner on the state dir resumes it — a clean ^C must
+		// never destroy work that a kill -9 would have preserved.
+		if ctx.Err() == nil {
+			r.journal(store.Record{Kind: store.KindDone, ID: id, Status: diet.CampaignFailed, Err: err.Error()})
+		}
+		handle.finish(nil, err)
+	}
 
-	// Steps 1-3: every cluster's performance vector, one batched sweep.
-	vecs, err := engine.PerformanceVectorsContext(ctx, r.cfg.backend, app, r.clusters, h, opts, r.cfg.workers)
-	if err != nil {
-		handle.finish(nil, campaignErr(ctx, err))
+	// Nothing remaining: a crash landed between the last chunk record and
+	// the terminal record — every scenario already has a completed chunk, so
+	// finalize straight from the banked reports.
+	if len(p.remaining) == 0 {
+		res := &CampaignResult{Reports: p.reports}
+		sortClusterReports(res.Reports)
+		res.Makespan = resultMakespan(res.Reports)
+		r.journal(store.Record{Kind: store.KindDone, ID: id, Status: diet.CampaignDone, Makespan: res.Makespan})
+		handle.finish(res, nil)
 		return
 	}
 
-	// Step 4: Algorithm-1 repartition.
+	// Steps 1-3: every cluster's performance vector for the remaining
+	// scenarios, one batched sweep.
+	sub := core.Application{Scenarios: len(p.remaining), Months: app.Months}
+	vecs, err := engine.PerformanceVectorsContext(ctx, r.cfg.backend, sub, r.clusters, h, opts, r.cfg.workers)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// Step 4: Algorithm-1 repartition of the remaining scenario IDs, slots
+	// assigned in ascending ID order — the same mapping the grid scheduler
+	// uses, so chunk provenance matches a daemon run bit for bit.
 	rep, err := core.Repartition(vecs)
 	if err != nil {
-		handle.finish(nil, campaignErr(ctx, err))
+		fail(err)
 		return
 	}
+	ids := make([][]int, len(r.clusters))
+	for slot, cl := range rep.Assignment {
+		ids[cl] = append(ids[cl], p.remaining[slot])
+	}
 	var shares []PlannedShare
+	var planned []diet.PlannedChunk
 	for i, cl := range r.clusters {
-		if rep.Counts[i] > 0 {
-			shares = append(shares, PlannedShare{Cluster: cl.Name, Scenarios: rep.Counts[i]})
+		if len(ids[i]) > 0 {
+			shares = append(shares, PlannedShare{Cluster: cl.Name, Scenarios: len(ids[i])})
+			planned = append(planned, diet.PlannedChunk{Cluster: cl.Name, Scenarios: len(ids[i])})
 		}
 	}
+	r.journal(store.Record{Kind: store.KindPlanned, ID: id, Round: p.round, Planned: planned})
 	handle.publish(EventPlanned{Shares: shares})
 
 	// Steps 5-6: evaluate each loaded cluster's share concurrently, one
@@ -97,17 +361,18 @@ func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Applicat
 	// report list is sorted, so the Result stays deterministic.
 	type chunkOut struct {
 		report ClusterReport
+		ids    []int
 		err    error
 	}
 	var launched int
 	outs := make(chan chunkOut)
 	for i := range r.clusters {
-		if rep.Counts[i] == 0 {
+		if len(ids[i]) == 0 {
 			continue
 		}
 		launched++
-		go func(cl *Cluster, share int) {
-			sub := core.Application{Scenarios: share, Months: app.Months}
+		go func(cl *Cluster, chunk []int) {
+			sub := core.Application{Scenarios: len(chunk), Months: app.Months}
 			alloc, err := h.Plan(sub, cl.Timing, cl.Procs)
 			if err != nil {
 				outs <- chunkOut{err: err}
@@ -120,16 +385,17 @@ func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Applicat
 			}
 			outs <- chunkOut{report: ClusterReport{
 				Cluster:    cl.Name,
-				Scenarios:  share,
+				Scenarios:  len(chunk),
 				Makespan:   result.Makespan,
 				Allocation: alloc,
+				Round:      p.round,
 				Result:     &result,
-			}}
-		}(r.clusters[i], rep.Counts[i])
+			}, ids: chunk}
+		}(r.clusters[i], ids[i])
 	}
 
-	res := &CampaignResult{}
-	done := 0
+	res := &CampaignResult{Reports: p.reports}
+	done := p.done
 	var firstErr error
 	for ; launched > 0; launched-- {
 		out := <-outs
@@ -140,26 +406,42 @@ func (r *localRunner) run(ctx context.Context, handle *Handle, app core.Applicat
 			continue
 		}
 		done += out.report.Scenarios
+		r.journal(store.Record{Kind: store.KindChunk, ID: id, IDs: out.ids, Chunk: &diet.ExecResponse{
+			Cluster:       out.report.Cluster,
+			Makespan:      out.report.Makespan,
+			Allocation:    out.report.Allocation,
+			Scenarios:     out.report.Scenarios,
+			Round:         out.report.Round,
+			FirstScenario: out.ids[0],
+		}})
 		handle.publish(EventChunkDone{Report: out.report, Done: done, Total: app.Scenarios})
 		handle.publish(EventProgress{Done: done, Total: app.Scenarios})
 		res.Reports = append(res.Reports, out.report)
-		if out.report.Makespan > res.Makespan {
-			res.Makespan = out.report.Makespan
-		}
 	}
 	if firstErr != nil {
-		handle.finish(nil, campaignErr(ctx, firstErr))
+		fail(firstErr)
 		return
 	}
-	// Stable report order whatever the arrival interleaving — the daemon's
-	// (cluster, scenarios) order; clusters appear at most once per campaign.
-	sort.Slice(res.Reports, func(i, j int) bool {
-		if res.Reports[i].Cluster != res.Reports[j].Cluster {
-			return res.Reports[i].Cluster < res.Reports[j].Cluster
-		}
-		return res.Reports[i].Scenarios < res.Reports[j].Scenarios
-	})
+	sortClusterReports(res.Reports)
+	res.Makespan = resultMakespan(res.Reports)
+	r.journal(store.Record{Kind: store.KindDone, ID: id, Status: diet.CampaignDone, Makespan: res.Makespan})
 	handle.finish(res, nil)
+}
+
+// sortClusterReports puts reports in the stable report order whatever the
+// arrival interleaving — the daemon's ordering. Round breaks (cluster,
+// scenarios) ties: a resumed campaign can land equal-sized chunks on the
+// same cluster in two rounds, and a cluster appears at most once per round.
+func sortClusterReports(reports []ClusterReport) {
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].Cluster != reports[j].Cluster {
+			return reports[i].Cluster < reports[j].Cluster
+		}
+		if reports[i].Scenarios != reports[j].Scenarios {
+			return reports[i].Scenarios < reports[j].Scenarios
+		}
+		return reports[i].Round < reports[j].Round
+	})
 }
 
 // campaignErr maps a campaign failure onto the error taxonomy: context

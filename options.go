@@ -22,6 +22,7 @@ type runnerConfig struct {
 	seed      uint64
 	trace     bool
 	timeout   time.Duration
+	stateDir  string
 }
 
 func newRunnerConfig(opts []RunnerOption) runnerConfig {
@@ -97,4 +98,18 @@ func WithTrace() RunnerOption {
 // (default 2m). Local runners ignore it: cancel the Run context instead.
 func WithTimeout(d time.Duration) RunnerOption {
 	return func(cfg *runnerConfig) { cfg.timeout = d }
+}
+
+// WithStateDir makes a Local runner durable: every campaign transition is
+// journaled to an append-only WAL under dir before it is acknowledged, and
+// a new Local runner opened on the same directory replays the journal —
+// finished campaigns stay attachable (Runner.Attach) under their original
+// IDs with their full event history, and campaigns a crash cut short are
+// automatically resumed, re-running only the scenarios without a completed
+// chunk. Remote runners ignore it: durability is the daemon's (start it
+// with `oarun -daemon -state DIR`). Journal-recovered reports carry no
+// backend Result (ClusterReport.Result is nil); makespans and allocations
+// round-trip bit-exact.
+func WithStateDir(dir string) RunnerOption {
+	return func(cfg *runnerConfig) { cfg.stateDir = dir }
 }
