@@ -26,31 +26,109 @@ func NewCampaign(scenarios, months int) Campaign {
 	return Campaign{Experiment: NewExperiment(scenarios, months)}
 }
 
-// Runner executes campaigns. Run returns immediately with a handle that
-// streams typed Events and resolves to the final CampaignResult; the error
-// covers only immediately-detectable problems (malformed campaign, unknown
-// heuristic) — admission rejections and execution failures surface through
-// the handle with the package's typed errors (ErrRejected,
-// ErrCampaignFailed, ErrProtocol).
+// Runner executes campaigns — the campaign control plane. Run returns
+// immediately with a handle that streams typed Events and resolves to the
+// final CampaignResult; the error covers only immediately-detectable
+// problems (malformed campaign, unknown heuristic) — admission rejections
+// and execution failures surface through the handle with the package's
+// typed errors (ErrRejected, ErrCampaignFailed, ErrCampaignCancelled,
+// ErrProtocol).
 //
-// Cancelling ctx stops the campaign cooperatively: a local run stops its
-// worker pool between evaluations, a remote run releases its connection
-// (the daemon-side campaign keeps running to its own deadline). Either way
-// the handle resolves with ctx's error.
+// Cancelling ctx stops only this client's involvement: a local run stops
+// its worker pool between evaluations, a remote run releases its connection
+// while the daemon-side campaign keeps running to its own deadline. Either
+// way the handle resolves with ctx's error. Cancel, by contrast, stops the
+// campaign itself, wherever it runs.
+//
+// Local and Dial implement every method with identical semantics, so a
+// program written against Runner moves between in-process and grid
+// execution unchanged.
 type Runner interface {
-	// Run starts one campaign.
-	Run(ctx context.Context, c Campaign) (*Handle, error)
+	// Run starts one campaign. Submit options shape this campaign alone:
+	// WithPriority orders it in the admission queue, WithLabels tags it for
+	// List filters, WithDeadline bounds it individually, and
+	// WithCampaignHeuristic overrides the planner — so one shared Runner
+	// serves differently-shaped tenants.
+	Run(ctx context.Context, c Campaign, opts ...SubmitOption) (*Handle, error)
 	// Attach reconnects to a previously started campaign by the ID its
 	// EventAdmitted (or Handle.ID) reported. The returned handle replays
 	// the campaign's full progress history from the start, follows it live,
 	// and resolves to the final result — against a daemon this works across
 	// network cuts, client restarts, and daemon restarts on a state dir
 	// (WithStateDir / oarun -state). An unknown ID resolves the handle with
-	// an error wrapping ErrUnknownCampaign.
+	// an error wrapping ErrUnknownCampaign; a cancelled campaign's handle
+	// resolves with an error wrapping ErrCampaignCancelled, even after a
+	// restart.
 	Attach(ctx context.Context, id uint64) (*Handle, error)
+	// Cancel stops a campaign by ID, server-side for remote runners: a
+	// queued campaign never dispatches, a running one halts at the next
+	// chunk boundary with its in-flight work abandoned — no EventChunkDone
+	// follows the cancel verdict. The cancellation is journaled terminally
+	// before Cancel returns (on durable runners), so it survives a kill -9
+	// restart; waiters and attachers resolve with ErrCampaignCancelled.
+	// Cancelling an unknown ID returns an error wrapping ErrUnknownCampaign;
+	// cancelling a campaign that already finished is a no-op.
+	Cancel(ctx context.Context, id uint64) error
+	// List enumerates the runner's campaign table in admission (ID) order —
+	// queued, running and retained terminal campaigns — filtered by status
+	// and label subset when the filter carries them.
+	List(ctx context.Context, filter ListFilter) ([]CampaignInfo, error)
+	// Info fetches one campaign's control-plane snapshot. An unknown ID
+	// returns an error wrapping ErrUnknownCampaign.
+	Info(ctx context.Context, id uint64) (*CampaignInfo, error)
 	// Close releases the runner's resources. Handles already returned stay
 	// valid.
 	Close() error
+}
+
+// Campaign statuses reported by CampaignInfo.Status and ListFilter.Status.
+const (
+	StatusQueued    = diet.CampaignQueued
+	StatusRunning   = diet.CampaignRunning
+	StatusDone      = diet.CampaignDone
+	StatusFailed    = diet.CampaignFailed
+	StatusCancelled = diet.CampaignCancelled
+)
+
+// CampaignInfo is the control-plane view of one campaign: the submit
+// options it carried plus its progress gauges — what Runner.Info and
+// Runner.List report to an operator, as opposed to the CampaignResult a
+// waiting submitter streams.
+type CampaignInfo struct {
+	// ID is the runner-issued campaign ID.
+	ID uint64
+	// Status is one of the Status constants.
+	Status string
+	// Priority, Labels and Heuristic echo the campaign's submit options
+	// (Heuristic is the resolved planner, never empty).
+	Priority int
+	Labels   map[string]string
+	// Heuristic names the planning heuristic the campaign runs with.
+	Heuristic string
+	// Scenarios and Months are the campaign's shape.
+	Scenarios int
+	Months    int
+	// Done counts scenarios with a finished chunk; Total mirrors Scenarios.
+	Done  int
+	Total int
+	// Rounds counts repartition rounds started; Requeues counts chunks lost
+	// to dead clusters and re-repartitioned.
+	Rounds   int
+	Requeues int
+	// Makespan is set once the campaign is done.
+	Makespan float64
+	// Err carries the failure reason of a failed campaign.
+	Err string
+}
+
+// ListFilter narrows Runner.List. The zero value matches every campaign.
+type ListFilter struct {
+	// Status keeps only campaigns in that state when non-empty (one of the
+	// Status constants).
+	Status string
+	// Labels keeps only campaigns whose label set contains every given pair
+	// (subset match) when non-empty.
+	Labels map[string]string
 }
 
 // Event is one typed progress notification of a running campaign. The
@@ -253,38 +331,54 @@ func (h *Handle) finish(res *CampaignResult, err error) {
 	close(h.done)
 }
 
-// Events returns one subscription to the campaign's event stream. Every
-// call gets its own channel that replays all events already emitted, then
-// follows the campaign live, and closes after the terminal EventResult —
-// independent subscribers each see the complete stream. Events never block
-// the campaign itself (they buffer), and the subscription channel is sized
-// to hold any healthy campaign's full stream, so a consumer that stops
-// reading early (break after the first chunk, say) does not strand the
-// delivery goroutine: it finishes into the buffer and exits. Only a
-// pathological stream bigger than the buffer (thousands of requeue rounds)
-// falls back to blocking delivery, where abandoning the channel would pin
-// the goroutine — drain until close when consuming such campaigns.
+// Events is EventsContext without a cancellation context. The subscription
+// channel is sized to hold any healthy campaign's full stream, so a
+// consumer that stops reading early (break after the first chunk, say) does
+// not strand the delivery goroutine: it finishes into the buffer and exits.
+// Only a pathological stream bigger than the buffer (thousands of requeue
+// rounds) falls back to blocking delivery, where abandoning the channel
+// would pin the goroutine — use EventsContext (and cancel the context when
+// done) or drain until close when consuming such campaigns.
 func (h *Handle) Events() <-chan Event {
+	return h.EventsContext(context.Background())
+}
+
+// EventsContext returns one subscription to the campaign's event stream.
+// Every call gets its own channel that replays all events already emitted,
+// then follows the campaign live, and closes after the terminal EventResult
+// — independent subscribers each see the complete stream. Delivery never
+// blocks the campaign itself (events buffer internally). Cancelling ctx
+// closes the channel early and releases the delivery goroutine — the safe
+// way to abandon a subscription whose stream may exceed its buffer.
+func (h *Handle) EventsContext(ctx context.Context) <-chan Event {
 	h.mu.Lock()
 	// Replay + live allowance: 4 frames per scenario covers planned, chunk,
 	// progress and requeue events across several repartition rounds.
 	size := len(h.queue) + 4*h.scenarios + 32
 	h.mu.Unlock()
 	out := make(chan Event, size)
-	go h.pump(out)
+	go h.pump(ctx, out)
 	return out
 }
 
 // pump delivers the full event sequence in order to one subscriber and
-// closes its channel after the terminal event.
-func (h *Handle) pump(out chan<- Event) {
+// closes its channel after the terminal event — or as soon as ctx is
+// cancelled, whichever comes first (a nil-Done context never fires and
+// costs nothing on the fast path).
+func (h *Handle) pump(ctx context.Context, out chan<- Event) {
+	done := ctx.Done()
 	next := 0
 	for {
 		h.mu.Lock()
 		if next < len(h.queue) {
 			ev := h.queue[next]
 			h.mu.Unlock()
-			out <- ev
+			select {
+			case out <- ev:
+			case <-done:
+				close(out)
+				return
+			}
 			next++
 			continue
 		}
@@ -295,7 +389,12 @@ func (h *Handle) pump(out chan<- Event) {
 			close(out)
 			return
 		}
-		<-change
+		select {
+		case <-change:
+		case <-done:
+			close(out)
+			return
+		}
 	}
 }
 

@@ -41,8 +41,12 @@ type gateEngine struct {
 
 // gateGrid mirrors the BENCH_grid.json fields the gate reads.
 type gateGrid struct {
-	Campaigns     int     `json:"campaigns"`
-	Completed     int     `json:"completed"`
+	Campaigns int `json:"campaigns"`
+	Completed int `json:"completed"`
+	// Cancels counts campaigns the injector cancelled server-side: a
+	// successful control-plane operation, so completion accounting is
+	// completed + cancels == campaigns.
+	Cancels       int     `json:"cancels"`
 	ThroughputCPS float64 `json:"throughput_cps"`
 	Verified      bool    `json:"verified_bit_identical"`
 	SeDKilled     bool    `json:"sed_killed"`
@@ -97,8 +101,8 @@ func runGate(basePath, enginePath, gridPath string, tolerance float64) {
 	if gridPath != "" {
 		var g gateGrid
 		readJSON(gridPath, &g)
-		if g.Completed != g.Campaigns {
-			fmt.Printf("%-28s %d/%d campaigns completed\n", "grid/completion", g.Completed, g.Campaigns)
+		if g.Completed+g.Cancels != g.Campaigns {
+			fmt.Printf("%-28s %d completed + %d cancelled of %d campaigns\n", "grid/completion", g.Completed, g.Cancels, g.Campaigns)
 			failed = true
 		}
 		if !g.Verified {

@@ -11,14 +11,17 @@
 //	oaload -arrival burst -burst 10 -gap 100ms
 //	oaload -kill 0.3                        # kill one SeD after 30% of submissions
 //	oaload -restart 0.5                     # kill + restart the daemon mid-run
+//	oaload -cancel 0.2                      # cancel ~20% of campaigns server-side
 //	oaload -addr 127.0.0.1:7714             # drive an external daemon (injection off)
 //
 // Without -addr the injector starts its own scheduler and SeDs on loopback
 // ports, which is also the hostile mode: -kill closes one SeD daemon
 // mid-run, -restart kills the scheduler itself after a fraction of the
 // submissions and restarts it on the same address and state dir (clients
-// reattach by campaign ID and resume from the replayed journal), and
-// -verify (default on) checks every chunk report bit-for-bit against a
+// reattach by campaign ID and resume from the replayed journal), -cancel
+// cancels a seeded fraction of the campaigns server-side right after
+// admission (reported as cancels / cancel_latency_p95_ms), and -verify
+// (default on) checks every completed chunk report bit-for-bit against a
 // serial in-process evaluation of the same (cluster, scenario count).
 package main
 
@@ -56,6 +59,8 @@ type loadReport struct {
 	Seed           int64   `json:"seed"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
 	Completed      int     `json:"completed"`
+	Cancels        int     `json:"cancels"`
+	CancelP95Ms    float64 `json:"cancel_latency_p95_ms,omitempty"`
 	Rejections     int     `json:"rejections"`
 	Requeues       uint64  `json:"requeues"`
 	Evictions      uint64  `json:"evictions"`
@@ -83,6 +88,7 @@ func main() {
 		months    = flag.Int("months", 12, "months per scenario")
 		heuristic = flag.String("heuristic", oagrid.KnapsackName, "planning heuristic")
 		kill      = flag.Float64("kill", 0, "kill one SeD after this fraction of submissions (self-hosted only, 0 = never)")
+		cancelFr  = flag.Float64("cancel", 0, "cancel this fraction of campaigns server-side mid-run (0 = never)")
 		restart   = flag.Float64("restart", 0, "kill the daemon after this fraction of submissions and restart it on the same state dir (self-hosted only, 0 = never)")
 		state     = flag.String("state", "", "daemon state dir (self-hosted; default: a temp dir when -restart > 0)")
 		verify    = flag.Bool("verify", true, "check reports bit-for-bit against serial evaluation (self-hosted only)")
@@ -156,6 +162,17 @@ func main() {
 	arrivals, err := schedule(*arrival, *campaigns, *rate, *burst, *gap, *seed)
 	if err != nil {
 		fail(err)
+	}
+	// The cancel injector's victim set: chosen up front on its own seeded
+	// stream so the arrival schedule stays identical with and without it.
+	cancelSet := make(map[int]bool)
+	if *cancelFr > 0 {
+		crng := rand.New(rand.NewSource(*seed + 1))
+		for i := 0; i < *campaigns; i++ {
+			if crng.Float64() < *cancelFr {
+				cancelSet[i] = true
+			}
+		}
 	}
 	killAt := -1
 	if *kill > 0 && fabric != nil && len(fabric.SeDs) > 1 {
@@ -247,7 +264,7 @@ func main() {
 				restartOnce.Do(func() { restartDaemon(i) })
 			}
 			t0 := time.Now()
-			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0)
+			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0, cancelSet[i])
 			latencies[i] = time.Since(t0)
 		}(i)
 	}
@@ -256,26 +273,40 @@ func main() {
 
 	completed := 0
 	results := make([]*oagrid.CampaignResult, *campaigns)
+	var sorted, cancelLatencies []time.Duration
 	for i, out := range outcomes {
 		if out.err != nil {
 			fail(fmt.Errorf("campaign %d: %w", i, out.err))
 		}
-		completed++
-		results[i] = out.res
+		// Admission-retry and restart-recovery bookkeeping counts whatever
+		// the campaign's fate — a cancelled campaign may still have been
+		// rejected, reattached or resubmitted on its way in.
 		report.Rejections += out.rejections
 		report.Reattaches += out.reattaches
 		report.Resubmits += out.resubmits
+		if out.cancelled {
+			// A cancelled campaign is a successful control-plane operation,
+			// not a completion: it leaves the latency percentiles and enters
+			// the cancel-latency ones.
+			report.Cancels++
+			cancelLatencies = append(cancelLatencies, out.cancelLatency)
+			continue
+		}
+		completed++
+		results[i] = out.res
+		sorted = append(sorted, latencies[i])
 	}
 	report.Completed = completed
 	report.WallSeconds = wall.Seconds()
 	if wall > 0 {
 		report.ThroughputCPS = float64(completed) / wall.Seconds()
 	}
-	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	report.P50Ms = percentileMs(sorted, 50)
 	report.P95Ms = percentileMs(sorted, 95)
 	report.P99Ms = percentileMs(sorted, 99)
+	sort.Slice(cancelLatencies, func(i, j int) bool { return cancelLatencies[i] < cancelLatencies[j] })
+	report.CancelP95Ms = percentileMs(cancelLatencies, 95)
 
 	if stats, err := (&grid.Client{Addr: target}).Stats(); err == nil {
 		report.MaxQueueDepth = stats.MaxQueueDepth
@@ -297,6 +328,10 @@ func main() {
 		completed, *campaigns, report.WallSeconds, report.ThroughputCPS)
 	fmt.Printf("latency p50 %.1fms  p95 %.1fms  p99 %.1fms   max queue depth %d  rejections %d  requeues %d\n",
 		report.P50Ms, report.P95Ms, report.P99Ms, report.MaxQueueDepth, report.Rejections, report.Requeues)
+	if report.Cancels > 0 {
+		fmt.Printf("cancel injection: %d campaign(s) cancelled server-side, cancel latency p95 %.1fms\n",
+			report.Cancels, report.CancelP95Ms)
+	}
 	if report.DaemonRestarts > 0 {
 		fmt.Printf("restart injection: %d daemon restart(s), %d reattach(es), %d resubmit(s)\n",
 			report.DaemonRestarts, report.Reattaches, report.Resubmits)
@@ -377,7 +412,11 @@ type campaignOutcome struct {
 	rejections int
 	reattaches int
 	resubmits  int
-	err        error
+	cancelled  bool
+	// cancelLatency is the time from issuing Runner.Cancel to the handle
+	// resolving with the cancelled verdict.
+	cancelLatency time.Duration
+	err           error
 }
 
 // runCampaign drives one campaign through the Runner with admission-control
@@ -385,8 +424,11 @@ type campaignOutcome struct {
 // or the deadline passes. With restart injection on, a stream that dies
 // after admission is recovered through Runner.Attach — retried until the
 // (possibly restarting) daemon answers — and only an ErrUnknownCampaign
-// verdict falls back to resubmission.
-func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time, reattach bool) campaignOutcome {
+// verdict falls back to resubmission. With wantCancel the campaign is
+// cancelled server-side as soon as it is admitted; a fast campaign may
+// still beat the cancel to the finish line, in which case it counts as
+// completed (cancelling a finished campaign is a no-op).
+func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time, reattach, wantCancel bool) campaignOutcome {
 	var out campaignOutcome
 	pause := func() bool {
 		if time.Now().Add(5 * time.Millisecond).After(deadline) {
@@ -399,15 +441,70 @@ func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, d
 		}
 		return true
 	}
+	// cancelSent carries the timestamp of the issued cancel — a channel, so
+	// the latency read after Wait has a sync edge with the injector.
+	cancelSent := make(chan time.Time, 1)
+	cancelLatency := func() time.Duration {
+		select {
+		case at := <-cancelSent:
+			return time.Since(at)
+		default:
+			return 0
+		}
+	}
 	for {
 		h, err := runner.Run(ctx, c)
 		if err != nil {
 			out.err = err
 			return out
 		}
+		if wantCancel {
+			// A fresh attempt measures its own cancel: drop a previous
+			// attempt's banked timestamp (its submission died), or the
+			// reported latency would span the failed attempt too.
+			select {
+			case <-cancelSent:
+			default:
+			}
+			go func() {
+				// Wait for admission: the ID is the cancel handle. A
+				// rejected or finished campaign closes Done first.
+				for h.ID() == 0 {
+					select {
+					case <-h.Done():
+						return
+					case <-time.After(time.Millisecond):
+					}
+				}
+				// Bank the issue time before the RPC: the verdict frame can
+				// resolve Wait before the cancel round trip even returns.
+				select {
+				case cancelSent <- time.Now():
+				default:
+				}
+				// Retry through a restarting daemon's dial-refused window.
+				for {
+					if err := runner.Cancel(ctx, h.ID()); err == nil || errors.Is(err, oagrid.ErrUnknownCampaign) {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case <-h.Done():
+						return
+					case <-time.After(5 * time.Millisecond):
+					}
+				}
+			}()
+		}
 		res, err := h.Wait()
 		if err == nil {
 			out.res = res
+			return out
+		}
+		if wantCancel && errors.Is(err, oagrid.ErrCampaignCancelled) {
+			out.cancelled = true
+			out.cancelLatency = cancelLatency()
 			return out
 		}
 		if errors.Is(err, oagrid.ErrRejected) {
@@ -448,6 +545,13 @@ func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, d
 				if aerr == nil {
 					out.reattaches++
 					out.res = res
+					return out
+				}
+				if wantCancel && errors.Is(aerr, oagrid.ErrCampaignCancelled) {
+					// The cancel landed while the stream was cut; the
+					// journaled verdict survives the daemon restart.
+					out.cancelled = true
+					out.cancelLatency = cancelLatency()
 					return out
 				}
 				if errors.Is(aerr, oagrid.ErrUnknownCampaign) {

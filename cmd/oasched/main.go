@@ -9,7 +9,13 @@
 // scheduler daemon (oarun -daemon) instead of simulated locally, streaming
 // typed progress; -attach reconnects to a campaign the daemon already
 // knows — after a network cut, or a daemon restart on a -state dir — and
-// replays its full history before following it live.
+// replays its full history before following it live. The control-plane
+// verbs drive the same daemon: -list enumerates its campaign table (with
+// -status/-labels filters), -info prints one campaign's snapshot, and
+// -cancel stops a campaign server-side — the daemon journals the
+// cancellation, so it survives restarts. Submissions take per-campaign
+// options: -priority orders the daemon's admission queue, -labels tags the
+// campaign for -list filters, -deadline bounds it individually.
 //
 // Usage:
 //
@@ -18,7 +24,12 @@
 //	oasched -r 60 -speed 1.29                      # a slower cluster profile
 //	oasched -r 53 -heuristic cpa                   # related-work baseline
 //	oasched -addr 127.0.0.1:7714 -ns 10 -nm 1800   # submit to a daemon
+//	oasched -addr 127.0.0.1:7714 -ns 10 -priority 5 -labels team=ocean,tier=gold
 //	oasched -addr 127.0.0.1:7714 -attach 17        # reattach to campaign 17
+//	oasched -addr 127.0.0.1:7714 -list             # the daemon's campaign table
+//	oasched -addr 127.0.0.1:7714 -list -status running -labels team=ocean
+//	oasched -addr 127.0.0.1:7714 -info 17          # one campaign's snapshot
+//	oasched -addr 127.0.0.1:7714 -cancel 17        # stop campaign 17 server-side
 package main
 
 import (
@@ -27,8 +38,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"oagrid"
 	"oagrid/internal/baseline"
@@ -50,8 +64,27 @@ func main() {
 		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		addr      = flag.String("addr", "", "grid scheduler daemon address: submit the campaign remotely instead of simulating locally")
 		attach    = flag.Uint64("attach", 0, "with -addr: reattach to a campaign the daemon already knows by ID")
+		list      = flag.Bool("list", false, "with -addr: list the daemon's campaign table instead of submitting")
+		info      = flag.Uint64("info", 0, "with -addr: print one campaign's control-plane snapshot by ID")
+		cancelID  = flag.Uint64("cancel", 0, "with -addr: cancel a campaign server-side by ID")
+		status    = flag.String("status", "", "with -list: keep only campaigns in this state (queued, running, done, failed, cancelled)")
+		labels    = flag.String("labels", "", "submit: comma-separated k=v labels for the campaign; with -list: label-subset filter")
+		priority  = flag.Int("priority", 0, "submit: admission-queue priority (higher dispatches first)")
+		deadline  = flag.Duration("deadline", 0, "submit: per-campaign deadline overriding the daemon's default (0 = daemon default)")
 	)
 	flag.Parse()
+
+	labelSet, err := parseLabels(*labels)
+	if err != nil {
+		fail(err)
+	}
+	if *addr != "" && (*list || *info != 0 || *cancelID != 0) {
+		controlPlane(*addr, *list, *info, *cancelID, *status, labelSet)
+		return
+	}
+	if *list || *info != 0 || *cancelID != 0 {
+		fail(fmt.Errorf("-list, -info and -cancel need -addr: only a daemon has a campaign table"))
+	}
 
 	app := core.Application{Scenarios: *ns, Months: *nm}
 	if err := app.Validate(); err != nil {
@@ -59,7 +92,7 @@ func main() {
 	}
 
 	if *addr != "" {
-		runRemote(*addr, *attach, app, *heuristic)
+		runRemote(*addr, *attach, app, *heuristic, *priority, labelSet, *deadline)
 		return
 	}
 	if *attach != 0 {
@@ -155,12 +188,88 @@ func main() {
 	w.Flush()
 }
 
+// parseLabels splits "k=v,k2=v2" into a label map.
+func parseLabels(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("malformed label %q (want k=v[,k=v...])", pair)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// controlPlane serves the query/cancel verbs against a daemon: -cancel
+// first (so -cancel + -list shows the post-cancel table), then -info, then
+// -list.
+func controlPlane(addr string, list bool, info, cancelID uint64, status string, labels map[string]string) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	runner, err := oagrid.Dial(ctx, addr)
+	if err != nil {
+		fail(err)
+	}
+	defer runner.Close()
+
+	if cancelID != 0 {
+		if err := runner.Cancel(ctx, cancelID); err != nil {
+			fail(err)
+		}
+		ci, err := runner.Info(ctx, cancelID)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("campaign %d: %s\n", cancelID, ci.Status)
+	}
+	if info != 0 {
+		ci, err := runner.Info(ctx, info)
+		if err != nil {
+			fail(err)
+		}
+		printInfos([]oagrid.CampaignInfo{*ci})
+	}
+	if list {
+		infos, err := runner.List(ctx, oagrid.ListFilter{Status: status, Labels: labels})
+		if err != nil {
+			fail(err)
+		}
+		printInfos(infos)
+	}
+}
+
+// printInfos renders campaign snapshots as the control-plane table.
+func printInfos(infos []oagrid.CampaignInfo) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tstatus\tprio\tns×nm\tdone\trounds\trequeues\tmakespan\theuristic\tlabels")
+	for _, ci := range infos {
+		makespan := "-"
+		if ci.Status == oagrid.StatusDone {
+			makespan = fmt.Sprintf("%.0fs", ci.Makespan)
+		}
+		labels := make([]string, 0, len(ci.Labels))
+		for k, v := range ci.Labels {
+			labels = append(labels, k+"="+v)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d×%d\t%d/%d\t%d\t%d\t%s\t%s\t%s\n",
+			ci.ID, ci.Status, ci.Priority, ci.Scenarios, ci.Months, ci.Done, ci.Total,
+			ci.Rounds, ci.Requeues, makespan, ci.Heuristic, strings.Join(labels, ","))
+	}
+	w.Flush()
+	fmt.Printf("%d campaign(s)\n", len(infos))
+}
+
 // runRemote drives the configuration through a grid scheduler daemon via
 // the public client API: submit (or reattach to) one campaign, stream its
 // typed events, and print the final accounting. The admission line prints
 // the campaign ID — the durable name to reattach with after a cut or a
-// daemon restart.
-func runRemote(addr string, attach uint64, app core.Application, heuristic string) {
+// daemon restart, and the handle for oasched -cancel/-info.
+func runRemote(addr string, attach uint64, app core.Application, heuristic string, priority int, labels map[string]string, deadline time.Duration) {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	runner, err := oagrid.Dial(ctx, addr)
@@ -173,7 +282,17 @@ func runRemote(addr string, attach uint64, app core.Application, heuristic strin
 	if attach != 0 {
 		h, err = runner.Attach(ctx, attach)
 	} else {
-		h, err = runner.Run(ctx, oagrid.Campaign{Experiment: oagrid.Experiment(app), Heuristic: heuristic})
+		var opts []oagrid.SubmitOption
+		if priority != 0 {
+			opts = append(opts, oagrid.WithPriority(priority))
+		}
+		if len(labels) > 0 {
+			opts = append(opts, oagrid.WithLabels(labels))
+		}
+		if deadline > 0 {
+			opts = append(opts, oagrid.WithDeadline(deadline))
+		}
+		h, err = runner.Run(ctx, oagrid.Campaign{Experiment: oagrid.Experiment(app), Heuristic: heuristic}, opts...)
 	}
 	if err != nil {
 		fail(err)

@@ -1,0 +1,446 @@
+package oagrid
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"oagrid/internal/grid"
+)
+
+// waitAdmitted blocks until the handle has an ID (or the campaign ended).
+func waitAdmitted(t *testing.T, h *Handle) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for h.ID() == 0 {
+		select {
+		case <-h.Done():
+			if h.ID() == 0 {
+				t.Fatal("campaign ended without an admission")
+			}
+		case <-time.After(time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never admitted")
+		}
+	}
+	return h.ID()
+}
+
+// waitPlanned consumes the stream until the first EventPlanned.
+func waitPlanned(t *testing.T, ctx context.Context, h *Handle) {
+	t.Helper()
+	for ev := range h.EventsContext(ctx) {
+		switch ev.(type) {
+		case EventPlanned:
+			return
+		case EventResult:
+			t.Fatal("campaign finished before its planned event was seen")
+		}
+	}
+	t.Fatal("event stream closed before the planned event")
+}
+
+// chunkScenarios folds the handle's (complete, replayed) stream into the
+// scenario count its EventChunkDone events covered.
+func chunkScenarios(h *Handle) int {
+	total := 0
+	for ev := range h.Events() {
+		if chunk, ok := ev.(EventChunkDone); ok {
+			total += chunk.Report.Scenarios
+		}
+	}
+	return total
+}
+
+// assertCancelledFrozen checks the operational cancel guarantees on a
+// resolved campaign: status cancelled, progress gauges frozen at the cancel
+// claim (nothing trickles in afterwards), and no chunk event beyond what
+// the gauges account for. (The exact no-chunk-after-verdict ordering is
+// enforced deterministically by the grid-layer gate-SeD test; here chunks
+// may legitimately have completed before the cancel landed.)
+func assertCancelledFrozen(t *testing.T, ctx context.Context, runner Runner, id uint64, h *Handle) {
+	t.Helper()
+	info1, err := runner.Info(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Status != StatusCancelled {
+		t.Fatalf("cancelled campaign info status %q", info1.Status)
+	}
+	time.Sleep(300 * time.Millisecond) // let any straggler chunks land — they must be discarded
+	info2, err := runner.Info(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Status != StatusCancelled || info2.Done != info1.Done {
+		t.Fatalf("cancelled campaign moved after the verdict: %d done, then %d", info1.Done, info2.Done)
+	}
+	if got := chunkScenarios(h); got > info2.Done {
+		t.Fatalf("handle stream carries %d chunk scenarios, gauges froze at %d", got, info2.Done)
+	}
+}
+
+// TestLocalCancelMidCampaign: Runner.Cancel on a Local campaign stops the
+// evaluation cooperatively mid-round, resolves the handle with the typed
+// error, surfaces no chunk events, and shows up as cancelled in Info/List.
+func TestLocalCancelMidCampaign(t *testing.T) {
+	ctx := context.Background()
+	runner, err := Local(testFleet(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	// Big enough that the cancel lands mid-evaluation.
+	h, err := runner.Run(ctx, NewCampaign(10, 1800), WithPriority(3), WithLabels(map[string]string{"team": "ocean"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := waitAdmitted(t, h)
+	waitPlanned(t, ctx, h)
+	if err := runner.Cancel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if !errors.Is(err, ErrCampaignCancelled) {
+		t.Fatalf("Wait returned %v, want ErrCampaignCancelled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled campaign returned a result: %+v", res)
+	}
+	assertCancelledFrozen(t, ctx, runner, id, h)
+
+	info, err := runner.Info(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Priority != 3 || info.Labels["team"] != "ocean" {
+		t.Fatalf("info %+v, want submit options intact", info)
+	}
+	// Cancelling again is a no-op; cancelling the unknown is typed.
+	if err := runner.Cancel(ctx, id); err != nil {
+		t.Fatalf("second cancel errored: %v", err)
+	}
+	if err := runner.Cancel(ctx, 424242); !errors.Is(err, ErrUnknownCampaign) {
+		t.Fatalf("cancel of unknown campaign returned %v, want ErrUnknownCampaign", err)
+	}
+	// Attach resolves with the cancelled verdict too.
+	ah, err := runner.Attach(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ah.Wait(); !errors.Is(err, ErrCampaignCancelled) {
+		t.Fatalf("attach to cancelled campaign resolved with %v, want ErrCampaignCancelled", err)
+	}
+}
+
+// TestDialCancelMidRoundWithSeDKill: a remote campaign is cancelled in the
+// same round a SeD dies. The cancel must win — typed error, no chunk frames
+// — while a concurrent, non-cancelled campaign in the same daemon rides
+// through the SeD failure and finishes bit-identical to serial evaluation.
+func TestDialCancelMidRoundWithSeDKill(t *testing.T) {
+	ctx := context.Background()
+	fabric := startTestFabric(t, 3)
+	runner, err := Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runner.Close()
+
+	// The victim: a campaign big enough to still be mid-round when the SeD
+	// dies and the cancel lands.
+	victim, err := runner.Run(ctx, NewCampaign(10, 1800), WithLabels(map[string]string{"fate": "cancel"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The survivor: a normal campaign sharing the daemon and the SeD fleet.
+	survivor, err := runner.Run(ctx, NewCampaign(8, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victimID := waitAdmitted(t, victim)
+	// Kill a SeD and cancel in the same round: the victim is deep in its
+	// first round (the 10×1800 performance-vector sweep alone takes far
+	// longer than these two calls), so the cancel must cooperate with the
+	// abort/requeue machinery, not run after it.
+	fabric.SeDs[1].Close()
+	if err := runner.Cancel(ctx, victimID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Wait(); !errors.Is(err, ErrCampaignCancelled) {
+		t.Fatalf("victim resolved with %v, want ErrCampaignCancelled", err)
+	}
+	assertCancelledFrozen(t, ctx, runner, victimID, victim)
+
+	res, err := survivor.Wait()
+	if err != nil {
+		t.Fatalf("survivor failed: %v", err)
+	}
+	// Bit-identical to serial evaluation, SeD kill and neighbor cancel
+	// notwithstanding.
+	v, err := grid.NewVerifier(fabric.Clusters, KnapsackName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([]grid.ChunkReport, len(res.Reports))
+	for i, rep := range res.Reports {
+		chunks[i] = grid.ChunkReport{Cluster: rep.Cluster, Scenarios: rep.Scenarios, Makespan: rep.Makespan, Round: rep.Round}
+	}
+	if err := v.VerifyChunks(NewExperiment(8, 24), res.Makespan, chunks); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon's stats account the cancellation.
+	if stats := fabric.Sched.Stats(); stats.Cancelled != 1 {
+		t.Fatalf("daemon stats report %d cancelled campaigns, want 1", stats.Cancelled)
+	}
+}
+
+// TestLocalCancelDurableStaysCancelled: a cancelled campaign on a durable
+// Local runner replays as cancelled — never resumed — on the next open.
+func TestLocalCancelDurableStaysCancelled(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	r1, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r1.Run(ctx, NewCampaign(10, 1800), WithLabels(map[string]string{"tier": "gold"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := waitAdmitted(t, h)
+	if err := r1.Cancel(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); !errors.Is(err, ErrCampaignCancelled) {
+		t.Fatalf("Wait returned %v, want ErrCampaignCancelled", err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	ah, err := r2.Attach(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ah.Wait(); !errors.Is(err, ErrCampaignCancelled) {
+		t.Fatalf("replayed cancelled campaign resolved with %v, want ErrCampaignCancelled", err)
+	}
+	infos, err := r2.List(ctx, ListFilter{Status: StatusCancelled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != id || infos[0].Labels["tier"] != "gold" {
+		t.Fatalf("cancelled filter returned %+v, want the replayed campaign with its labels", infos)
+	}
+	// Nothing queued or running: the cancelled campaign was not resumed.
+	for _, status := range []string{StatusQueued, StatusRunning} {
+		live, err := r2.List(ctx, ListFilter{Status: status})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(live) != 0 {
+			t.Fatalf("%s campaigns after replay: %+v", status, live)
+		}
+	}
+}
+
+// TestListInfoFiltersLocalAndRemote: List/Info report submit options and
+// filter by status and label subset, identically on both runner flavours.
+func TestListInfoFiltersLocalAndRemote(t *testing.T) {
+	ctx := context.Background()
+	local, err := Local(testFleet(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	fabric := startTestFabric(t, 2)
+	remote, err := Dial(ctx, fabric.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	for name, runner := range map[string]Runner{"local": local, "remote": remote} {
+		a, err := runner.Run(ctx, NewCampaign(4, 12),
+			WithPriority(7),
+			WithLabels(map[string]string{"team": "ocean", "tier": "gold"}),
+			WithCampaignHeuristic(BasicName),
+			WithDeadline(time.Minute))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := runner.Run(ctx, NewCampaign(4, 12), WithLabels(map[string]string{"team": "atmos"}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := a.Wait(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := b.Wait(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		info, err := runner.Info(ctx, a.ID())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Status != StatusDone || info.Priority != 7 || info.Heuristic != BasicName ||
+			info.Labels["team"] != "ocean" || info.Done != 4 || info.Total != 4 {
+			t.Fatalf("%s: info %+v, want done with submit options echoed", name, info)
+		}
+		if info.Makespan <= 0 {
+			t.Fatalf("%s: done campaign reports makespan %g", name, info.Makespan)
+		}
+
+		all, err := runner.List(ctx, ListFilter{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(all) != 2 || all[0].ID >= all[1].ID {
+			t.Fatalf("%s: unfiltered list %+v, want both campaigns in ID order", name, all)
+		}
+		ocean, err := runner.List(ctx, ListFilter{Labels: map[string]string{"team": "ocean"}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ocean) != 1 || ocean[0].ID != a.ID() {
+			t.Fatalf("%s: label filter returned %+v", name, ocean)
+		}
+		none, err := runner.List(ctx, ListFilter{Status: StatusRunning})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(none) != 0 {
+			t.Fatalf("%s: running filter on finished table returned %+v", name, none)
+		}
+		if _, err := runner.Info(ctx, 999999); !errors.Is(err, ErrUnknownCampaign) {
+			t.Fatalf("%s: Info on unknown ID returned %v, want ErrUnknownCampaign", name, err)
+		}
+		if err := runner.Cancel(ctx, 999999); !errors.Is(err, ErrUnknownCampaign) {
+			t.Fatalf("%s: Cancel on unknown ID returned %v, want ErrUnknownCampaign", name, err)
+		}
+	}
+}
+
+// TestLocalDeadlineVsCallerDeadline: WithDeadline expiring is a terminal
+// failure (journaled, ErrCampaignFailed), but the caller's own ctx deadline
+// stays a pause — non-terminal in the journal, so the next runner on the
+// state dir resumes the campaign.
+func TestLocalDeadlineVsCallerDeadline(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	r1, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The campaign's own deadline: terminal.
+	h1, err := r1.Run(ctx, NewCampaign(10, 1800), WithDeadline(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Wait(); !errors.Is(err, ErrCampaignFailed) {
+		t.Fatalf("deadline expiry resolved with %v, want ErrCampaignFailed", err)
+	}
+	id1 := h1.ID()
+
+	// The caller's ctx deadline: a pause.
+	shortCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
+	defer cancel()
+	h2, err := r1.Run(shortCtx, NewCampaign(10, 1800), WithDeadline(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Wait(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline resolved with %v, want context.DeadlineExceeded", err)
+	}
+	id2 := h2.ID()
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Local(testFleet(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	// The deadline-failed campaign replays failed; the paused one resumes
+	// and completes.
+	fh, err := r2.Attach(ctx, id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Wait(); !errors.Is(err, ErrCampaignFailed) {
+		t.Fatalf("replayed deadline failure resolved with %v, want ErrCampaignFailed", err)
+	}
+	ph, err := r2.Attach(ctx, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ph.Wait()
+	if err != nil {
+		t.Fatalf("paused campaign did not resume: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("resumed campaign result %+v", res)
+	}
+}
+
+// TestEventsContextReleasesAbandonedSubscriber: a subscriber of a stream
+// bigger than its buffer that walks away would pin its delivery goroutine
+// forever with Events; EventsContext releases it on cancellation.
+func TestEventsContextReleasesAbandonedSubscriber(t *testing.T) {
+	h := newHandle(0) // minimal buffer: 32 + replay at subscription time
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := h.EventsContext(ctx)
+	// A pathological stream: far more events than the subscription buffer.
+	for i := 0; i < 500; i++ {
+		h.publish(EventProgress{Done: i, Total: 500})
+	}
+	// Consume one event, then abandon the (now overflowing) subscription.
+	<-ch
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines before, %d after the abandoned subscription", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The channel closes rather than leaking.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := <-ch; !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription channel never closed after cancellation")
+		}
+	}
+	// The handle itself is unharmed: a fresh subscriber drains normally.
+	h.finish(&CampaignResult{Makespan: 1}, nil)
+	var last Event
+	for ev := range h.Events() {
+		last = ev
+	}
+	res, ok := last.(EventResult)
+	if !ok || math.Float64bits(res.Result.Makespan) != math.Float64bits(1) {
+		t.Fatalf("fresh subscriber ended on %#v, want the terminal EventResult", last)
+	}
+}

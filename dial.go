@@ -38,13 +38,19 @@ func Dial(ctx context.Context, addr string, opts ...RunnerOption) (Runner, error
 	return r, nil
 }
 
-// Run implements Runner.
-func (r *remoteRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
+// Run implements Runner. Submit options travel to the daemon on the wire
+// (protocol v3): priority orders its admission queue, labels tag the
+// campaign for List, a deadline overrides its campaign timeout.
+func (r *remoteRunner) Run(ctx context.Context, c Campaign, opts ...SubmitOption) (*Handle, error) {
 	app := core.Application(c.Experiment)
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
-	name := c.Heuristic
+	sub := newSubmitConfig(opts)
+	name := sub.heuristic
+	if name == "" {
+		name = c.Heuristic
+	}
 	if name == "" {
 		name = r.cfg.heuristic
 	}
@@ -52,8 +58,62 @@ func (r *remoteRunner) Run(ctx context.Context, c Campaign) (*Handle, error) {
 		return nil, err
 	}
 	handle := newHandle(app.Scenarios)
-	go r.run(ctx, handle, app, name)
+	meta := grid.SubmitMeta{Priority: sub.priority, Labels: sub.labels, Deadline: sub.deadline}
+	go r.run(ctx, handle, app, name, meta)
 	return handle, nil
+}
+
+// Cancel implements Runner: the daemon journals the cancellation before the
+// verdict returns, so it survives any restart. An unknown ID is
+// ErrUnknownCampaign; a campaign that finished first is a no-op.
+func (r *remoteRunner) Cancel(ctx context.Context, id uint64) error {
+	_, err := r.client.CancelContext(ctx, id)
+	return err
+}
+
+// List implements Runner: the daemon's campaign table in admission order.
+func (r *remoteRunner) List(ctx context.Context, filter ListFilter) ([]CampaignInfo, error) {
+	infos, err := r.client.ListCampaignsContext(ctx, &diet.ListCampaignsRequest{
+		Status: filter.Status,
+		Labels: filter.Labels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CampaignInfo, len(infos))
+	for i := range infos {
+		out[i] = infoFromWire(&infos[i])
+	}
+	return out, nil
+}
+
+// Info implements Runner.
+func (r *remoteRunner) Info(ctx context.Context, id uint64) (*CampaignInfo, error) {
+	wi, err := r.client.InfoContext(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	info := infoFromWire(wi)
+	return &info, nil
+}
+
+// infoFromWire maps the wire control-plane snapshot onto the public shape.
+func infoFromWire(wi *diet.CampaignInfo) CampaignInfo {
+	return CampaignInfo{
+		ID:        wi.ID,
+		Status:    wi.Status,
+		Priority:  wi.Priority,
+		Labels:    wi.Labels,
+		Heuristic: wi.Heuristic,
+		Scenarios: wi.Scenarios,
+		Months:    wi.Months,
+		Done:      wi.Done,
+		Total:     wi.Total,
+		Rounds:    wi.Rounds,
+		Requeues:  wi.Requeues,
+		Makespan:  wi.Makespan,
+		Err:       wi.Err,
+	}
 }
 
 // Attach implements Runner: it reconnects to a daemon-side campaign by ID
@@ -80,8 +140,8 @@ func (r *remoteRunner) Attach(ctx context.Context, id uint64) (*Handle, error) {
 // is nothing to release.
 func (r *remoteRunner) Close() error { return nil }
 
-func (r *remoteRunner) run(ctx context.Context, handle *Handle, app core.Application, heuristic string) {
-	res, err := r.client.RunContext(ctx, app, heuristic,
+func (r *remoteRunner) run(ctx context.Context, handle *Handle, app core.Application, heuristic string, meta grid.SubmitMeta) {
+	res, err := r.client.RunContext(ctx, app, heuristic, meta,
 		func(id uint64) {
 			handle.setID(id)
 			handle.publish(EventAdmitted{ID: id})

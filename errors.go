@@ -22,4 +22,9 @@ var (
 	// not know — never admitted, pruned past the daemon's retention cap, or
 	// issued by a different runner/state dir. Resubmit instead of retrying.
 	ErrUnknownCampaign = grid.ErrUnknownCampaign
+	// ErrCampaignCancelled reports a campaign stopped by Runner.Cancel.
+	// Waiting on it — or attaching to it, even after a restart on a state
+	// dir — resolves with this error; the cancellation is terminal, so
+	// resubmit if the work is still wanted.
+	ErrCampaignCancelled = grid.ErrCampaignCancelled
 )

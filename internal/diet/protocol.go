@@ -29,18 +29,24 @@ import (
 // Version field (gob decodes them with Version == 0, which reads as v1) and
 // submit-wait connections that stream exactly two frames, the admission
 // verdict and the final result. Version 2 adds per-campaign progress frames
-// on submit-wait connections.
+// on submit-wait connections. Version 3 is the control plane: per-campaign
+// submit options (priority, labels, deadline) plus the cancel / info /
+// list-campaigns request kinds and the "cancelled" terminal status.
 //
 // Negotiation is min(client, server): the client states its version in the
 // Request, the server answers every frame with the effective version, and
 // features above the effective version stay off the wire. Old clients never
 // see frames they cannot parse; new clients detect old servers from the
-// verdict frame's version.
+// verdict frame's version. A v2 client against a v3 server keeps the exact
+// v2 behaviour: it cannot set the new submit fields, never receives the
+// cancelled status for its own campaigns unless an operator cancels them,
+// and the new request kinds simply do not appear on its wire.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
+	ProtocolV3 = 3
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV2
+	ProtocolVersion = ProtocolV3
 )
 
 // NegotiateVersion resolves the effective version of a connection from the
@@ -71,6 +77,15 @@ const (
 	// streams like a submit-wait connection: verdict, replayed + live
 	// progress frames (protocol v2), final result.
 	KindAttach = "attach"
+
+	// Control-plane kinds (protocol v3). KindCancel aborts a campaign by ID
+	// server-side; KindInfo fetches one campaign's control-plane snapshot;
+	// KindListCampaigns enumerates the scheduler's campaign table with an
+	// optional status/label filter. (The SeD directory already owns the name
+	// "list", hence the longer kind string.)
+	KindCancel        = "cancel"
+	KindInfo          = "info"
+	KindListCampaigns = "list-campaigns"
 )
 
 // Request is the envelope every connection carries exactly one of.
@@ -88,6 +103,11 @@ type Request struct {
 	Result    *ResultRequest
 	Stats     *StatsRequest
 	Attach    *AttachRequest
+
+	// Control plane (protocol v3).
+	Cancel        *CancelRequest
+	Info          *InfoRequest
+	ListCampaigns *ListCampaignsRequest
 }
 
 // Response is the reply envelope. A Submit connection with Wait set is the
@@ -110,6 +130,11 @@ type Response struct {
 	Progress  *ProgressUpdate
 	Stats     *StatsResponse
 	Attach    *AttachResponse
+
+	// Control plane (protocol v3).
+	Cancel        *CancelResponse
+	Info          *CampaignInfo
+	ListCampaigns *ListCampaignsResponse
 }
 
 // RegisterRequest is a SeD announcing itself to the master agent.
@@ -231,6 +256,17 @@ type SubmitRequest struct {
 	// the result. Honored only on Wait connections at protocol v2 or later;
 	// a v1 server ignores the field entirely.
 	Progress bool
+	// Priority orders the admission queue (protocol v3): higher-priority
+	// campaigns dispatch first, ties run in admission order. Pre-v3 servers
+	// ignore the field (everything is priority 0, plain FIFO).
+	Priority int
+	// Labels are the campaign's operator-facing tags, matched as a subset by
+	// KindListCampaigns filters (protocol v3). Pre-v3 servers drop them.
+	Labels map[string]string
+	// Deadline overrides the scheduler's per-campaign timeout for this one
+	// campaign (protocol v3; 0 keeps the daemon default). Pre-v3 servers
+	// ignore it.
+	Deadline time.Duration
 }
 
 // SubmitResponse is the admission verdict. Accepted=false means the bounded
@@ -274,7 +310,88 @@ const (
 	CampaignRunning = "running"
 	CampaignDone    = "done"
 	CampaignFailed  = "failed"
+	// CampaignCancelled is the terminal state of a campaign aborted by
+	// KindCancel (protocol v3): admission-queue removal or cooperative abort
+	// of in-flight work, journaled terminally — a cancelled campaign is
+	// never re-admitted by a journal replay.
+	CampaignCancelled = "cancelled"
 )
+
+// CancelRequest aborts a campaign by ID (protocol v3). A queued campaign is
+// removed before it ever dispatches; a running campaign stops at the next
+// chunk boundary — in-flight SeD exchanges are abandoned and their reports
+// discarded, so no chunk frame follows the cancel verdict.
+type CancelRequest struct{ ID uint64 }
+
+// CancelResponse is the cancel verdict. Found=false means the scheduler does
+// not know the campaign. Status is the campaign's state after the verdict:
+// "cancelled" when this request (or an earlier one) cancelled it, or the
+// terminal state ("done"/"failed") that beat the cancel to the finish line —
+// cancelling a finished campaign is a no-op, not an error.
+type CancelResponse struct {
+	ID     uint64
+	Found  bool
+	Status string
+}
+
+// InfoRequest fetches one campaign's control-plane snapshot (protocol v3).
+type InfoRequest struct{ ID uint64 }
+
+// CampaignInfo is the control-plane view of one campaign: the submit options
+// it carried plus its live progress gauges — what an operator enumerating a
+// multi-tenant scheduler sees, as opposed to the CampaignResult a waiting
+// submitter streams.
+type CampaignInfo struct {
+	ID uint64
+	// Found is false when the scheduler does not know the campaign (KindInfo
+	// on an unknown or pruned ID); every other field is then zero.
+	Found     bool
+	Status    string
+	Priority  int
+	Labels    map[string]string
+	Heuristic string
+	Scenarios int
+	Months    int
+	// Done counts scenarios with a finished chunk report; Total mirrors
+	// Scenarios so clients can render progress without the shape.
+	Done  int
+	Total int
+	// Rounds counts repartition rounds started; Requeues counts chunks lost
+	// to dead SeDs and re-repartitioned.
+	Rounds   int
+	Requeues int
+	// Makespan is set once the campaign is done.
+	Makespan float64
+	Err      string
+}
+
+// ListCampaignsRequest enumerates the scheduler's campaign table (protocol
+// v3). Status, when non-empty, keeps only campaigns in that state; Labels,
+// when non-empty, keeps only campaigns whose label set contains every given
+// pair (subset match).
+type ListCampaignsRequest struct {
+	Status string
+	Labels map[string]string
+}
+
+// ListCampaignsResponse carries the matching campaigns in ascending ID
+// (admission) order.
+type ListCampaignsResponse struct {
+	Campaigns []CampaignInfo
+}
+
+// LabelsMatch reports whether got contains every pair of want (subset
+// match); an empty want matches everything. It is the one label-filter
+// semantic of the control plane, shared by the scheduler and the local
+// runner so List behaves identically on both.
+func LabelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
 
 // CampaignResult is the terminal (or in-flight, when polled) state of one
 // campaign. Reports carries one ExecResponse per dispatched chunk; a cluster
@@ -357,10 +474,12 @@ type StatsResponse struct {
 	Running       int
 	Completed     uint64
 	Failed        uint64
-	Rejected      uint64
-	Requeues      uint64
-	Evicted       uint64
-	SeDs          []SeDStatus
+	// Cancelled counts campaigns terminated by KindCancel (protocol v3).
+	Cancelled uint64
+	Rejected  uint64
+	Requeues  uint64
+	Evicted   uint64
+	SeDs      []SeDStatus
 }
 
 // dialTimeout bounds every protocol round trip.

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,8 +20,23 @@ type campaign struct {
 	id        uint64
 	app       core.Application
 	heuristic string
+	// priority orders the admission queue (higher dispatches first); labels
+	// and deadline are the campaign's other journaled submit options. All
+	// three are immutable after admission.
+	priority int
+	labels   map[string]string
+	deadline time.Duration
 
-	mu       sync.Mutex
+	// cancelCh closes when a cancel claims the campaign: in-flight SeD round
+	// trips abort on it and the dispatcher stops at the next chunk boundary.
+	cancelCh chan struct{}
+
+	mu sync.Mutex
+	// claimed marks the terminal transition as owned: exactly one path —
+	// completion, failure, or cancel — wins claim() and drives the campaign
+	// terminal; every frame publish after the claim is dropped, so a cancel
+	// verdict is never followed by a chunk frame.
+	claimed  bool
 	status   string
 	makespan float64
 	reports  []diet.ExecResponse
@@ -44,12 +60,23 @@ type campaign struct {
 	done chan struct{}
 }
 
+// submitMeta carries a campaign's per-submit options (control plane v2).
+type submitMeta struct {
+	priority int
+	labels   map[string]string
+	deadline time.Duration
+}
+
 // newCampaign builds a fresh campaign with every scenario remaining.
-func newCampaign(id uint64, app core.Application, heuristic string) *campaign {
+func newCampaign(id uint64, app core.Application, heuristic string, meta submitMeta) *campaign {
 	c := &campaign{
 		id:        id,
 		app:       app,
 		heuristic: heuristic,
+		priority:  meta.priority,
+		labels:    meta.labels,
+		deadline:  meta.deadline,
+		cancelCh:  make(chan struct{}),
 		status:    diet.CampaignQueued,
 		remaining: make([]int, app.Scenarios),
 		done:      make(chan struct{}),
@@ -66,6 +93,10 @@ func recoveredCampaign(rc *store.Campaign) *campaign {
 		id:            rc.ID,
 		app:           core.Application{Scenarios: rc.Scenarios, Months: rc.Months},
 		heuristic:     rc.Heuristic,
+		priority:      rc.Priority,
+		labels:        rc.Labels,
+		deadline:      rc.Deadline,
+		cancelCh:      make(chan struct{}),
 		status:        diet.CampaignQueued,
 		makespan:      rc.Makespan,
 		reports:       rc.Reports,
@@ -83,9 +114,64 @@ func recoveredCampaign(rc *store.Campaign) *campaign {
 		// snapshot is byte-for-byte the one clients saw before the restart.
 		sortReports(c.reports)
 		c.status = rc.Status
+		c.claimed = true
+		if rc.Status == diet.CampaignCancelled {
+			close(c.cancelCh)
+		}
 		close(c.done)
 	}
 	return c
+}
+
+// claim reserves the campaign's terminal transition; exactly one caller
+// wins and must then journal the terminal record and call complete.
+func (c *campaign) claim() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.claimed {
+		return false
+	}
+	c.claimed = true
+	return true
+}
+
+// signalCancel aborts the campaign's in-flight work: SeD round trips tied to
+// cancelCh return immediately and the dispatcher stops at the next chunk
+// boundary. Only the cancel path (which holds the terminal claim) calls it.
+func (c *campaign) signalCancel() {
+	close(c.cancelCh)
+}
+
+// cancelledNow reports whether a cancel has claimed the campaign.
+func (c *campaign) cancelledNow() bool {
+	select {
+	case <-c.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// info snapshots the campaign's control-plane view.
+func (c *campaign) info() diet.CampaignInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return diet.CampaignInfo{
+		ID:        c.id,
+		Found:     true,
+		Status:    c.status,
+		Priority:  c.priority,
+		Labels:    c.labels,
+		Heuristic: c.heuristic,
+		Scenarios: c.app.Scenarios,
+		Months:    c.app.Months,
+		Done:      c.scenariosDone,
+		Total:     c.app.Scenarios,
+		Rounds:    c.round,
+		Requeues:  c.requeues,
+		Makespan:  c.makespan,
+		Err:       c.errMsg,
+	}
 }
 
 // subscribe registers a progress listener and replays the frames published
@@ -115,11 +201,18 @@ func (c *campaign) unsubscribe(ch chan diet.ProgressUpdate) {
 	c.mu.Unlock()
 }
 
-// publish records one progress frame and fans it out without blocking.
+// publish records one progress frame and fans it out without blocking. A
+// frame racing the terminal claim is dropped: once a cancel (or any other
+// terminal transition) owns the campaign, nothing may follow its verdict on
+// any stream.
 func (c *campaign) publish(u diet.ProgressUpdate) {
 	u.ID = c.id
 	u.Total = c.app.Scenarios
 	c.mu.Lock()
+	if c.claimed {
+		c.mu.Unlock()
+		return
+	}
 	u.Done = c.scenariosDone
 	c.history = append(c.history, u)
 	for ch := range c.subs {
@@ -150,9 +243,15 @@ func (c *campaign) snapshot() *diet.CampaignResult {
 	return out
 }
 
+// setStatus records a non-terminal transition. It yields to a terminal
+// claim: a dispatcher that popped a campaign an instant before a cancel
+// claimed it must not stamp "running" over the terminal status its waiters
+// are about to read.
 func (c *campaign) setStatus(status string) {
 	c.mu.Lock()
-	c.status = status
+	if !c.claimed {
+		c.status = status
+	}
 	c.mu.Unlock()
 }
 
@@ -168,7 +267,10 @@ func (c *campaign) complete(status string, makespan float64, reports []diet.Exec
 	close(c.done)
 }
 
-// dispatchLoop pops campaigns off the bounded queue and runs them.
+// dispatchLoop pops campaigns off the priority queue and runs them. A
+// campaign cancelled while still queued is popped as a corpse: its terminal
+// transition already happened on the cancel path, so the dispatcher only
+// releases the queue slot.
 func (s *Scheduler) dispatchLoop() {
 	defer s.wg.Done()
 	for {
@@ -176,13 +278,23 @@ func (s *Scheduler) dispatchLoop() {
 		case <-s.done:
 			s.drainQueue()
 			return
-		case c := <-s.queue:
+		case <-s.tokens:
+			c := s.dequeue()
+			if c.cancelledNow() {
+				continue
+			}
 			s.mu.Lock()
-			s.queueLen--
 			s.running++
 			s.mu.Unlock()
 			c.setStatus(diet.CampaignRunning)
-			s.runCampaign(c)
+			if !s.runCampaign(c) {
+				// Cancelled mid-run: the cancel path owned the terminal
+				// transition and the retention bookkeeping; release only the
+				// running gauge.
+				s.mu.Lock()
+				s.running--
+				s.mu.Unlock()
+			}
 		}
 	}
 }
@@ -191,12 +303,19 @@ func (s *Scheduler) dispatchLoop() {
 func (s *Scheduler) drainQueue() {
 	for {
 		select {
-		case c := <-s.queue:
+		case <-s.tokens:
+			c := s.dequeue()
+			if c.cancelledNow() {
+				continue
+			}
 			s.mu.Lock()
-			s.queueLen--
 			s.running++
 			s.mu.Unlock()
-			s.failCampaign(c, "grid: scheduler shut down", false)
+			if !s.failCampaign(c, "grid: scheduler shut down", false) {
+				s.mu.Lock()
+				s.running--
+				s.mu.Unlock()
+			}
 		default:
 			return
 		}
@@ -206,8 +325,13 @@ func (s *Scheduler) drainQueue() {
 // failCampaign drives a campaign to the failed state. journal records the
 // failure as terminal; shutdown failures pass false, because with a state
 // dir a shutdown is a pause — the journal keeps the campaign non-terminal
-// and a restarted daemon re-admits it.
-func (s *Scheduler) failCampaign(c *campaign, msg string, journal bool) {
+// and a restarted daemon re-admits it. It reports false when a cancel beat
+// it to the terminal claim: the campaign is already cancelled and the
+// caller backs out of its gauges.
+func (s *Scheduler) failCampaign(c *campaign, msg string, journal bool) bool {
+	if !c.claim() {
+		return false
+	}
 	c.mu.Lock()
 	reports := append([]diet.ExecResponse(nil), c.reports...)
 	requeues := c.requeues
@@ -220,6 +344,7 @@ func (s *Scheduler) failCampaign(c *campaign, msg string, journal bool) {
 	}
 	c.complete(diet.CampaignFailed, 0, reports, requeues, msg)
 	s.finish(c, true)
+	return true
 }
 
 // chunkReport is one dispatched chunk's outcome.
@@ -235,8 +360,31 @@ type chunkReport struct {
 // per-SeD in-flight limits, and requeue chunks lost to dead daemons until
 // nothing remains or the campaign deadline passes. Recovered campaigns
 // resume here with their journaled remaining set and completed reports.
-func (s *Scheduler) runCampaign(c *campaign) {
-	deadline := time.Now().Add(s.cfg.CampaignTimeout)
+// It reports false when a cancel claimed the campaign out from under the
+// dispatcher: in-flight chunks were abandoned, their reports discarded, and
+// the caller releases the running gauge.
+func (s *Scheduler) runCampaign(c *campaign) bool {
+	timeout := c.deadline
+	if timeout <= 0 {
+		timeout = s.cfg.CampaignTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	// abortCtx aborts in-flight SeD round trips the moment the campaign is
+	// cancelled — cancellation propagates to the wire, not just to the
+	// dispatch loop's checkpoints. Scheduler shutdown deliberately does NOT
+	// abort in-flight exchanges: a graceful Close lets them finish and bank
+	// their chunks (shutdown is a pause), and aborting would shunt healthy
+	// SeDs onto the death/requeue path.
+	abortCtx, abort := context.WithCancel(context.Background())
+	defer abort()
+	go func() {
+		select {
+		case <-c.cancelCh:
+			abort()
+		case <-abortCtx.Done():
+		}
+	}()
 
 	for {
 		c.mu.Lock()
@@ -246,15 +394,16 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		if len(remaining) == 0 {
 			break
 		}
+		if c.cancelledNow() {
+			return false
+		}
 		select {
 		case <-s.done:
-			s.failCampaign(c, "grid: scheduler shut down", false)
-			return
+			return s.failCampaign(c, "grid: scheduler shut down", false)
 		default:
 		}
 		if time.Now().After(deadline) {
-			s.failCampaign(c, fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)), true)
-			return
+			return s.failCampaign(c, fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)), true)
 		}
 
 		// Steps 1-3: performance vectors from every live SeD. A daemon that
@@ -274,8 +423,9 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		if len(pool) == 0 {
 			select {
 			case <-s.done:
-				s.failCampaign(c, "grid: scheduler shut down", false)
-				return
+				return s.failCampaign(c, "grid: scheduler shut down", false)
+			case <-c.cancelCh:
+				return false
 			case <-time.After(s.cfg.RetryEvery):
 			}
 			continue
@@ -284,8 +434,7 @@ func (s *Scheduler) runCampaign(c *campaign) {
 		// Step 4: Algorithm-1 repartition of the remaining scenarios.
 		rep, err := core.Repartition(perf)
 		if err != nil {
-			s.failCampaign(c, err.Error(), true)
-			return
+			return s.failCampaign(c, err.Error(), true)
 		}
 		chunks := make([][]int, len(pool))
 		for slot, cl := range rep.Assignment {
@@ -309,10 +458,20 @@ func (s *Scheduler) runCampaign(c *campaign) {
 				continue
 			}
 			launched++
-			go s.dispatchChunk(c, ref, chunks[i], results)
+			go s.dispatchChunk(abortCtx, c, ref, chunks[i], results)
 		}
+		cancelled := false
 		for ; launched > 0; launched-- {
 			r := <-results
+			if c.cancelledNow() {
+				// Cancelled mid-round: drain the remaining chunks (their
+				// round trips abort on abortCtx) and discard everything —
+				// including genuine results, which must not surface as chunk
+				// frames after the cancel verdict. The SeD is not marked
+				// dead for an abort-induced error.
+				cancelled = true
+				continue
+			}
 			if r.err != nil {
 				// The chunk's scenarios stay on the campaign's plate and
 				// will be re-repartitioned over the survivors. WAL first:
@@ -320,6 +479,11 @@ func (s *Scheduler) runCampaign(c *campaign) {
 				s.markDead(r.ref.st, r.ref.info.Addr)
 				s.journal(store.Record{Kind: store.KindRequeue, ID: c.id, Requeued: len(r.ids)})
 				c.mu.Lock()
+				if c.claimed {
+					c.mu.Unlock()
+					cancelled = true
+					continue
+				}
 				c.requeues++
 				c.mu.Unlock()
 				s.mu.Lock()
@@ -334,21 +498,37 @@ func (s *Scheduler) runCampaign(c *campaign) {
 			// minimum. WAL discipline: the chunk is fsynced before it
 			// becomes visible to snapshots or subscribers, so progress a
 			// polling client observed can never regress across a restart.
+			// The acceptance is claim-guarded under c.mu: once a cancel owns
+			// the campaign, snapshots are frozen — a straggler's journal
+			// record is harmless on replay (terminal status wins), but its
+			// report must never surface after the cancel verdict.
 			r.resp.Round = round
 			r.resp.FirstScenario = r.ids[0]
 			s.journal(store.Record{Kind: store.KindChunk, ID: c.id, Chunk: r.resp, IDs: r.ids})
 			c.mu.Lock()
+			if c.claimed {
+				c.mu.Unlock()
+				cancelled = true
+				continue
+			}
 			c.reports = append(c.reports, *r.resp)
 			c.scenariosDone += r.resp.Scenarios
 			c.remaining = store.Without(c.remaining, r.ids)
 			c.mu.Unlock()
 			c.publish(diet.ProgressUpdate{Stage: diet.StageChunk, Chunk: r.resp})
 		}
+		if cancelled || c.cancelledNow() {
+			return false
+		}
 		c.mu.Lock()
 		c.round++
 		c.mu.Unlock()
 	}
 
+	if !c.claim() {
+		// A cancel won the race against the last chunk boundary.
+		return false
+	}
 	c.mu.Lock()
 	reports := append([]diet.ExecResponse(nil), c.reports...)
 	requeues := c.requeues
@@ -359,6 +539,7 @@ func (s *Scheduler) runCampaign(c *campaign) {
 	s.journal(store.Record{Kind: store.KindDone, ID: c.id, Status: diet.CampaignDone, Makespan: makespan, Requeues: requeues})
 	c.complete(diet.CampaignDone, makespan, reports, requeues, "")
 	s.finish(c, false)
+	return true
 }
 
 // sortReports puts chunk reports in their stable, deterministic final
@@ -386,16 +567,21 @@ func sortReports(reports []diet.ExecResponse) {
 }
 
 // dispatchChunk sends one cluster its scenario share (protocol step 5) and
-// reports the execution answer (step 6).
-func (s *Scheduler) dispatchChunk(c *campaign, ref sedRef, ids []int, out chan<- chunkReport) {
+// reports the execution answer (step 6). ctx aborts the round trip when the
+// campaign is cancelled or the scheduler shuts down, so a cancel never waits
+// out a slow SeD.
+func (s *Scheduler) dispatchChunk(ctx context.Context, c *campaign, ref sedRef, ids []int, out chan<- chunkReport) {
 	select {
 	case ref.st.sem <- struct{}{}:
 		defer func() { <-ref.st.sem }()
+	case <-ctx.Done():
+		out <- chunkReport{ref: ref, ids: ids, err: fmt.Errorf("grid: chunk dispatch aborted: %w", ctx.Err())}
+		return
 	case <-s.done:
 		out <- chunkReport{ref: ref, ids: ids, err: fmt.Errorf("grid: scheduler shut down")}
 		return
 	}
-	resp, err := diet.RoundTripTimeout(ref.info.Addr, &diet.Request{Kind: diet.KindExec, Exec: &diet.ExecRequest{
+	resp, err := diet.RoundTripContext(ctx, ref.info.Addr, &diet.Request{Kind: diet.KindExec, Exec: &diet.ExecRequest{
 		ScenarioIDs: ids,
 		Months:      c.app.Months,
 		Heuristic:   c.heuristic,

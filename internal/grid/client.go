@@ -31,6 +31,11 @@ var (
 	// not know: never admitted, or pruned past the retention cap. Resubmit
 	// instead of retrying the attach.
 	ErrUnknownCampaign = errors.New("grid: unknown campaign")
+	// ErrCampaignCancelled reports a campaign terminated by a server-side
+	// cancel (control plane v2). Waiting on it — or attaching to it, even
+	// after a daemon restart — resolves with this error; the cancellation is
+	// final, so resubmit if the work is still wanted.
+	ErrCampaignCancelled = errors.New("grid: campaign cancelled")
 )
 
 // Client submits campaigns to a scheduler daemon.
@@ -54,10 +59,20 @@ func (c *Client) timeout() time.Duration {
 	return 2 * time.Minute
 }
 
+// SubmitMeta is the per-campaign option set of the control plane: priority
+// orders the daemon's admission queue, labels tag the campaign for
+// List filters, and a non-zero deadline overrides the daemon's per-campaign
+// timeout. The zero value is a plain v2-era submission.
+type SubmitMeta struct {
+	Priority int
+	Labels   map[string]string
+	Deadline time.Duration
+}
+
 // Run submits a campaign and streams until its result arrives on the same
 // connection; see RunContext.
 func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResult, error) {
-	return c.RunContext(context.Background(), app, heuristic, nil, nil)
+	return c.RunContext(context.Background(), app, heuristic, SubmitMeta{}, nil, nil)
 }
 
 // campaignStream is one open streaming connection: submit-wait or attach.
@@ -134,6 +149,9 @@ func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64
 			if frame.Result.Status == diet.CampaignFailed {
 				return frame.Result, fmt.Errorf("%w: campaign %d: %s", ErrCampaignFailed, frame.Result.ID, frame.Result.Err)
 			}
+			if frame.Result.Status == diet.CampaignCancelled {
+				return frame.Result, fmt.Errorf("%w: campaign %d", ErrCampaignCancelled, frame.Result.ID)
+			}
 			return frame.Result, nil
 		default:
 			return nil, fmt.Errorf("%w: %s sent an empty frame for campaign %d", ErrProtocol, c.Addr, id)
@@ -142,22 +160,28 @@ func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64
 }
 
 // RunContext submits a campaign and streams on one connection until the
-// result arrives. The admission verdict's campaign ID is delivered to
-// onAdmit when non-nil — hold on to it: it is the handle for polling and
-// for Attach after a cut. Progress frames (protocol v2) are delivered to
-// onProgress when non-nil; they double as liveness, refreshing the frame
-// deadline. A full queue returns an error wrapping ErrRejected; a campaign
-// the daemon reports as failed returns its snapshot and an error wrapping
-// ErrCampaignFailed; cancelling ctx abandons the stream — the daemon
-// notices on its next frame write and releases the connection, while the
-// campaign itself keeps running server-side to its own deadline.
-func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, onAdmit func(uint64), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
+// result arrives. meta carries the per-campaign submit options (protocol
+// v3; a pre-v3 daemon ignores them). The admission verdict's campaign ID is
+// delivered to onAdmit when non-nil — hold on to it: it is the handle for
+// polling, for Attach after a cut, and for CancelContext. Progress frames
+// (protocol v2) are delivered to onProgress when non-nil; they double as
+// liveness, refreshing the frame deadline. A full queue returns an error
+// wrapping ErrRejected; a campaign the daemon reports as failed returns its
+// snapshot and an error wrapping ErrCampaignFailed; one cancelled
+// server-side resolves with ErrCampaignCancelled. Cancelling ctx abandons
+// only the stream — the daemon notices on its next frame write and releases
+// the connection, while the campaign itself keeps running server-side to
+// its own deadline (CancelContext is the way to stop the work itself).
+func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, meta SubmitMeta, onAdmit func(uint64), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
 	st, err := c.openStream(ctx, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
 		Scenarios: app.Scenarios,
 		Months:    app.Months,
 		Heuristic: heuristic,
 		Wait:      true,
 		Progress:  true,
+		Priority:  meta.Priority,
+		Labels:    meta.Labels,
+		Deadline:  meta.Deadline,
 	}})
 	if err != nil {
 		return nil, err
@@ -297,4 +321,57 @@ func (c *Client) StatsContext(ctx context.Context) (*diet.StatsResponse, error) 
 		return nil, fmt.Errorf("%w: %s sent no stats", ErrProtocol, c.Addr)
 	}
 	return resp.Stats, nil
+}
+
+// CancelContext asks the daemon to cancel a campaign by ID and returns the
+// campaign's status after the verdict. The daemon journals the cancellation
+// before answering, so a returned CampaignCancelled survives any restart.
+// An unknown ID returns an error wrapping ErrUnknownCampaign; a campaign
+// that reached done/failed first returns that status with a nil error —
+// cancelling a finished campaign is a no-op, not a failure.
+func (c *Client) CancelContext(ctx context.Context, id uint64) (string, error) {
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindCancel, Cancel: &diet.CancelRequest{ID: id}}, c.timeout())
+	if err != nil {
+		return "", err
+	}
+	if resp.Cancel == nil {
+		return "", fmt.Errorf("%w: %s sent no cancel verdict for campaign %d", ErrProtocol, c.Addr, id)
+	}
+	if !resp.Cancel.Found {
+		return "", fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+	}
+	return resp.Cancel.Status, nil
+}
+
+// InfoContext fetches one campaign's control-plane snapshot. An unknown ID
+// returns an error wrapping ErrUnknownCampaign.
+func (c *Client) InfoContext(ctx context.Context, id uint64) (*diet.CampaignInfo, error) {
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindInfo, Info: &diet.InfoRequest{ID: id}}, c.timeout())
+	if err != nil {
+		return nil, err
+	}
+	if resp.Info == nil {
+		return nil, fmt.Errorf("%w: %s sent no info for campaign %d", ErrProtocol, c.Addr, id)
+	}
+	if !resp.Info.Found {
+		return nil, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+	}
+	return resp.Info, nil
+}
+
+// ListCampaignsContext enumerates the daemon's campaign table in admission
+// order, filtered by the request's status and label subset when set (a nil
+// filter lists everything).
+func (c *Client) ListCampaignsContext(ctx context.Context, filter *diet.ListCampaignsRequest) ([]diet.CampaignInfo, error) {
+	if filter == nil {
+		filter = &diet.ListCampaignsRequest{}
+	}
+	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindListCampaigns, ListCampaigns: filter}, c.timeout())
+	if err != nil {
+		return nil, err
+	}
+	if resp.ListCampaigns == nil {
+		return nil, fmt.Errorf("%w: %s sent no campaign list", ErrProtocol, c.Addr)
+	}
+	return resp.ListCampaigns.Campaigns, nil
 }

@@ -69,7 +69,7 @@ func TestClientSurvivesCampaignLongerThanTimeout(t *testing.T) {
 	addr := fakeDaemon(t, frames, 120*time.Millisecond)
 	c := &Client{Addr: addr, Timeout: 250 * time.Millisecond}
 	var seen int
-	res, err := c.RunContext(context.Background(), core.Application{Scenarios: 4, Months: 6}, core.NameKnapsack, nil,
+	res, err := c.RunContext(context.Background(), core.Application{Scenarios: 4, Months: 6}, core.NameKnapsack, SubmitMeta{}, nil,
 		func(u *diet.ProgressUpdate) { seen++ })
 	if err != nil {
 		t.Fatalf("streamed campaign died: %v", err)
@@ -92,7 +92,7 @@ func TestClientTimesOutOnSilentDaemon(t *testing.T) {
 	addr := fakeDaemon(t, frames, 0)
 	c := &Client{Addr: addr, Timeout: 200 * time.Millisecond}
 	start := time.Now()
-	_, err := c.RunContext(context.Background(), core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, nil, nil)
+	_, err := c.RunContext(context.Background(), core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, SubmitMeta{}, nil, nil)
 	if err == nil {
 		t.Fatal("silent daemon did not fail the campaign")
 	}
@@ -115,7 +115,7 @@ func TestClientContextCancelMidStream(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err := c.RunContext(ctx, core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, nil, nil)
+	_, err := c.RunContext(ctx, core.Application{Scenarios: 2, Months: 6}, core.NameKnapsack, SubmitMeta{}, nil, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("RunContext returned %v, want context.Canceled", err)
 	}
@@ -228,7 +228,7 @@ func TestRunContextStreamsBitIdenticalResult(t *testing.T) {
 	app := core.Application{Scenarios: 8, Months: 12}
 	c := &Client{Addr: f.Sched.Addr()}
 	var last *diet.ProgressUpdate
-	res, err := c.RunContext(context.Background(), app, core.NameKnapsack, nil, func(u *diet.ProgressUpdate) { last = u })
+	res, err := c.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, func(u *diet.ProgressUpdate) { last = u })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRunContextStreamsBitIdenticalResult(t *testing.T) {
 		t.Fatalf("final progress %+v, want %d/%d", last, app.Scenarios, app.Scenarios)
 	}
 	// Typed taxonomy: a malformed submission is a protocol-level error.
-	_, err = c.RunContext(context.Background(), core.Application{Scenarios: 0, Months: 12}, core.NameKnapsack, nil, nil)
+	_, err = c.RunContext(context.Background(), core.Application{Scenarios: 0, Months: 12}, core.NameKnapsack, SubmitMeta{}, nil, nil)
 	if !errors.Is(err, ErrProtocol) {
 		t.Fatalf("malformed submit returned %v, want ErrProtocol", err)
 	}

@@ -65,6 +65,13 @@ type Config struct {
 	// KeepFinished caps how many finished campaigns stay pollable before
 	// the oldest are forgotten (default 4096).
 	KeepFinished int
+	// RotateBytes arms online WAL rotation: once the live journal segment
+	// grows past this many bytes, the next append checkpoints it down to the
+	// retained campaigns' records — so a long-lived daemon's campaigns.wal
+	// stays bounded between restarts, not just across them. 0 picks the
+	// default (4 MiB); negative disables rotation (append-only until the
+	// next restart's compaction). Ignored without a StateDir.
+	RotateBytes int64
 	// StateDir, when non-empty, makes the scheduler durable: every campaign
 	// transition is journaled to an append-only WAL under the directory
 	// before it is acknowledged, and a scheduler restarted on the same
@@ -97,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.KeepFinished <= 0 {
 		c.KeepFinished = 4096
 	}
+	if c.RotateBytes == 0 {
+		c.RotateBytes = 4 << 20
+	}
 	return c
 }
 
@@ -127,11 +137,16 @@ type Scheduler struct {
 	ln    net.Listener
 	store *store.Store // nil without a StateDir
 
-	queue chan *campaign
-	done  chan struct{}
-	wg    sync.WaitGroup
+	// tokens carries one signal per enqueued campaign; the campaign itself
+	// sits in the priority-ordered pq under mu. A dispatcher first takes a
+	// token, then pops the highest-priority campaign — so admission order
+	// only breaks ties, never priority.
+	tokens chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
 
 	mu        sync.Mutex
+	pq        campaignQueue
 	seds      map[string]*sedState
 	campaigns map[uint64]*campaign
 	doneOrder []uint64
@@ -141,6 +156,7 @@ type Scheduler struct {
 	running   int
 	completed uint64
 	failed    uint64
+	cancelled uint64
 	rejected  uint64
 	requeues  uint64
 	evicted   uint64
@@ -184,7 +200,7 @@ func Start(cfg Config) (*Scheduler, error) {
 		cfg:       cfg,
 		ln:        ln,
 		store:     st,
-		queue:     make(chan *campaign, cfg.QueueCap+live),
+		tokens:    make(chan struct{}, cfg.QueueCap+live),
 		done:      make(chan struct{}),
 		seds:      make(map[string]*sedState),
 		campaigns: make(map[uint64]*campaign),
@@ -192,7 +208,9 @@ func Start(cfg Config) (*Scheduler, error) {
 	s.nextID = store.MaxID(byID)
 
 	// Rebuild the campaign table and re-admit the unfinished backlog in
-	// original admission order, before the dispatchers start.
+	// original admission order, before the dispatchers start. Recovered
+	// campaigns keep their journaled priority; among equal priorities their
+	// lower IDs put them ahead of any new traffic.
 	for _, rc := range recovered {
 		c := recoveredCampaign(rc)
 		s.campaigns[c.id] = c
@@ -204,7 +222,7 @@ func Start(cfg Config) (*Scheduler, error) {
 		if s.queueLen > s.maxQueue {
 			s.maxQueue = s.queueLen
 		}
-		s.queue <- c
+		s.enqueue(c)
 	}
 	// Apply the retention cap to the recovered terminal set, then compact
 	// the journal down to what survived: without this, replay would
@@ -226,6 +244,14 @@ func Start(cfg Config) (*Scheduler, error) {
 		// Best-effort: a failed compaction leaves the previous journal in
 		// place, which replays to at least this state.
 		_ = st.Compact(kept)
+	}
+	// Online rotation: once the live segment outgrows the threshold, the
+	// journal is checkpointed down to the campaigns still in the table —
+	// retention prunes the table, rotation prunes the file. The retain
+	// snapshot takes s.mu, which is safe because the scheduler never appends
+	// to the journal while holding it.
+	if st != nil && cfg.RotateBytes > 0 {
+		st.AutoRotate(cfg.RotateBytes, s.retainedIDs)
 	}
 
 	s.wg.Add(1 + cfg.Dispatchers)
@@ -399,6 +425,7 @@ func (s *Scheduler) Stats() diet.StatsResponse {
 		Running:       s.running,
 		Completed:     s.completed,
 		Failed:        s.failed,
+		Cancelled:     s.cancelled,
 		Rejected:      s.rejected,
 		Requeues:      s.requeues,
 		Evicted:       s.evicted,
@@ -439,8 +466,14 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 		return nil, &diet.SubmitResponse{Reason: "queue full", QueueDepth: depth}, nil
 	}
 	s.nextID++
-	c := newCampaign(s.nextID, app, req.Heuristic)
-	s.campaigns[c.id] = c
+	c := newCampaign(s.nextID, app, req.Heuristic, submitMeta{
+		priority: req.Priority,
+		labels:   req.Labels,
+		deadline: req.Deadline,
+	})
+	// Reserve the queue slot before the journal write: concurrent admissions
+	// must never overshoot the admission bound (and with it the token
+	// channel's capacity).
 	s.queueLen++
 	if s.queueLen > s.maxQueue {
 		s.maxQueue = s.queueLen
@@ -449,7 +482,13 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 	s.mu.Unlock()
 	// The admission record must be durable before the verdict goes out: an
 	// ID the client holds has to survive a crash, or Attach after a restart
-	// would deny a campaign the daemon accepted.
+	// would deny a campaign the daemon accepted. The submit options are part
+	// of the record, so re-admission after a restart keeps the campaign's
+	// priority and labels. The campaign enters the table only after the
+	// record is durable — were it visible earlier, a Cancel racing the
+	// admission could journal its terminal record ahead of the admitted one,
+	// and replay (which drops records of unknown campaigns) would resurrect
+	// the campaign as live.
 	if s.store != nil {
 		if err := s.store.Append(store.Record{
 			Kind:      store.KindAdmitted,
@@ -457,18 +496,49 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 			Scenarios: app.Scenarios,
 			Months:    app.Months,
 			Heuristic: req.Heuristic,
+			Priority:  req.Priority,
+			Labels:    req.Labels,
+			Deadline:  req.Deadline,
 		}); err != nil {
 			s.mu.Lock()
-			delete(s.campaigns, c.id)
 			s.queueLen--
 			s.rejected++
 			s.mu.Unlock()
 			return nil, nil, fmt.Errorf("grid: journaling admission: %w", err)
 		}
 	}
-	// queueLen never exceeds cap(queue), so this send cannot block.
-	s.queue <- c
+	s.mu.Lock()
+	s.campaigns[c.id] = c
+	s.enqueue(c)
+	s.mu.Unlock()
 	return c, &diet.SubmitResponse{ID: c.id, Accepted: true, QueueDepth: depth}, nil
+}
+
+// enqueue puts a campaign whose queue slot is already reserved (queueLen
+// counted) on the priority queue and signals a dispatcher. Callers hold
+// s.mu; queueLen never exceeds cap(tokens), so the token send cannot block.
+func (s *Scheduler) enqueue(c *campaign) {
+	heapPush(&s.pq, c)
+	s.tokens <- struct{}{}
+}
+
+// dequeue pops the highest-priority queued campaign after its token was
+// consumed. Callers hold no lock.
+func (s *Scheduler) dequeue() *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := heapPop(&s.pq)
+	s.queueLen--
+	return c
+}
+
+// retainedIDs snapshots the campaign table's keys — the journal rotation's
+// retention set. Runs under the store's lock; safe because the scheduler
+// never journals while holding s.mu.
+func (s *Scheduler) retainedIDs() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return store.IDs(s.campaigns)
 }
 
 // lookup returns a campaign by ID.
@@ -488,10 +558,147 @@ func (s *Scheduler) finish(c *campaign, failed bool) {
 	} else {
 		s.completed++
 	}
+	s.retire(c)
+	s.mu.Unlock()
+}
+
+// retire appends a terminal campaign to the retention order and prunes past
+// the cap. Callers hold s.mu.
+func (s *Scheduler) retire(c *campaign) {
 	s.doneOrder = append(s.doneOrder, c.id)
 	for len(s.doneOrder) > s.cfg.KeepFinished {
 		delete(s.campaigns, s.doneOrder[0])
 		s.doneOrder = s.doneOrder[1:]
 	}
+}
+
+// Cancel aborts a campaign by ID: a queued campaign never dispatches, a
+// running one stops cooperatively at the next chunk boundary — its in-flight
+// SeD exchanges are abandoned and their reports discarded, so no chunk frame
+// follows the verdict. The cancellation is journaled terminally before the
+// verdict is returned (WAL-before-ack): a cancelled campaign stays cancelled
+// across a kill -9 restart and is never re-admitted by replay. found=false
+// means the scheduler does not know the ID; status is the campaign's state
+// after the verdict — cancelling an already-terminal campaign is a no-op
+// that reports the terminal state that won.
+func (s *Scheduler) Cancel(id uint64) (found bool, status string) {
+	c := s.lookup(id)
+	if c == nil {
+		return false, ""
+	}
+	if !c.claim() {
+		// Some other terminal transition (completion, failure, or an earlier
+		// cancel) owns the campaign; its status is the verdict. The loser of
+		// a claim race may observe the winner's fields only after complete()
+		// runs, so wait for the terminal state.
+		<-c.done
+		return true, c.snapshot().Status
+	}
+	// Stop work first — in-flight SeD round trips abort on the closed cancel
+	// channel — then make the cancellation durable, then publish it.
+	c.signalCancel()
+	s.journal(store.Record{Kind: store.KindCancelled, ID: c.id})
+	c.mu.Lock()
+	reports := append([]diet.ExecResponse(nil), c.reports...)
+	requeues := c.requeues
+	c.mu.Unlock()
+	sortReports(reports)
+	c.complete(diet.CampaignCancelled, 0, reports, requeues, "")
+	// Gauge discipline: a still-queued campaign keeps its queue slot until a
+	// dispatcher pops the corpse and skips it (see dispatchLoop); a running
+	// campaign's dispatcher notices the lost claim and backs out of the
+	// running gauge itself. Cancel only counts and retires.
+	s.mu.Lock()
+	s.cancelled++
+	s.retire(c)
 	s.mu.Unlock()
+	return true, diet.CampaignCancelled
+}
+
+// CampaignInfo snapshots one campaign's control-plane view; an unknown ID
+// comes back with Found unset.
+func (s *Scheduler) CampaignInfo(id uint64) *diet.CampaignInfo {
+	c := s.lookup(id)
+	if c == nil {
+		return &diet.CampaignInfo{ID: id}
+	}
+	info := c.info()
+	return &info
+}
+
+// ListCampaigns enumerates the campaign table in admission (ID) order,
+// filtered by status and label subset when the request carries them.
+func (s *Scheduler) ListCampaigns(req *diet.ListCampaignsRequest) []diet.CampaignInfo {
+	s.mu.Lock()
+	all := make([]*campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		all = append(all, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]diet.CampaignInfo, 0, len(all))
+	for _, c := range all {
+		info := c.info()
+		if req != nil && req.Status != "" && info.Status != req.Status {
+			continue
+		}
+		if req != nil && !diet.LabelsMatch(info.Labels, req.Labels) {
+			continue
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// campaignQueue is the admission priority queue: a binary max-heap ordered
+// by (priority desc, id asc), so higher-priority campaigns dispatch first
+// and equal priorities keep strict admission order. Small enough (bounded by
+// QueueCap plus the recovered backlog) that hand-rolled sift beats pulling
+// in container/heap's interface indirection.
+type campaignQueue []*campaign
+
+// before is the heap order: i dispatches ahead of j.
+func (q campaignQueue) before(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].id < q[j].id
+}
+
+func heapPush(q *campaignQueue, c *campaign) {
+	*q = append(*q, c)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func heapPop(q *campaignQueue) *campaign {
+	old := *q
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*q = old[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		best := i
+		if left < last && q.before(left, best) {
+			best = left
+		}
+		if right < last && q.before(right, best) {
+			best = right
+		}
+		if best == i {
+			return top
+		}
+		(*q)[i], (*q)[best] = (*q)[best], (*q)[i]
+		i = best
+	}
 }

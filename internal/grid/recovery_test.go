@@ -166,7 +166,7 @@ func TestCrashRecoveryKillDashNine(t *testing.T) {
 			c := &Client{Addr: addr, Timeout: 5 * time.Second}
 			// The stream is expected to die with the daemon; errors are the
 			// point, results (for campaigns that beat the kill) a bonus.
-			_, _ = c.RunContext(context.Background(), app, core.NameKnapsack,
+			_, _ = c.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{},
 				func(id uint64) {
 					mu.Lock()
 					ids[i] = id

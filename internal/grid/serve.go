@@ -69,6 +69,12 @@ func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *d
 		_ = send(&diet.Response{Err: "submit: empty payload"})
 		return
 	}
+	// Features above the negotiated version stay off the wire in both
+	// directions: a peer announcing v2 gets v2 semantics even if it smuggled
+	// v3 submit fields into the envelope.
+	if ver < diet.ProtocolV3 {
+		req.Priority, req.Labels, req.Deadline = 0, nil, 0
+	}
 	c, verdict, err := s.admit(req)
 	if err != nil {
 		// Malformed campaign: a protocol error, not an admission verdict —
@@ -200,6 +206,22 @@ func (s *Scheduler) handle(req *diet.Request) *diet.Response {
 	case diet.KindStats:
 		stats := s.Stats()
 		return &diet.Response{Stats: &stats}
+	case diet.KindCancel:
+		if req.Cancel == nil {
+			return &diet.Response{Err: "cancel: empty payload"}
+		}
+		found, status := s.Cancel(req.Cancel.ID)
+		return &diet.Response{Cancel: &diet.CancelResponse{ID: req.Cancel.ID, Found: found, Status: status}}
+	case diet.KindInfo:
+		if req.Info == nil {
+			return &diet.Response{Err: "info: empty payload"}
+		}
+		return &diet.Response{Info: s.CampaignInfo(req.Info.ID)}
+	case diet.KindListCampaigns:
+		if req.ListCampaigns == nil {
+			return &diet.Response{Err: "list-campaigns: empty payload"}
+		}
+		return &diet.Response{ListCampaigns: &diet.ListCampaignsResponse{Campaigns: s.ListCampaigns(req.ListCampaigns)}}
 	default:
 		return &diet.Response{Err: fmt.Sprintf("grid: scheduler: unsupported request %q", req.Kind)}
 	}

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"oagrid/internal/diet"
 )
@@ -43,6 +44,9 @@ const (
 	KindRequeue = "requeue"
 	// KindDone closes a campaign with its terminal state.
 	KindDone = "done"
+	// KindCancelled closes a campaign as cancelled — a terminal record, so a
+	// replay never re-admits the campaign: cancellation survives a kill -9.
+	KindCancelled = "cancelled"
 )
 
 // Record is one journal line. Kind selects which fields are meaningful.
@@ -50,10 +54,15 @@ type Record struct {
 	Kind string `json:"kind"`
 	ID   uint64 `json:"id"`
 
-	// Admitted.
-	Scenarios int    `json:"scenarios,omitempty"`
-	Months    int    `json:"months,omitempty"`
-	Heuristic string `json:"heuristic,omitempty"`
+	// Admitted. Priority, Labels and Deadline are the campaign's submit
+	// options (control plane v2): journaling them with the admission keeps
+	// re-admission after a restart priority-ordered and label-queryable.
+	Scenarios int               `json:"scenarios,omitempty"`
+	Months    int               `json:"months,omitempty"`
+	Heuristic string            `json:"heuristic,omitempty"`
+	Priority  int               `json:"priority,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Deadline  time.Duration     `json:"deadline,omitempty"`
 
 	// Planned.
 	Round   int                 `json:"round,omitempty"`
@@ -81,6 +90,11 @@ type Campaign struct {
 	Scenarios int
 	Months    int
 	Heuristic string
+	// Priority, Labels and Deadline are the campaign's journaled submit
+	// options; re-admission after a restart honors them.
+	Priority int
+	Labels   map[string]string
+	Deadline time.Duration
 
 	// Status is empty while the campaign is live and diet.CampaignDone /
 	// diet.CampaignFailed once a terminal record was journaled.
@@ -110,8 +124,10 @@ type Campaign struct {
 }
 
 // Terminal reports whether the campaign reached a journaled terminal state.
+// A cancelled campaign is terminal: replay must never re-admit it.
 func (c *Campaign) Terminal() bool {
-	return c.Status == diet.CampaignDone || c.Status == diet.CampaignFailed
+	return c.Status == diet.CampaignDone || c.Status == diet.CampaignFailed ||
+		c.Status == diet.CampaignCancelled
 }
 
 // Store is an open campaign journal. Append is safe for concurrent use.
@@ -122,6 +138,26 @@ type Store struct {
 	// off is the end offset of the last acknowledged record — the rollback
 	// point when a write fails partway.
 	off int64
+
+	// records mirrors the journal in memory, raw lines grouped per campaign
+	// (replayed at Open, extended by every Append) — the checkpoint a
+	// rotation rewrites the live segment from without re-reading the file.
+	records map[uint64][]Record
+	// order remembers first-append order of campaign IDs so a rotated
+	// journal keeps admission order without sorting on the hot path.
+	order []uint64
+	// rotateAt arms online rotation: when the live segment's size crosses
+	// the next threshold, Append checkpoints the retained campaigns into a
+	// fresh segment. 0 leaves the journal append-only between restarts.
+	rotateAt int64
+	// nextRotate is the size the journal must reach before the next rotation
+	// attempt — re-armed after every rotation so a retained set bigger than
+	// the threshold cannot trigger a rewrite per append.
+	nextRotate int64
+	// retain reports the campaign IDs worth keeping, the store's view of the
+	// owner's retention policy. IDs it stops reporting are dropped at the
+	// next rotation.
+	retain func() []uint64
 }
 
 // journalName is the WAL file inside the state directory.
@@ -162,7 +198,12 @@ func Open(dir string) (*Store, map[uint64]*Campaign, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Store{f: f, path: path, off: good}, campaigns, nil
+	st := &Store{f: f, path: path, off: good, records: make(map[uint64][]Record)}
+	for _, c := range ByID(campaigns) {
+		st.records[c.ID] = append([]Record(nil), c.records...)
+		st.order = append(st.order, c.ID)
+	}
+	return st, campaigns, nil
 }
 
 // Path returns the journal's file path.
@@ -196,40 +237,116 @@ func (s *Store) Append(rec Record) error {
 		return fmt.Errorf("store: syncing %s: %w", s.path, err)
 	}
 	s.off += int64(len(data))
+	// The in-memory mirror exists to feed rotation; without it armed, the
+	// journal is append-only until the next restart's compaction and the
+	// mirror must not grow with it (it stays at whatever Open replayed).
+	if s.rotateAt > 0 {
+		if _, ok := s.records[rec.ID]; !ok {
+			s.order = append(s.order, rec.ID)
+		}
+		s.records[rec.ID] = append(s.records[rec.ID], rec)
+		if s.retain != nil && s.off >= s.nextRotate {
+			// Best-effort: a failed rotation leaves the intact live segment
+			// and re-arms, so a transient disk error costs a bigger journal,
+			// not the record just acknowledged.
+			_ = s.rotateLocked()
+		}
+	}
 	return nil
 }
 
-// Compact atomically rewrites the journal to hold exactly the given
-// campaigns' records, in the given order, dropping everything else. The
-// scheduler calls it once at startup with the campaigns it retained, which
-// bounds journal growth across restarts (records of pruned campaigns do
-// not accumulate forever) and keeps retention consistent: a campaign
-// pruned past the cap stays unknown after a restart instead of being
-// resurrected by replay. The rewrite goes through a temp file and a
-// rename, so a crash mid-compaction leaves either the old journal or the
-// new one, never a mix.
-func (s *Store) Compact(keep []*Campaign) error {
+// AutoRotate arms online rotation: once the live segment grows past
+// threshold bytes, the next Append checkpoints the journal — the records of
+// the campaigns retain reports, in admission order — into a fresh segment
+// via temp-file + rename, exactly like the startup compaction, and drops
+// everything else. The owner's advisory lock travels with the live segment.
+// retain runs with the store's internal lock held: it may take the owner's
+// own locks only because neither owner (scheduler, local runner) ever
+// journals while holding them — and it must not call back into the store.
+// IDs it returns that the journal does not know are ignored. Arm rotation
+// before the first Append: records appended while rotation is off are not
+// mirrored, so a later rotation would drop them from the journal.
+func (s *Store) AutoRotate(threshold int64, retain func() []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.rotateAt = threshold
+	s.nextRotate = threshold
+	s.retain = retain
+}
+
+// Rotate checkpoints the journal immediately, regardless of size — the
+// explicit counterpart of the AutoRotate threshold, for owners that want a
+// deterministic rotation point (tests, operator-triggered checkpoints). It
+// requires AutoRotate to have armed a retain callback.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.retain == nil {
+		return fmt.Errorf("store: Rotate without a retain policy (call AutoRotate first)")
+	}
+	return s.rotateLocked()
+}
+
+// rotateLocked rewrites the live segment down to the retained campaigns'
+// records. Callers hold s.mu. Whatever the outcome, the rotation threshold
+// re-arms relative to the resulting segment size: a retained set that is
+// itself bigger than the threshold must not rewrite the journal on every
+// subsequent append.
+func (s *Store) rotateLocked() error {
+	keep := make(map[uint64]bool)
+	for _, id := range s.retain() {
+		keep[id] = true
+	}
+	err := s.rewriteLocked(func(id uint64) bool { return keep[id] || !s.terminalLocked(id) })
+	s.nextRotate = s.off + s.rotateAt
+	return err
+}
+
+// terminalLocked reports whether the mirrored campaign has a terminal
+// record. Rotation never drops a non-terminal campaign, whatever the
+// retain snapshot says: an admission record can be fsynced — and its
+// verdict acknowledged — moments before the campaign enters the owner's
+// table, and pruning it would un-admit a campaign whose ID a client
+// already holds. Owners only ever retire terminal campaigns, so keeping
+// every live one costs rotation nothing of its bound. Callers hold s.mu.
+func (s *Store) terminalLocked(id uint64) bool {
+	for i := range s.records[id] {
+		switch s.records[id][i].Kind {
+		case KindDone, KindCancelled:
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteLocked replaces the live segment with the records of the campaigns
+// keep() admits, in first-admission order, and prunes the in-memory mirror
+// to match. Callers hold s.mu.
+func (s *Store) rewriteLocked(keep func(uint64) bool) error {
 	tmp := s.path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+		return fmt.Errorf("store: rotating %s: %w", s.path, err)
 	}
 	abort := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("store: compacting %s: %w", s.path, err)
+		return fmt.Errorf("store: rotating %s: %w", s.path, err)
 	}
 	// The lock must travel with the inode that becomes the journal: we hold
-	// the old file's lock, so locking the replacement cannot contend.
+	// the old segment's lock, so locking the replacement cannot contend.
 	if err := lockFile(f); err != nil {
 		return abort(err)
 	}
 	var off int64
-	for _, c := range keep {
-		for i := range c.records {
-			data, err := json.Marshal(&c.records[i])
+	kept := make([]uint64, 0, len(s.order))
+	for _, id := range s.order {
+		if !keep(id) {
+			continue
+		}
+		kept = append(kept, id)
+		for i := range s.records[id] {
+			data, err := json.Marshal(&s.records[id][i])
 			if err != nil {
 				return abort(err)
 			}
@@ -246,14 +363,45 @@ func (s *Store) Compact(keep []*Campaign) error {
 	if err := os.Rename(tmp, s.path); err != nil {
 		return abort(err)
 	}
-	// Adopt the already-open replacement as the journal — no reopen by
-	// path, which could fail and leave appends going to the unlinked old
-	// inode while reporting success. Every failure path above leaves s.f on
-	// the intact previous journal.
+	// Adopt the already-open replacement as the journal — no reopen by path,
+	// which could fail and leave appends going to the unlinked old inode
+	// while reporting success. Every failure path above leaves s.f on the
+	// intact previous segment.
 	s.f.Close()
 	s.f = f
 	s.off = off
+	for _, id := range s.order {
+		if !keep(id) {
+			delete(s.records, id)
+		}
+	}
+	s.order = kept
 	return nil
+}
+
+// Compact atomically rewrites the journal to hold exactly the given
+// campaigns' records, in the given order, dropping everything else. The
+// scheduler calls it once at startup with the campaigns it retained, which
+// bounds journal growth across restarts (records of pruned campaigns do
+// not accumulate forever) and keeps retention consistent: a campaign
+// pruned past the cap stays unknown after a restart instead of being
+// resurrected by replay. The rewrite goes through a temp file and a
+// rename, so a crash mid-compaction leaves either the old journal or the
+// new one, never a mix.
+func (s *Store) Compact(keep []*Campaign) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := make(map[uint64]bool, len(keep))
+	for _, c := range keep {
+		kept[c.ID] = true
+		// Replayed campaigns are already mirrored from Open; merge any the
+		// caller forged independently so the rewrite cannot drop them.
+		if _, ok := s.records[c.ID]; !ok {
+			s.records[c.ID] = append([]Record(nil), c.records...)
+			s.order = append(s.order, c.ID)
+		}
+	}
+	return s.rewriteLocked(func(id uint64) bool { return kept[id] })
 }
 
 // Close releases the journal file.
@@ -261,6 +409,17 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()
+}
+
+// IDs returns a campaign table's keys, whatever the table holds — the
+// retain-snapshot shape AutoRotate consumes, shared by the scheduler's and
+// the local runner's retention callbacks.
+func IDs[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
 }
 
 // MaxID returns the highest campaign ID in the recovered set — the floor for
@@ -336,6 +495,9 @@ func apply(campaigns map[uint64]*Campaign, rec *Record) {
 			Scenarios: rec.Scenarios,
 			Months:    rec.Months,
 			Heuristic: rec.Heuristic,
+			Priority:  rec.Priority,
+			Labels:    rec.Labels,
+			Deadline:  rec.Deadline,
 			records:   []Record{*rec},
 		}
 		c.Remaining = make([]int, rec.Scenarios)
@@ -348,6 +510,14 @@ func apply(campaigns map[uint64]*Campaign, rec *Record) {
 	c := campaigns[rec.ID]
 	if c == nil {
 		return // record for a campaign compacted away
+	}
+	if c.Terminal() {
+		// A straggler journaled around a terminal transition (a chunk that
+		// raced a cancel claim and was discarded live): replay must not
+		// resurrect what the live campaign never surfaced, and the terminal
+		// record that won stays won. Dropping it from records also prunes it
+		// at the next compaction/rotation.
+		return
 	}
 	c.records = append(c.records, *rec)
 	frame := diet.ProgressUpdate{ID: c.ID, Total: c.Scenarios}
@@ -377,6 +547,10 @@ func apply(campaigns map[uint64]*Campaign, rec *Record) {
 		c.Requeues = rec.Requeues
 		c.Err = rec.Err
 		return // terminal state travels on the result, not as a frame
+	case KindCancelled:
+		c.Status = diet.CampaignCancelled
+		c.Err = rec.Err
+		return // terminal: replay keeps the campaign out of the re-admission queue
 	default:
 		return
 	}

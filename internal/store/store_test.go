@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"oagrid/internal/diet"
 )
@@ -320,4 +322,161 @@ func TestSecondOpenLockedOut(t *testing.T) {
 		t.Fatalf("state dir still locked after Close: %v", err)
 	}
 	st2.Close()
+}
+
+// TestCancelledRecordIsTerminal: a cancelled record closes a campaign for
+// replay purposes — Terminal() is true and the status survives reopen, so a
+// restarted owner never re-admits it.
+func TestCancelledRecordIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindAdmitted, ID: 7, Scenarios: 4, Months: 12, Heuristic: "knapsack",
+			Priority: 5, Labels: map[string]string{"team": "ocean"}, Deadline: 90 * time.Second},
+		{Kind: KindChunk, ID: 7, IDs: []int{0, 1}, Chunk: &diet.ExecResponse{Cluster: "a", Scenarios: 2, Makespan: 20}},
+		{Kind: KindCancelled, ID: 7},
+	}
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c := recovered[7]
+	if c == nil || !c.Terminal() || c.Status != diet.CampaignCancelled {
+		t.Fatalf("replayed cancelled campaign = %+v, want terminal cancelled", c)
+	}
+	// The submit options journaled with the admission round-trip.
+	if c.Priority != 5 || c.Labels["team"] != "ocean" || c.Deadline != 90*time.Second {
+		t.Fatalf("submit options mangled by replay: %+v", c)
+	}
+	// The completed chunk is still banked (done work is never lost, even on
+	// a cancelled campaign).
+	if c.ScenariosDone != 2 || len(c.Reports) != 1 {
+		t.Fatalf("cancelled campaign lost its chunk: %+v", c)
+	}
+}
+
+// TestOnlineRotation: with AutoRotate armed, a journal serving a stream of
+// short-lived campaigns stays bounded while open — the live segment is
+// checkpointed down to the retained campaigns once it outgrows the
+// threshold — and the rotated journal still replays exactly the retained
+// set. The advisory lock travels with the live segment.
+func TestOnlineRotation(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Retention: only the three most recently admitted campaigns survive.
+	var mu sync.Mutex
+	var live []uint64
+	retain := func() []uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]uint64(nil), live...)
+	}
+	const threshold = 4 << 10
+	st.AutoRotate(threshold, retain)
+
+	for id := uint64(1); id <= 60; id++ {
+		mu.Lock()
+		live = append(live, id)
+		if len(live) > 3 {
+			live = live[1:]
+		}
+		mu.Unlock()
+		journalCampaign(t, st, id)
+	}
+
+	// Bounded: the live segment holds at most the retained campaigns plus
+	// one threshold's worth of growth since the last rotation.
+	fi, err := os.Stat(st.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCampaign := int64(1 << 10) // generous bound on one campaign's records
+	if max := threshold + 3*perCampaign + perCampaign; fi.Size() > max {
+		t.Fatalf("journal grew to %d bytes across 60 campaigns (want ≤ %d): rotation never fired", fi.Size(), max)
+	}
+
+	// The lock still guards the (rotated) live segment.
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("state dir unlocked after online rotation")
+	}
+
+	// An explicit checkpoint drops everything the retention no longer
+	// reports (campaigns appended since the last threshold crossing linger
+	// only until then).
+	if err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// The rotated journal replays exactly the retained campaigns,
+	// bit-complete.
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, id := range []uint64{58, 59, 60} {
+		c := recovered[id]
+		if c == nil || !c.Terminal() || c.Requeues != 1 || len(c.Reports) != 2 {
+			t.Fatalf("retained campaign %d mangled by rotation: %+v", id, c)
+		}
+	}
+	for id, c := range recovered {
+		if id < 58 {
+			t.Fatalf("rotation kept pruned campaign %d: %+v", id, c)
+		}
+	}
+}
+
+// TestReplayIgnoresStragglersAfterTerminal: a chunk journaled around a
+// cancel claim was discarded live; replay must not resurrect it, and the
+// terminal record that won stays won.
+func TestReplayIgnoresStragglersAfterTerminal(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindAdmitted, ID: 4, Scenarios: 4, Months: 12, Heuristic: "knapsack"},
+		{Kind: KindCancelled, ID: 4},
+		// Stragglers journaled after the terminal record.
+		{Kind: KindChunk, ID: 4, IDs: []int{0, 1}, Chunk: &diet.ExecResponse{Cluster: "a", Scenarios: 2, Makespan: 20}},
+		{Kind: KindRequeue, ID: 4, Requeued: 2},
+		{Kind: KindDone, ID: 4, Status: diet.CampaignDone, Makespan: 20},
+	}
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c := recovered[4]
+	if c == nil || c.Status != diet.CampaignCancelled {
+		t.Fatalf("replayed campaign = %+v, want the cancelled verdict to stand", c)
+	}
+	if c.ScenariosDone != 0 || len(c.Reports) != 0 || c.Requeues != 0 || len(c.History) != 0 {
+		t.Fatalf("straggler records resurrected by replay: %+v", c)
+	}
 }

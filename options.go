@@ -100,6 +100,71 @@ func WithTimeout(d time.Duration) RunnerOption {
 	return func(cfg *runnerConfig) { cfg.timeout = d }
 }
 
+// SubmitOption configures one campaign at submission (Runner.Run) — the
+// per-campaign half of the option surface, next to the per-runner
+// RunnerOption. Submit options travel with the campaign: a remote runner
+// sends them to the daemon on the wire (protocol v3), a durable runner
+// journals them with the admission record, and both report them back
+// through Runner.Info and Runner.List.
+type SubmitOption func(*submitConfig)
+
+// submitConfig is the resolved option set of one submission.
+type submitConfig struct {
+	priority  int
+	labels    map[string]string
+	deadline  time.Duration
+	heuristic string
+}
+
+func newSubmitConfig(opts []SubmitOption) submitConfig {
+	var cfg submitConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithPriority orders the campaign in the scheduler's admission queue:
+// higher-priority campaigns dispatch first, ties run in admission order.
+// The default is 0; negative priorities yield to everything. A Local runner
+// records the priority (Info/List report it) but dispatches immediately —
+// it has no admission queue to order.
+func WithPriority(p int) SubmitOption {
+	return func(cfg *submitConfig) { cfg.priority = p }
+}
+
+// WithLabels tags the campaign with operator-facing key/value labels,
+// matched as a subset by ListFilter.Labels. Later options merge over
+// earlier ones.
+func WithLabels(labels map[string]string) SubmitOption {
+	return func(cfg *submitConfig) {
+		if len(labels) == 0 {
+			return
+		}
+		if cfg.labels == nil {
+			cfg.labels = make(map[string]string, len(labels))
+		}
+		for k, v := range labels {
+			cfg.labels[k] = v
+		}
+	}
+}
+
+// WithDeadline bounds this one campaign end to end (including requeue
+// rounds), overriding the scheduler's default campaign timeout. A campaign
+// past its deadline fails with ErrCampaignFailed. Zero keeps the runner's
+// default.
+func WithDeadline(d time.Duration) SubmitOption {
+	return func(cfg *submitConfig) { cfg.deadline = d }
+}
+
+// WithCampaignHeuristic overrides the planning heuristic for this one
+// campaign — the submit-level equivalent of Campaign.Heuristic, taking
+// precedence over it and over the runner's WithHeuristic default.
+func WithCampaignHeuristic(name string) SubmitOption {
+	return func(cfg *submitConfig) { cfg.heuristic = name }
+}
+
 // WithStateDir makes a Local runner durable: every campaign transition is
 // journaled to an append-only WAL under dir before it is acknowledged, and
 // a new Local runner opened on the same directory replays the journal —
