@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"oagrid"
+	"oagrid/internal/diet"
 	"oagrid/internal/grid"
 )
 
@@ -70,10 +71,16 @@ type loadReport struct {
 	Verified       bool    `json:"verified_bit_identical"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	ThroughputCPS  float64 `json:"throughput_cps"`
-	P50Ms          float64 `json:"p50_ms"`
-	P95Ms          float64 `json:"p95_ms"`
-	P99Ms          float64 `json:"p99_ms"`
-	MaxQueueDepth  int     `json:"max_queue_depth"`
+	// Wire gauges over the injection window, across both codecs (the
+	// self-hosted run counts client, daemon and SeD traffic in one process).
+	Proto         string  `json:"proto"`
+	BytesTx       uint64  `json:"bytes_tx"`
+	BytesRx       uint64  `json:"bytes_rx"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
 }
 
 func main() {
@@ -99,8 +106,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "arrival-schedule random seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-campaign client deadline")
 		out       = flag.String("out", "BENCH_grid.json", "benchmark artifact path (empty = skip writing)")
+		proto     = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec)")
 	)
 	flag.Parse()
+
+	switch *proto {
+	case "binary":
+	case "legacy":
+		diet.ForceLegacyCodec(true)
+	default:
+		fail(fmt.Errorf("oaload: unknown -proto %q (want binary or legacy)", *proto))
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -111,6 +127,7 @@ func main() {
 	report := loadReport{
 		Campaigns:  *campaigns,
 		Arrival:    *arrival,
+		Proto:      *proto,
 		RatePerSec: *rate,
 		Scenarios:  *ns,
 		Months:     *months,
@@ -242,6 +259,7 @@ func main() {
 		fail(fmt.Errorf("oaload: daemon restart on %s: %w", addr, err))
 	}
 
+	wireBefore := diet.WireStats()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < *campaigns; i++ {
@@ -270,6 +288,12 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	wireAfter := diet.WireStats()
+	report.BytesTx = wireAfter.BytesTx - wireBefore.BytesTx
+	report.BytesRx = wireAfter.BytesRx - wireBefore.BytesRx
+	if frames := wireAfter.FramesTx + wireAfter.FramesRx - wireBefore.FramesTx - wireBefore.FramesRx; wall > 0 {
+		report.FramesPerSec = float64(frames) / wall.Seconds()
+	}
 
 	completed := 0
 	results := make([]*oagrid.CampaignResult, *campaigns)
@@ -328,6 +352,8 @@ func main() {
 		completed, *campaigns, report.WallSeconds, report.ThroughputCPS)
 	fmt.Printf("latency p50 %.1fms  p95 %.1fms  p99 %.1fms   max queue depth %d  rejections %d  requeues %d\n",
 		report.P50Ms, report.P95Ms, report.P99Ms, report.MaxQueueDepth, report.Rejections, report.Requeues)
+	fmt.Printf("wire (%s): %d B tx, %d B rx, %.0f frames/s\n",
+		report.Proto, report.BytesTx, report.BytesRx, report.FramesPerSec)
 	if report.Cancels > 0 {
 		fmt.Printf("cancel injection: %d campaign(s) cancelled server-side, cancel latency p95 %.1fms\n",
 			report.Cancels, report.CancelP95Ms)

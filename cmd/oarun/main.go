@@ -40,6 +40,7 @@ import (
 	"oagrid/internal/climate/field"
 	"oagrid/internal/climate/pipeline"
 	"oagrid/internal/core"
+	"oagrid/internal/diet"
 	"oagrid/internal/figures"
 	"oagrid/internal/grid"
 	"oagrid/internal/platform"
@@ -69,8 +70,18 @@ func main() {
 		hbEvery  = flag.Duration("hb", 500*time.Millisecond, "SeD heartbeat interval")
 		evict    = flag.Duration("evict", 3*time.Second, "daemon heartbeat eviction deadline")
 		state    = flag.String("state", "", "daemon state dir: journal campaigns and recover them on restart (empty = in-memory only)")
+		proto    = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec; debugging escape hatch)")
 	)
 	flag.Parse()
+
+	switch *proto {
+	case "binary":
+	case "legacy":
+		diet.ForceLegacyCodec(true)
+	default:
+		fmt.Fprintf(os.Stderr, "oarun: unknown -proto %q (want binary or legacy)\n", *proto)
+		os.Exit(2)
+	}
 
 	if *daemon {
 		runDaemon(*addr, *state, *seds, *cprocs, *queueCap, *inflight, *dispatch, *hbEvery, *evict)

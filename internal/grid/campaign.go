@@ -51,13 +51,40 @@ type campaign struct {
 	// gauge of progress frames.
 	scenariosDone int
 	// history keeps every progress frame published so far, so a subscriber
-	// that attaches after dispatch started still sees the full story.
-	history []diet.ProgressUpdate
-	subs    map[chan diet.ProgressUpdate]struct{}
+	// that attaches after dispatch started still sees the full story. Frames
+	// are shared by pointer: one published frame serves every subscriber and
+	// every attach replay, and carries its wire encoding computed at most
+	// once (see progressFrame).
+	history []*progressFrame
+	subs    map[chan *progressFrame]struct{}
 
 	// done closes when the campaign reaches a terminal state; submit-wait
 	// connections and pollers block on it.
 	done chan struct{}
+}
+
+// progressFrame is one published (or journal-replayed) progress update,
+// serialized at most once however many subscribers receive it. Before this
+// existed every subscriber re-encoded every replayed history frame on
+// Attach; now binary streams share the one cached encoding and legacy gob
+// streams share the one ProgressUpdate struct (gob must re-encode per
+// connection — its streams are stateful — but no longer re-copies frames
+// per subscriber).
+type progressFrame struct {
+	u      diet.ProgressUpdate
+	once   sync.Once
+	enc    []byte
+	encErr error
+}
+
+// encoded returns the frame's v4 wire bytes, computing them on first use.
+// Binary connections always run at protocol v4 (the version every binary
+// peer negotiates), so one encoding serves them all.
+func (f *progressFrame) encoded() ([]byte, error) {
+	f.once.Do(func() {
+		f.enc, f.encErr = diet.AppendResponseFrame(nil, &diet.Response{Version: diet.ProtocolV4, Progress: &f.u})
+	})
+	return f.enc, f.encErr
 }
 
 // submitMeta carries a campaign's per-submit options (control plane v2).
@@ -105,8 +132,10 @@ func recoveredCampaign(rc *store.Campaign) *campaign {
 		remaining:     rc.Remaining,
 		round:         rc.Rounds,
 		scenariosDone: rc.ScenariosDone,
-		history:       rc.History,
 		done:          make(chan struct{}),
+	}
+	for i := range rc.History {
+		c.history = append(c.history, &progressFrame{u: rc.History[i]})
 	}
 	if rc.Terminal() {
 		// Chunk records are journaled in arrival order; the terminal result
@@ -178,24 +207,24 @@ func (c *campaign) info() diet.CampaignInfo {
 // so far into it. The channel is buffered; fan-out never blocks the
 // dispatcher — a subscriber that stops draining loses frames, not the
 // campaign (the final result travels separately on c.done).
-func (c *campaign) subscribe() chan diet.ProgressUpdate {
+func (c *campaign) subscribe() chan *progressFrame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Room for the full replay plus a generous live allowance: 4 frames per
 	// scenario covers chunk + requeue across several repartition rounds.
-	ch := make(chan diet.ProgressUpdate, len(c.history)+4*c.app.Scenarios+16)
-	for _, u := range c.history {
-		ch <- u // buffer holds at least len(history); cannot block
+	ch := make(chan *progressFrame, len(c.history)+4*c.app.Scenarios+16)
+	for _, f := range c.history {
+		ch <- f // buffer holds at least len(history); cannot block
 	}
 	if c.subs == nil {
-		c.subs = make(map[chan diet.ProgressUpdate]struct{})
+		c.subs = make(map[chan *progressFrame]struct{})
 	}
 	c.subs[ch] = struct{}{}
 	return ch
 }
 
 // unsubscribe detaches a listener.
-func (c *campaign) unsubscribe(ch chan diet.ProgressUpdate) {
+func (c *campaign) unsubscribe(ch chan *progressFrame) {
 	c.mu.Lock()
 	delete(c.subs, ch)
 	c.mu.Unlock()
@@ -214,10 +243,11 @@ func (c *campaign) publish(u diet.ProgressUpdate) {
 		return
 	}
 	u.Done = c.scenariosDone
-	c.history = append(c.history, u)
+	f := &progressFrame{u: u}
+	c.history = append(c.history, f)
 	for ch := range c.subs {
 		select {
-		case ch <- u:
+		case ch <- f:
 		default: // slow subscriber: drop the frame, keep the dispatcher live
 		}
 	}
@@ -581,7 +611,7 @@ func (s *Scheduler) dispatchChunk(ctx context.Context, c *campaign, ref sedRef, 
 		out <- chunkReport{ref: ref, ids: ids, err: fmt.Errorf("grid: scheduler shut down")}
 		return
 	}
-	resp, err := diet.RoundTripContext(ctx, ref.info.Addr, &diet.Request{Kind: diet.KindExec, Exec: &diet.ExecRequest{
+	resp, err := diet.RoundTripContext(ctx, ref.info.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindExec, Exec: &diet.ExecRequest{
 		ScenarioIDs: ids,
 		Months:      c.app.Months,
 		Heuristic:   c.heuristic,

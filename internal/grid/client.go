@@ -76,15 +76,27 @@ func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResu
 }
 
 // campaignStream is one open streaming connection: submit-wait or attach.
+// The codec is fixed at open time: binary framing when the daemon is known
+// to speak v4, the legacy gob codec otherwise (fdec nil).
 type campaignStream struct {
 	conn net.Conn
+	cc   net.Conn // counted wrapper around conn
 	dec  *gob.Decoder
-	stop func()
+	fdec *diet.FrameDecoder
+	// sawFrame flips after the first decoded frame; a binary stream dying
+	// before it downgrades the peer-version cache (the daemon may have been
+	// replaced by a pre-v4 build, which drops binary connections on sniff).
+	sawFrame bool
+	stop     func()
 }
 
 func (st *campaignStream) close() {
 	st.stop()
 	st.conn.Close()
+	if st.fdec != nil {
+		diet.PutFrameDecoder(st.fdec)
+		st.fdec = nil
+	}
 }
 
 // openStream dials the daemon, ties the connection to ctx, and sends req.
@@ -95,17 +107,31 @@ func (c *Client) openStream(ctx context.Context, req *diet.Request) (*campaignSt
 		return nil, fmt.Errorf("grid: dialing %s: %w", c.Addr, err)
 	}
 	stop := diet.AbortOnDone(ctx, conn)
-	st := &campaignStream{conn: conn, dec: gob.NewDecoder(conn), stop: stop}
+	cc := diet.CountConn(conn)
+	st := &campaignStream{conn: conn, cc: cc, stop: stop}
 	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
 		st.close()
 		return nil, err
 	}
-	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+	var encErr error
+	if diet.UseBinary(c.Addr, req.Version) {
+		// Retained decoding: progress frames and results outlive the stream
+		// (the dial layer republishes them as client events).
+		st.fdec = diet.GetFrameDecoder(true)
+		encErr = diet.WriteRequestFrame(cc, req)
+	} else {
+		st.dec = gob.NewDecoder(cc)
+		encErr = gob.NewEncoder(cc).Encode(req)
+		if encErr == nil {
+			diet.CountFrames(1, 0)
+		}
+	}
+	if encErr != nil {
 		st.close()
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		return nil, fmt.Errorf("grid: encoding %s to %s: %w", req.Kind, c.Addr, err)
+		return nil, fmt.Errorf("grid: encoding %s to %s: %w", req.Kind, c.Addr, encErr)
 	}
 	return st, nil
 }
@@ -116,26 +142,41 @@ func (c *Client) openStream(ctx context.Context, req *diet.Request) (*campaignSt
 // between decodes is honored instead of silently re-armed away (the
 // AbortOnDone watcher keeps re-asserting the past deadline as a backstop
 // for the refresh race).
-func (c *Client) nextFrame(ctx context.Context, st *campaignStream, resp *diet.Response) error {
+func (c *Client) nextFrame(ctx context.Context, st *campaignStream) (*diet.Response, error) {
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	_ = st.conn.SetDeadline(time.Now().Add(c.timeout()))
-	if err := st.dec.Decode(resp); err != nil {
-		if ctx.Err() != nil {
-			return ctx.Err()
+	var resp *diet.Response
+	var err error
+	if st.fdec != nil {
+		resp, err = st.fdec.ReadResponse(st.cc)
+	} else {
+		resp = &diet.Response{}
+		if err = st.dec.Decode(resp); err == nil {
+			diet.CountFrames(0, 1)
 		}
-		return err
 	}
-	return ctx.Err()
+	if err != nil {
+		if st.fdec != nil && !st.sawFrame {
+			diet.RecordPeerVersion(c.Addr, diet.ProtocolV3)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	st.sawFrame = true
+	diet.RecordPeerVersion(c.Addr, resp.Version)
+	return resp, ctx.Err()
 }
 
 // streamResult consumes a verdict-acknowledged campaign stream to its end:
 // progress frames go to onProgress, the result frame closes the exchange.
 func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64, onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
 	for {
-		var frame diet.Response
-		if err := c.nextFrame(ctx, st, &frame); err != nil {
+		frame, err := c.nextFrame(ctx, st)
+		if err != nil {
 			return nil, fmt.Errorf("grid: waiting for campaign %d result: %w", id, err)
 		}
 		switch {
@@ -188,8 +229,8 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 	}
 	defer st.close()
 
-	var verdict diet.Response
-	if err := c.nextFrame(ctx, st, &verdict); err != nil {
+	verdict, err := c.nextFrame(ctx, st)
+	if err != nil {
 		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
 	}
 	if verdict.Err != "" {
@@ -223,8 +264,8 @@ func (c *Client) AttachContext(ctx context.Context, id uint64, onAttach func(*di
 	}
 	defer st.close()
 
-	var verdict diet.Response
-	if err := c.nextFrame(ctx, st, &verdict); err != nil {
+	verdict, err := c.nextFrame(ctx, st)
+	if err != nil {
 		return nil, fmt.Errorf("grid: decoding attach verdict from %s: %w", c.Addr, err)
 	}
 	if verdict.Err != "" {

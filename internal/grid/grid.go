@@ -80,6 +80,11 @@ type Config struct {
 	// re-admitted with their unfinished scenarios requeued. Empty keeps the
 	// scheduler purely in-memory.
 	StateDir string
+	// MaxProtocol caps the protocol version this daemon negotiates (0 means
+	// the build's newest). A daemon capped below v4 also refuses binary
+	// connections, exactly like a real pre-v4 build — the staged-rollout
+	// knob, and how tests stand up an old-generation daemon.
+	MaxProtocol int
 }
 
 func (c Config) withDefaults() Config {
@@ -390,7 +395,7 @@ func (s *Scheduler) vector(ref sedRef, n, months int, heuristic string) ([]float
 	}
 	s.mu.Unlock()
 
-	resp, err := diet.RoundTripTimeout(ref.info.Addr, &diet.Request{Kind: diet.KindPerf, Perf: &diet.PerfRequest{
+	resp, err := diet.RoundTripTimeout(ref.info.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindPerf, Perf: &diet.PerfRequest{
 		Scenarios: n,
 		Months:    months,
 		Heuristic: heuristic,

@@ -1,0 +1,173 @@
+package grid
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+)
+
+// sameCampaignOutcome demands two campaign results are bit-identical where
+// it matters: same report sequence (cluster, scenario count, round, first
+// scenario, makespan bits) and same campaign makespan bits.
+func sameCampaignOutcome(t *testing.T, tag string, got, want *diet.CampaignResult) {
+	t.Helper()
+	if math.Float64bits(got.Makespan) != math.Float64bits(want.Makespan) {
+		t.Fatalf("%s: campaign makespan %g, want bit-identical %g", tag, got.Makespan, want.Makespan)
+	}
+	if len(got.Reports) != len(want.Reports) {
+		t.Fatalf("%s: %d chunk reports, want %d", tag, len(got.Reports), len(want.Reports))
+	}
+	for i := range got.Reports {
+		g, w := got.Reports[i], want.Reports[i]
+		if g.Cluster != w.Cluster || g.Scenarios != w.Scenarios || g.Round != w.Round ||
+			g.FirstScenario != w.FirstScenario || math.Float64bits(g.Makespan) != math.Float64bits(w.Makespan) {
+			t.Fatalf("%s: report %d is %+v, want %+v", tag, i, g, w)
+		}
+	}
+}
+
+// TestCrossVersionMatrix runs the same campaign through every client
+// generation against a v4 daemon — a pre-versioning (v0) client, raw v1,
+// v2 and v3 gob clients, and the real v4 client on the binary codec — and
+// demands every combination negotiates its own version and produces a
+// bit-identical campaign.
+func TestCrossVersionMatrix(t *testing.T) {
+	f := startFabric(t, testConfig(), 3)
+	addr := f.Sched.Addr()
+	app := core.Application{Scenarios: 6, Months: 12}
+
+	// Baseline: the v4 client, twice — the first submit-wait exchange runs
+	// over the legacy codec (unknown peer), learns the daemon speaks v4,
+	// and the second runs on binary framing end to end.
+	client := &Client{Addr: addr}
+	want, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyReports(t, f, app, core.NameKnapsack, want)
+	if got := diet.PeerVersion(addr); got < diet.ProtocolV4 {
+		t.Fatalf("after a v4 exchange the peer cache holds %d, want >= %d", got, diet.ProtocolV4)
+	}
+	binRes, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatalf("binary-codec campaign: %v", err)
+	}
+	sameCampaignOutcome(t, "v4-binary vs v4-legacy", binRes, want)
+
+	// Every legacy generation against the same daemon.
+	for _, v := range []int{0, diet.ProtocolV1, diet.ProtocolV2, diet.ProtocolV3} {
+		frames := submitRaw(t, addr, v, &diet.SubmitRequest{
+			Scenarios: app.Scenarios, Months: app.Months, Heuristic: core.NameKnapsack,
+			Wait: true, Progress: true,
+		})
+		if len(frames) < 2 {
+			t.Fatalf("v%d client got %d frames", v, len(frames))
+		}
+		wantVer := v
+		if v == 0 {
+			wantVer = diet.ProtocolV1
+		}
+		if frames[0].Version != wantVer {
+			t.Fatalf("v%d client negotiated %d, want %d", v, frames[0].Version, wantVer)
+		}
+		final := frames[len(frames)-1]
+		if final.Result == nil || final.Result.Status != diet.CampaignDone {
+			t.Fatalf("v%d campaign did not complete: %+v", v, final)
+		}
+		sameCampaignOutcome(t, "v"+string(rune('0'+v))+" vs v4", final.Result, want)
+		// Pre-v2 clients must see no progress frames at all.
+		if wantVer < diet.ProtocolV2 && len(frames) != 2 {
+			t.Fatalf("v%d client got %d frames, want verdict + result", v, len(frames))
+		}
+	}
+}
+
+// TestBinaryConnSpeaksV4 proves the daemon really serves the binary codec
+// on its one port: a raw frame exchange negotiates v4 and answers stats.
+func TestBinaryConnSpeaksV4(t *testing.T) {
+	f := startFabric(t, testConfig(), 1)
+	conn, err := net.Dial("tcp", f.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := diet.WriteRequestFrame(conn, &diet.Request{
+		Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dec := &diet.FrameDecoder{Retain: true}
+	resp, err := dec.ReadResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != diet.ProtocolV4 {
+		t.Fatalf("binary connection negotiated %d, want %d", resp.Version, diet.ProtocolV4)
+	}
+	if resp.Stats == nil {
+		t.Fatalf("no stats in binary response: %+v", resp)
+	}
+}
+
+// TestV4ClientAgainstV3Daemon covers the downgrade row of the matrix: a
+// daemon capped at protocol v3 (a stand-in for a pre-v4 build — it refuses
+// binary connections outright) serves a current client, which negotiates
+// down, stays on the legacy codec, and gets a bit-identical campaign. Then
+// a poisoned version cache (claiming the daemon speaks v4) self-heals: the
+// dropped binary connection downgrades the cache and the retry succeeds.
+func TestV4ClientAgainstV3Daemon(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxProtocol = diet.ProtocolV3
+	f := startFabric(t, cfg, 3)
+	addr := f.Sched.Addr()
+	app := core.Application{Scenarios: 6, Months: 12}
+
+	client := &Client{Addr: addr, Timeout: 10 * time.Second}
+	var verdictVer int
+	res, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyReports(t, f, app, core.NameKnapsack, res)
+	if got := diet.PeerVersion(addr); got != diet.ProtocolV3 {
+		t.Fatalf("peer cache holds %d after talking to a v3 daemon, want %d", got, diet.ProtocolV3)
+	}
+
+	// Reference outcome from a raw v3 client.
+	frames := submitRaw(t, addr, diet.ProtocolV3, &diet.SubmitRequest{
+		Scenarios: app.Scenarios, Months: app.Months, Heuristic: core.NameKnapsack, Wait: true,
+	})
+	final := frames[len(frames)-1]
+	if final.Result == nil {
+		t.Fatalf("raw v3 campaign returned no result: %+v", final)
+	}
+	verdictVer = frames[0].Version
+	if verdictVer != diet.ProtocolV3 {
+		t.Fatalf("v3 daemon answered version %d", verdictVer)
+	}
+	sameCampaignOutcome(t, "v4-client vs v3-client on v3 daemon", res, final.Result)
+
+	// Poison the cache: claim the daemon speaks v4. The next exchange opens
+	// a binary connection, which the capped daemon drops on sniff; the
+	// failure must downgrade the cache so the follow-up heals onto gob.
+	diet.RecordPeerVersion(addr, diet.ProtocolV4)
+	_, err = client.StatsContext(context.Background())
+	if err == nil {
+		t.Fatal("binary exchange against a v3 daemon unexpectedly succeeded")
+	}
+	if got := diet.PeerVersion(addr); got >= diet.ProtocolV4 {
+		t.Fatalf("failed binary exchange left the cache at %d", got)
+	}
+	if _, err := client.StatsContext(context.Background()); err != nil {
+		t.Fatalf("exchange after self-heal: %v", err)
+	}
+	if _, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil); err != nil {
+		t.Fatalf("campaign after self-heal: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -15,7 +16,7 @@ const frameTimeout = 5 * time.Second
 
 // acceptLoop serves connections until the listener closes. The scheduler
 // brings its own loop (instead of diet.Serve) because submit-wait
-// connections stream two response frames.
+// connections stream multiple response frames.
 func (s *Scheduler) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -27,28 +28,129 @@ func (s *Scheduler) acceptLoop() {
 	}
 }
 
+// respSender writes response frames on one connection, hiding the codec
+// from the streaming logic. sendProgress exists so the binary sender can
+// write a published frame's cached encoding instead of re-encoding it.
+type respSender interface {
+	send(*diet.Response) error
+	sendProgress(*progressFrame) error
+}
+
+// gobSender streams legacy-codec responses. gob streams are stateful (type
+// definitions travel once per connection), so frames cannot be byte-shared
+// across connections — but progress frames still share the one
+// ProgressUpdate struct per published frame instead of a per-subscriber
+// copy.
+type gobSender struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	ver  int
+}
+
+func (g *gobSender) send(resp *diet.Response) error {
+	resp.Version = g.ver
+	_ = g.conn.SetDeadline(time.Now().Add(frameTimeout))
+	err := g.enc.Encode(resp)
+	if err == nil {
+		diet.CountFrames(1, 0)
+	}
+	return err
+}
+
+func (g *gobSender) sendProgress(f *progressFrame) error {
+	return g.send(&diet.Response{Progress: &f.u})
+}
+
+// binSender streams v4 binary frames.
+type binSender struct {
+	conn net.Conn
+	w    net.Conn // counted writer (CountConn over conn)
+	ver  int
+}
+
+func (b *binSender) send(resp *diet.Response) error {
+	resp.Version = b.ver
+	_ = b.conn.SetDeadline(time.Now().Add(frameTimeout))
+	return diet.WriteResponseFrame(b.w, resp)
+}
+
+func (b *binSender) sendProgress(f *progressFrame) error {
+	enc, err := f.encoded()
+	if err != nil {
+		return err
+	}
+	_ = b.conn.SetDeadline(time.Now().Add(frameTimeout))
+	return diet.WriteRawFrame(b.w, enc)
+}
+
+// serveConn sniffs the codec from the connection's first bytes (the v4
+// frame magic selects binary framing, anything else the legacy gob codec)
+// and serves one request. maxVersion caps what the scheduler will
+// negotiate: a daemon capped below v4 refuses binary connections outright —
+// the client's version cache then self-heals onto the legacy codec.
 func (s *Scheduler) serveConn(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cc := diet.CountConn(conn)
+	br := bufio.NewReader(cc)
+	peek, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if diet.IsBinaryMagic(peek) {
+		if diet.LegacyCodecForced() || s.maxVersion() < diet.ProtocolV4 {
+			return // binary refused: drop, peer re-probes over gob
+		}
+		dec := diet.GetFrameDecoder(false)
+		defer diet.PutFrameDecoder(dec)
+		req, err := dec.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		ver := s.negotiate(req.Version)
+		s.dispatch(&binSender{conn: conn, w: cc, ver: ver}, ver, req)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	var req diet.Request
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
-	ver := diet.NegotiateVersion(req.Version)
-	if req.Kind == diet.KindSubmit {
-		s.serveSubmit(conn, enc, ver, req.Submit)
-		return
+	diet.CountFrames(0, 1)
+	ver := s.negotiate(req.Version)
+	s.dispatch(&gobSender{conn: conn, enc: gob.NewEncoder(cc), ver: ver}, ver, &req)
+}
+
+// negotiate resolves a connection's effective version under the daemon's
+// version cap.
+func (s *Scheduler) negotiate(peer int) int {
+	ver := diet.NegotiateVersion(peer)
+	if max := s.maxVersion(); ver > max {
+		ver = max
 	}
-	if req.Kind == diet.KindAttach {
-		s.serveAttach(conn, enc, ver, req.Attach)
-		return
+	return ver
+}
+
+// maxVersion is the highest protocol version this daemon speaks
+// (Config.MaxProtocol; 0 means the build's newest).
+func (s *Scheduler) maxVersion() int {
+	if s.cfg.MaxProtocol > 0 {
+		return s.cfg.MaxProtocol
 	}
-	resp := s.handle(&req)
-	resp.Version = ver
-	_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-	_ = enc.Encode(resp)
+	return diet.ProtocolVersion
+}
+
+// dispatch routes one decoded request to the streaming or one-shot path.
+func (s *Scheduler) dispatch(send respSender, ver int, req *diet.Request) {
+	switch req.Kind {
+	case diet.KindSubmit:
+		s.serveSubmit(send, ver, req.Submit)
+	case diet.KindAttach:
+		s.serveAttach(send, ver, req.Attach)
+	default:
+		resp := s.handle(req)
+		_ = send.send(resp)
+	}
 }
 
 // serveSubmit answers a campaign submission. With Wait set the connection
@@ -59,14 +161,9 @@ func (s *Scheduler) serveConn(conn net.Conn) {
 // campaign — and a client gone mid-stream fails a frame write, which
 // releases this goroutine without touching the dispatcher that runs the
 // campaign.
-func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *diet.SubmitRequest) {
-	send := func(resp *diet.Response) error {
-		resp.Version = ver
-		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-		return enc.Encode(resp)
-	}
+func (s *Scheduler) serveSubmit(send respSender, ver int, req *diet.SubmitRequest) {
 	if req == nil {
-		_ = send(&diet.Response{Err: "submit: empty payload"})
+		_ = send.send(&diet.Response{Err: "submit: empty payload"})
 		return
 	}
 	// Features above the negotiated version stay off the wire in both
@@ -79,19 +176,19 @@ func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *d
 	if err != nil {
 		// Malformed campaign: a protocol error, not an admission verdict —
 		// retrying it can never succeed.
-		_ = send(&diet.Response{Err: err.Error()})
+		_ = send.send(&diet.Response{Err: err.Error()})
 		return
 	}
 	// Subscribe before acknowledging admission: the dispatcher may pop the
 	// campaign immediately, and a subscription taken later would race the
 	// first planned frame (the history replay makes even that race benign,
 	// but late frames would reorder around the verdict).
-	var sub chan diet.ProgressUpdate
+	var sub chan *progressFrame
 	if c != nil && req.Wait && req.Progress && ver >= diet.ProtocolV2 {
 		sub = c.subscribe()
 		defer c.unsubscribe(sub)
 	}
-	if err := send(&diet.Response{Submit: verdict}); err != nil {
+	if err := send.send(&diet.Response{Submit: verdict}); err != nil {
 		return
 	}
 	if c == nil || !req.Wait {
@@ -105,31 +202,26 @@ func (s *Scheduler) serveSubmit(conn net.Conn, enc *gob.Encoder, ver int, req *d
 // full replayed history followed by live frames, and finally the result.
 // Attaching to a finished campaign replays its history and closes with the
 // stored result immediately.
-func (s *Scheduler) serveAttach(conn net.Conn, enc *gob.Encoder, ver int, req *diet.AttachRequest) {
-	send := func(resp *diet.Response) error {
-		resp.Version = ver
-		_ = conn.SetDeadline(time.Now().Add(frameTimeout))
-		return enc.Encode(resp)
-	}
+func (s *Scheduler) serveAttach(send respSender, ver int, req *diet.AttachRequest) {
 	if req == nil {
-		_ = send(&diet.Response{Err: "attach: empty payload"})
+		_ = send.send(&diet.Response{Err: "attach: empty payload"})
 		return
 	}
 	c := s.lookup(req.ID)
 	if c == nil {
-		_ = send(&diet.Response{Attach: &diet.AttachResponse{ID: req.ID}})
+		_ = send.send(&diet.Response{Attach: &diet.AttachResponse{ID: req.ID}})
 		return
 	}
 	// Subscribe before acknowledging, for the same reason serveSubmit does:
 	// the replay inside subscribe() pins the history point the live stream
 	// continues from.
-	var sub chan diet.ProgressUpdate
+	var sub chan *progressFrame
 	if req.Progress && ver >= diet.ProtocolV2 {
 		sub = c.subscribe()
 		defer c.unsubscribe(sub)
 	}
 	snap := c.snapshot()
-	if err := send(&diet.Response{Attach: &diet.AttachResponse{
+	if err := send.send(&diet.Response{Attach: &diet.AttachResponse{
 		ID:     c.id,
 		Found:  true,
 		Status: snap.Status,
@@ -144,11 +236,11 @@ func (s *Scheduler) serveAttach(conn net.Conn, enc *gob.Encoder, ver int, req *d
 // streamCampaign pumps a campaign's progress frames into send until the
 // campaign ends, then closes the stream with the result. sub may be nil
 // (a plain v1 wait): the loop then only waits for completion.
-func (s *Scheduler) streamCampaign(send func(*diet.Response) error, c *campaign, sub chan diet.ProgressUpdate) {
+func (s *Scheduler) streamCampaign(send respSender, c *campaign, sub chan *progressFrame) {
 	for {
 		select {
-		case u := <-sub: // nil sub: never ready, plain v1 wait
-			if err := send(&diet.Response{Progress: &u}); err != nil {
+		case f := <-sub: // nil sub: never ready, plain v1 wait
+			if err := send.sendProgress(f); err != nil {
 				return
 			}
 		case <-c.done:
@@ -156,8 +248,8 @@ func (s *Scheduler) streamCampaign(send func(*diet.Response) error, c *campaign,
 			// stream is gapless, then close with the result.
 			for {
 				select {
-				case u := <-sub:
-					if err := send(&diet.Response{Progress: &u}); err != nil {
+				case f := <-sub:
+					if err := send.sendProgress(f); err != nil {
 						return
 					}
 					continue
@@ -165,10 +257,10 @@ func (s *Scheduler) streamCampaign(send func(*diet.Response) error, c *campaign,
 				}
 				break
 			}
-			_ = send(&diet.Response{Result: c.snapshot()})
+			_ = send.send(&diet.Response{Result: c.snapshot()})
 			return
 		case <-s.done:
-			_ = send(&diet.Response{Err: "grid: scheduler shut down"})
+			_ = send.send(&diet.Response{Err: "grid: scheduler shut down"})
 			return
 		}
 	}
