@@ -119,6 +119,18 @@ type CampaignInfo struct {
 	Makespan float64
 	// Err carries the failure reason of a failed campaign.
 	Err string
+	// Tenant is the fair-queueing tenant the campaign runs under — the
+	// value of the daemon's tenant label key (default "team"), "default"
+	// when the campaign carries none. Local runners derive it the same way
+	// so Info stays runner-agnostic.
+	Tenant string
+	// QueuePos is the campaign's 1-based dispatch position within its
+	// tenant's queue while queued, 0 after dispatch (and always 0 on local
+	// runners, which have no admission queue).
+	QueuePos int
+	// WaitMs is the campaign's admission-to-dispatch wait in milliseconds:
+	// ticking while queued, frozen once a dispatcher takes it.
+	WaitMs float64
 }
 
 // ListFilter narrows Runner.List. The zero value matches every campaign.

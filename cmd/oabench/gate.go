@@ -27,6 +27,14 @@ type baseline struct {
 	Grid struct {
 		ThroughputCPS float64 `json:"throughput_cps"`
 	} `json:"grid"`
+	// Fairness floors apply to the dedicated multi-tenant run (`oaload
+	// -tenants ...` → -fairness-json). They are absolute bounds, not
+	// tolerance-scaled throughputs: Jain below JainMin or a per-tenant p95
+	// ratio above P95RatioMax is a fairness regression whatever the speed.
+	Fairness struct {
+		JainMin     float64 `json:"jain_min"`
+		P95RatioMax float64 `json:"p95_ratio_max"`
+	} `json:"fairness"`
 }
 
 // gateEngine mirrors the BENCH_engine.json fields the gate reads.
@@ -50,9 +58,12 @@ type gateGrid struct {
 	ThroughputCPS float64 `json:"throughput_cps"`
 	Verified      bool    `json:"verified_bit_identical"`
 	SeDKilled     bool    `json:"sed_killed"`
+	// The fairness aggregates of a multi-tenant run (zero otherwise).
+	FairnessJain   float64 `json:"fairness_jain"`
+	TenantP95Ratio float64 `json:"tenant_p95_ratio"`
 }
 
-func runGate(basePath, enginePath, gridPath string, tolerance float64) {
+func runGate(basePath, enginePath, gridPath, fairnessPath string, tolerance float64) {
 	var base baseline
 	readJSON(basePath, &base)
 	if tolerance <= 0 {
@@ -111,6 +122,35 @@ func runGate(basePath, enginePath, gridPath string, tolerance float64) {
 		}
 		if base.Grid.ThroughputCPS > 0 {
 			check("grid campaigns/s", g.ThroughputCPS, base.Grid.ThroughputCPS)
+		}
+	}
+
+	if fairnessPath != "" {
+		var f gateGrid
+		readJSON(fairnessPath, &f)
+		if f.Completed+f.Cancels != f.Campaigns {
+			fmt.Printf("%-28s %d completed + %d cancelled of %d campaigns\n", "fairness/completion", f.Completed, f.Cancels, f.Campaigns)
+			failed = true
+		}
+		if !f.Verified {
+			fmt.Printf("%-28s campaign reports not verified bit-identical\n", "fairness/verification")
+			failed = true
+		}
+		if floor := base.Fairness.JainMin; floor > 0 {
+			verdict := "ok"
+			if f.FairnessJain < floor {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10.4f   floor    %10.4f   %s\n", "fairness Jain index", f.FairnessJain, floor, verdict)
+		}
+		if ceil := base.Fairness.P95RatioMax; ceil > 0 {
+			verdict := "ok"
+			if f.TenantP95Ratio > ceil {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10.2f   ceiling  %10.2f   %s\n", "fairness tenant p95 ratio", f.TenantP95Ratio, ceil, verdict)
 		}
 	}
 

@@ -45,15 +45,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_engine.json", "path of the engine benchmark artifact (empty = skip writing)")
 
-		gate       = flag.String("gate", "", "bench-regression gate: path of the committed BENCH_baseline.json (runs the gate instead of figures)")
-		engineJSON = flag.String("engine-json", "BENCH_engine.json", "current engine artifact for -gate (empty = skip)")
-		gridJSON   = flag.String("grid-json", "BENCH_grid.json", "current grid load artifact for -gate (empty = skip)")
-		tolerance  = flag.Float64("tolerance", 0, "allowed throughput regression for -gate (0 = baseline's, else 20%)")
+		gate         = flag.String("gate", "", "bench-regression gate: path of the committed BENCH_baseline.json (runs the gate instead of figures)")
+		engineJSON   = flag.String("engine-json", "BENCH_engine.json", "current engine artifact for -gate (empty = skip)")
+		gridJSON     = flag.String("grid-json", "BENCH_grid.json", "current grid load artifact for -gate (empty = skip)")
+		fairnessJSON = flag.String("fairness-json", "", "multi-tenant fairness artifact for -gate, from `oaload -tenants ...` (empty = skip fairness floors)")
+		tolerance    = flag.Float64("tolerance", 0, "allowed throughput regression for -gate (0 = baseline's, else 20%)")
 	)
 	flag.Parse()
 
 	if *gate != "" {
-		runGate(*gate, *engineJSON, *gridJSON, *tolerance)
+		runGate(*gate, *engineJSON, *gridJSON, *fairnessJSON, *tolerance)
 		return
 	}
 

@@ -12,6 +12,7 @@
 //	oaload -kill 0.3                        # kill one SeD after 30% of submissions
 //	oaload -restart 0.5                     # kill + restart the daemon mid-run
 //	oaload -cancel 0.2                      # cancel ~20% of campaigns server-side
+//	oaload -tenants gold=1,silver=1,bronze=1  # multi-tenant fairness workload
 //	oaload -addr 127.0.0.1:7714             # drive an external daemon (injection off)
 //
 // Without -addr the injector starts its own scheduler and SeDs on loopback
@@ -23,6 +24,14 @@
 // admission (reported as cancels / cancel_latency_p95_ms), and -verify
 // (default on) checks every completed chunk report bit-for-bit against a
 // serial in-process evaluation of the same (cluster, scenario count).
+//
+// With -tenants the injector exercises the daemon's weighted-fair queueing:
+// campaigns are labelled with cycling tenant names (round-robin by index)
+// and mixed priorities ((i%3)*5, so priority flooding cannot skew tenant
+// shares), the self-hosted daemon gets the matching -tenant-weights, and
+// the report gains per-tenant completion/latency breakdowns plus a Jain
+// fairness index and a max/min per-tenant p95 ratio — the numbers the CI
+// fairness gate floors.
 package main
 
 import (
@@ -37,6 +46,8 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -81,6 +92,26 @@ type loadReport struct {
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 	MaxQueueDepth int     `json:"max_queue_depth"`
+	// Multi-tenant fairness block, present only with -tenants: per-tenant
+	// breakdowns plus the two aggregates the CI fairness gate floors.
+	// FairnessJain is the Jain index over weight-normalized completed
+	// throughput (1.0 = perfectly fair); TenantP95Ratio is max/min p95
+	// latency across tenants that completed work (1.0 = identical tails).
+	Tenants         map[string]tenantReport `json:"tenants,omitempty"`
+	FairnessJain    float64                 `json:"fairness_jain,omitempty"`
+	TenantP95Ratio  float64                 `json:"tenant_p95_ratio,omitempty"`
+	QuotaRejections int                     `json:"quota_rejections,omitempty"`
+}
+
+// tenantReport is one tenant's slice of the fairness workload.
+type tenantReport struct {
+	Weight    float64 `json:"weight"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Cancels   int     `json:"cancels,omitempty"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	MeanMs    float64 `json:"mean_ms"`
 }
 
 func main() {
@@ -107,8 +138,19 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-campaign client deadline")
 		out       = flag.String("out", "BENCH_grid.json", "benchmark artifact path (empty = skip writing)")
 		proto     = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec)")
+		tenants   = flag.String("tenants", "", "fairness workload as name=weight[,name=weight...]: campaigns get round-robin tenant labels and cycling priorities; the self-hosted daemon gets the weights")
 	)
 	flag.Parse()
+
+	tenantWeights, err := parseTenantWeights(*tenants)
+	if err != nil {
+		fail(err)
+	}
+	var tenantNames []string
+	for name := range tenantWeights {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
 
 	switch *proto {
 	case "binary":
@@ -160,6 +202,7 @@ func main() {
 			PerSeDInFlight: *inflight,
 			EvictAfter:     time.Second,
 			StateDir:       stateDir,
+			TenantWeights:  tenantWeights,
 		}, *seds, *cprocs, 100*time.Millisecond)
 		if err != nil {
 			fail(err)
@@ -248,6 +291,7 @@ func main() {
 				PerSeDInFlight: *inflight,
 				EvictAfter:     time.Second,
 				StateDir:       stateDir,
+				TenantWeights:  tenantWeights,
 			})
 			if err == nil {
 				fabric.Sched = sched
@@ -281,8 +325,17 @@ func main() {
 			if i == restartAt {
 				restartOnce.Do(func() { restartDaemon(i) })
 			}
+			var opts []oagrid.SubmitOption
+			if len(tenantNames) > 0 {
+				// Round-robin tenants with cycling priorities: every tenant
+				// submits the same priority mix, so a fair scheduler must give
+				// equal-weight tenants equal shares regardless of priority.
+				opts = append(opts,
+					oagrid.WithLabels(map[string]string{grid.DefaultTenantKey: tenantNames[i%len(tenantNames)]}),
+					oagrid.WithPriority((i%3)*5))
+			}
 			t0 := time.Now()
-			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0, cancelSet[i])
+			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0, cancelSet[i], opts)
 			latencies[i] = time.Since(t0)
 		}(i)
 	}
@@ -306,6 +359,7 @@ func main() {
 		// the campaign's fate — a cancelled campaign may still have been
 		// rejected, reattached or resubmitted on its way in.
 		report.Rejections += out.rejections
+		report.QuotaRejections += out.quotaRejections
 		report.Reattaches += out.reattaches
 		report.Resubmits += out.resubmits
 		if out.cancelled {
@@ -332,6 +386,12 @@ func main() {
 	sort.Slice(cancelLatencies, func(i, j int) bool { return cancelLatencies[i] < cancelLatencies[j] })
 	report.CancelP95Ms = percentileMs(cancelLatencies, 95)
 
+	if len(tenantNames) > 0 {
+		report.Tenants = tenantBreakdown(tenantNames, tenantWeights, outcomes, latencies)
+		report.FairnessJain = jainIndex(tenantNames, tenantWeights, report.Tenants)
+		report.TenantP95Ratio = p95Ratio(report.Tenants)
+	}
+
 	if stats, err := (&grid.Client{Addr: target}).Stats(); err == nil {
 		report.MaxQueueDepth = stats.MaxQueueDepth
 		if preMaxQueue > report.MaxQueueDepth {
@@ -354,6 +414,15 @@ func main() {
 		report.P50Ms, report.P95Ms, report.P99Ms, report.MaxQueueDepth, report.Rejections, report.Requeues)
 	fmt.Printf("wire (%s): %d B tx, %d B rx, %.0f frames/s\n",
 		report.Proto, report.BytesTx, report.BytesRx, report.FramesPerSec)
+	if len(tenantNames) > 0 {
+		for _, name := range tenantNames {
+			tr := report.Tenants[name]
+			fmt.Printf("tenant %-10s w=%-4g submitted %3d  completed %3d  p50 %.1fms  p95 %.1fms\n",
+				name, tr.Weight, tr.Submitted, tr.Completed, tr.P50Ms, tr.P95Ms)
+		}
+		fmt.Printf("fairness: Jain %.4f  p95 ratio %.2f  quota rejections %d\n",
+			report.FairnessJain, report.TenantP95Ratio, report.QuotaRejections)
+	}
 	if report.Cancels > 0 {
 		fmt.Printf("cancel injection: %d campaign(s) cancelled server-side, cancel latency p95 %.1fms\n",
 			report.Cancels, report.CancelP95Ms)
@@ -432,13 +501,109 @@ func percentileMs(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[rank]) / float64(time.Millisecond)
 }
 
+// parseTenantWeights parses "gold=10,silver=1" into a weight map.
+func parseTenantWeights(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("oaload: bad -tenants entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("oaload: bad -tenants weight %q for tenant %q (want a positive number)", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// tenantBreakdown folds the per-campaign outcomes into per-tenant service
+// numbers. Campaign i belongs to tenant i%len(names) — the same round-robin
+// assignment the injection loop used.
+func tenantBreakdown(names []string, weights map[string]float64, outcomes []campaignOutcome, latencies []time.Duration) map[string]tenantReport {
+	buckets := make(map[string][]time.Duration, len(names))
+	out := make(map[string]tenantReport, len(names))
+	for _, name := range names {
+		out[name] = tenantReport{Weight: weights[name]}
+	}
+	for i, oc := range outcomes {
+		name := names[i%len(names)]
+		tr := out[name]
+		tr.Submitted++
+		switch {
+		case oc.cancelled:
+			tr.Cancels++
+		case oc.res != nil:
+			tr.Completed++
+			buckets[name] = append(buckets[name], latencies[i])
+		}
+		out[name] = tr
+	}
+	for name, lats := range buckets {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		tr := out[name]
+		tr.P50Ms = percentileMs(lats, 50)
+		tr.P95Ms = percentileMs(lats, 95)
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		tr.MeanMs = float64(sum) / float64(len(lats)) / float64(time.Millisecond)
+		out[name] = tr
+	}
+	return out
+}
+
+// jainIndex is Jain's fairness index (Σx)²/(n·Σx²) over the tenants'
+// weight-normalized completed throughput: 1.0 means every tenant got exactly
+// its weighted share, 1/n means one tenant took everything.
+func jainIndex(names []string, weights map[string]float64, tenants map[string]tenantReport) float64 {
+	var sum, sumSq float64
+	for _, name := range names {
+		x := float64(tenants[name].Completed) / weights[name]
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(names)) * sumSq)
+}
+
+// p95Ratio is max/min p95 latency across tenants that completed work — the
+// tail-latency face of fairness (1.0 = identical tails). Zero when fewer
+// than two tenants completed anything.
+func p95Ratio(tenants map[string]tenantReport) float64 {
+	min, max := math.Inf(1), 0.0
+	n := 0
+	for _, tr := range tenants {
+		if tr.Completed == 0 || tr.P95Ms <= 0 {
+			continue
+		}
+		n++
+		min = math.Min(min, tr.P95Ms)
+		max = math.Max(max, tr.P95Ms)
+	}
+	if n < 2 || min <= 0 {
+		return 0
+	}
+	return max / min
+}
+
 // campaignOutcome is one injected campaign's bookkeeping.
 type campaignOutcome struct {
 	res        *oagrid.CampaignResult
 	rejections int
-	reattaches int
-	resubmits  int
-	cancelled  bool
+	// quotaRejections counts the subset of rejections that were the tenant's
+	// own quota rather than the shared queue bound.
+	quotaRejections int
+	reattaches      int
+	resubmits       int
+	cancelled       bool
 	// cancelLatency is the time from issuing Runner.Cancel to the handle
 	// resolving with the cancelled verdict.
 	cancelLatency time.Duration
@@ -454,7 +619,7 @@ type campaignOutcome struct {
 // cancelled server-side as soon as it is admitted; a fast campaign may
 // still beat the cancel to the finish line, in which case it counts as
 // completed (cancelling a finished campaign is a no-op).
-func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time, reattach, wantCancel bool) campaignOutcome {
+func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, deadline time.Time, reattach, wantCancel bool, opts []oagrid.SubmitOption) campaignOutcome {
 	var out campaignOutcome
 	pause := func() bool {
 		if time.Now().Add(5 * time.Millisecond).After(deadline) {
@@ -479,7 +644,7 @@ func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, d
 		}
 	}
 	for {
-		h, err := runner.Run(ctx, c)
+		h, err := runner.Run(ctx, c, opts...)
 		if err != nil {
 			out.err = err
 			return out
@@ -535,6 +700,9 @@ func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, d
 		}
 		if errors.Is(err, oagrid.ErrRejected) {
 			out.rejections++
+			if errors.Is(err, oagrid.ErrQuotaExceeded) {
+				out.quotaRejections++
+			}
 			if !pause() {
 				out.err = err
 				return out

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +73,11 @@ func main() {
 		evict    = flag.Duration("evict", 3*time.Second, "daemon heartbeat eviction deadline")
 		state    = flag.String("state", "", "daemon state dir: journal campaigns and recover them on restart (empty = in-memory only)")
 		proto    = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec; debugging escape hatch)")
+
+		metrics     = flag.String("metrics", "", "daemon /metrics listen address, Prometheus text format (empty = off; 127.0.0.1:0 for an ephemeral port)")
+		tenantKey   = flag.String("tenant-key", grid.DefaultTenantKey, "label key that names a campaign's fair-queueing tenant")
+		tenantWts   = flag.String("tenant-weights", "", "weighted-fair-queueing weights as name=weight[,name=weight...]; unlisted tenants weigh 1")
+		tenantQuota = flag.Int("tenant-quota", 0, "per-tenant cap on queued campaigns; beyond it a tenant's submissions get the retryable quota-exceeded rejection (0 = no per-tenant cap)")
 	)
 	flag.Parse()
 
@@ -84,7 +91,26 @@ func main() {
 	}
 
 	if *daemon {
-		runDaemon(*addr, *state, *seds, *cprocs, *queueCap, *inflight, *dispatch, *hbEvery, *evict)
+		weights, err := parseTenantWeights(*tenantWts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oarun: %v\n", err)
+			os.Exit(2)
+		}
+		runDaemon(daemonConfig{
+			addr:        *addr,
+			state:       *state,
+			seds:        *seds,
+			cprocs:      *cprocs,
+			queueCap:    *queueCap,
+			inflight:    *inflight,
+			dispatchers: *dispatch,
+			hbEvery:     *hbEvery,
+			evict:       *evict,
+			metrics:     *metrics,
+			tenantKey:   *tenantKey,
+			weights:     weights,
+			quota:       *tenantQuota,
+		})
 		return
 	}
 
@@ -166,26 +192,65 @@ func main() {
 	fmt.Printf("outputs in %s\n", cfg.Dir())
 }
 
+// parseTenantWeights parses "gold=10,silver=1" into a weight map.
+func parseTenantWeights(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want name=weight)", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q for tenant %q (want a positive number)", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// daemonConfig bundles the -daemon flag set.
+type daemonConfig struct {
+	addr, state        string
+	seds, cprocs       int
+	queueCap, inflight int
+	dispatchers        int
+	hbEvery, evict     time.Duration
+	metrics, tenantKey string
+	weights            map[string]float64
+	quota              int
+}
+
 // runDaemon serves the online scheduler until SIGINT/SIGTERM, printing a
 // stats line every few seconds.
-func runDaemon(addr, state string, seds, cprocs, queueCap, inflight, dispatchers int, hbEvery, evict time.Duration) {
+func runDaemon(dc daemonConfig) {
 	fabric, err := grid.StartFabric(grid.Config{
-		Addr:           addr,
-		QueueCap:       queueCap,
-		Dispatchers:    dispatchers,
-		PerSeDInFlight: inflight,
-		EvictAfter:     evict,
-		StateDir:       state,
-	}, seds, cprocs, hbEvery)
+		Addr:           dc.addr,
+		QueueCap:       dc.queueCap,
+		Dispatchers:    dc.dispatchers,
+		PerSeDInFlight: dc.inflight,
+		EvictAfter:     dc.evict,
+		StateDir:       dc.state,
+		MetricsAddr:    dc.metrics,
+		TenantKey:      dc.tenantKey,
+		TenantWeights:  dc.weights,
+		TenantQuota:    dc.quota,
+	}, dc.seds, dc.cprocs, dc.hbEvery)
 	if err != nil {
 		fail(err)
 	}
 	defer fabric.Close()
 	sched := fabric.Sched
 	fmt.Printf("scheduler daemon listening on %s (queue %d, %d dispatchers, %d in-flight/SeD)\n",
-		sched.Addr(), queueCap, dispatchers, inflight)
-	if state != "" {
-		fmt.Printf("durable: campaign journal under %s (restart on the same -state to recover)\n", state)
+		sched.Addr(), dc.queueCap, dc.dispatchers, dc.inflight)
+	if maddr := sched.MetricsAddr(); maddr != "" {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", maddr)
+	}
+	if dc.state != "" {
+		fmt.Printf("durable: campaign journal under %s (restart on the same -state to recover)\n", dc.state)
 	}
 	for _, sed := range fabric.SeDs {
 		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)

@@ -113,6 +113,9 @@ func infoFromWire(wi *diet.CampaignInfo) CampaignInfo {
 		Requeues:  wi.Requeues,
 		Makespan:  wi.Makespan,
 		Err:       wi.Err,
+		Tenant:    wi.Tenant,
+		QueuePos:  wi.QueuePos,
+		WaitMs:    wi.WaitMs,
 	}
 }
 

@@ -10,6 +10,11 @@ var (
 	// ErrRejected reports an admission-control rejection: the daemon's
 	// bounded campaign queue was full. Back off and retry.
 	ErrRejected = grid.ErrRejected
+	// ErrQuotaExceeded reports an admission rejected because the
+	// submitting tenant's own queue quota was exhausted. It wraps
+	// ErrRejected — existing retry loops keep working — but retrying helps
+	// only once the tenant's earlier campaigns drain.
+	ErrQuotaExceeded = grid.ErrQuotaExceeded
 	// ErrCampaignFailed reports a campaign that was accepted but could not
 	// run to completion — a timeout, a shutdown, no live cluster, or a
 	// planning/evaluation failure. The wrapping error carries the reason.

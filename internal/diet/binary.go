@@ -307,6 +307,7 @@ func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		b = appendBool(b, r.Accepted)
 		b = appendStr(b, r.Reason)
 		b = appendInt(b, r.QueueDepth)
+		b = appendStr(b, r.Code)
 		return finishFrame(b, start)
 	case resp.Exec != nil:
 		b, start := beginFrame(buf, byte(ver), fkExecResp)
@@ -727,6 +728,7 @@ func (d *FrameDecoder) DecodeResponseFrame(hdr FrameHeader, payload []byte) (*Re
 			Reason:   d.str(r, "submit reason"),
 		}
 		s.QueueDepth = r.int("submit queue depth")
+		s.Code = d.str(r, "submit reject code")
 		resp.Submit = s
 	case fkExecResp:
 		e := &d.execResp

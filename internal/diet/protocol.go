@@ -292,7 +292,21 @@ type SubmitResponse struct {
 	Accepted   bool
 	Reason     string
 	QueueDepth int
+	// Code classifies a rejection (Accepted=false) so clients can branch
+	// without string-matching Reason: RejectQueueFull means the daemon-wide
+	// queue bound was hit, RejectQuota means the submitting tenant's own
+	// admission quota was. Both are transient verdicts worth retrying; the
+	// quota code tells a multi-tenant client that backing off will not help
+	// until its own earlier campaigns drain. Empty on acceptance and from
+	// pre-quota daemons (treat as queue-full).
+	Code string
 }
+
+// Rejection codes carried by SubmitResponse.Code.
+const (
+	RejectQueueFull = "queue-full"
+	RejectQuota     = "quota-exceeded"
+)
 
 // ResultRequest polls a campaign by ID.
 type ResultRequest struct{ ID uint64 }
@@ -379,6 +393,17 @@ type CampaignInfo struct {
 	// Makespan is set once the campaign is done.
 	Makespan float64
 	Err      string
+	// Tenant is the fair-queueing tenant the campaign was admitted under
+	// (the value of the scheduler's tenant label key, "default" when the
+	// campaign carries none).
+	Tenant string
+	// QueuePos is the campaign's 1-based dispatch position within its
+	// tenant's queue — the number of campaigns of the same tenant that will
+	// dispatch at or before it. 0 once the campaign left the queue.
+	QueuePos int
+	// WaitMs is the campaign's admission-to-dispatch wait: still ticking
+	// while queued, frozen at the dispatch point after.
+	WaitMs float64
 }
 
 // ListCampaignsRequest enumerates the scheduler's campaign table (protocol
@@ -483,6 +508,28 @@ type SeDStatus struct {
 	SinceBeat time.Duration
 }
 
+// TenantStatus is one tenant's slice of the scheduler's weighted-fair
+// queueing state: its configured weight, live gauges, and service counters.
+// Queue-wait moments (sum/max/count over admission-to-dispatch waits) are
+// the fairness signal — under WFQ they should track 1/weight.
+type TenantStatus struct {
+	Tenant string
+	Weight float64
+	Queued int
+	// Running counts the tenant's campaigns currently held by a dispatcher.
+	Running       int
+	Admitted      uint64
+	Completed     uint64
+	Failed        uint64
+	Cancelled     uint64
+	QuotaRejected uint64
+	// WaitCount / WaitSumMs / WaitMaxMs summarize admission-to-dispatch
+	// queue waits of the tenant's dispatched campaigns.
+	WaitCount uint64
+	WaitSumMs float64
+	WaitMaxMs float64
+}
+
 // StatsResponse is the scheduler's state snapshot.
 type StatsResponse struct {
 	QueueDepth    int
@@ -496,6 +543,9 @@ type StatsResponse struct {
 	Requeues  uint64
 	Evicted   uint64
 	SeDs      []SeDStatus
+	// Tenants is the per-tenant weighted-fair-queueing breakdown, sorted by
+	// tenant name. Empty from pre-WFQ daemons.
+	Tenants []TenantStatus
 }
 
 // dialTimeout bounds every protocol round trip.

@@ -26,6 +26,11 @@ type campaign struct {
 	priority int
 	labels   map[string]string
 	deadline time.Duration
+	// tenant is the campaign's fair-queueing tenant, derived from labels at
+	// admission (and re-derived on journal replay); enqueuedAt is when its
+	// queue slot was taken. Both are immutable once the campaign is visible.
+	tenant     string
+	enqueuedAt time.Time
 
 	// cancelCh closes when a cancel claims the campaign: in-flight SeD round
 	// trips abort on it and the dispatcher stops at the next chunk boundary.
@@ -50,6 +55,10 @@ type campaign struct {
 	// scenariosDone counts scenarios with a finished chunk report, the Done
 	// gauge of progress frames.
 	scenariosDone int
+	// queueWait is the admission-to-dispatch wait, frozen when a dispatcher
+	// takes the campaign (dispatched flips true).
+	queueWait  time.Duration
+	dispatched bool
 	// history keeps every progress frame published so far, so a subscriber
 	// that attaches after dispatch started still sees the full story. Frames
 	// are shared by pointer: one published frame serves every subscriber and
@@ -185,6 +194,13 @@ func (c *campaign) cancelledNow() bool {
 func (c *campaign) info() diet.CampaignInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// The wait gauge ticks while the campaign queues and freezes at its
+	// dispatch point; a campaign cancelled in the queue keeps the zero wait
+	// (it never dispatched).
+	wait := c.queueWait
+	if !c.dispatched && c.status == diet.CampaignQueued && !c.enqueuedAt.IsZero() {
+		wait = time.Since(c.enqueuedAt)
+	}
 	return diet.CampaignInfo{
 		ID:        c.id,
 		Found:     true,
@@ -200,6 +216,8 @@ func (c *campaign) info() diet.CampaignInfo {
 		Requeues:  c.requeues,
 		Makespan:  c.makespan,
 		Err:       c.errMsg,
+		Tenant:    c.tenant,
+		WaitMs:    float64(wait) / float64(time.Millisecond),
 	}
 }
 
@@ -313,17 +331,13 @@ func (s *Scheduler) dispatchLoop() {
 			if c.cancelledNow() {
 				continue
 			}
-			s.mu.Lock()
-			s.running++
-			s.mu.Unlock()
+			s.noteDispatched(c)
 			c.setStatus(diet.CampaignRunning)
 			if !s.runCampaign(c) {
 				// Cancelled mid-run: the cancel path owned the terminal
 				// transition and the retention bookkeeping; release only the
-				// running gauge.
-				s.mu.Lock()
-				s.running--
-				s.mu.Unlock()
+				// running gauges.
+				s.releaseRunning(c)
 			}
 		}
 	}
@@ -338,13 +352,9 @@ func (s *Scheduler) drainQueue() {
 			if c.cancelledNow() {
 				continue
 			}
-			s.mu.Lock()
-			s.running++
-			s.mu.Unlock()
+			s.noteDispatched(c)
 			if !s.failCampaign(c, "grid: scheduler shut down", false) {
-				s.mu.Lock()
-				s.running--
-				s.mu.Unlock()
+				s.releaseRunning(c)
 			}
 		default:
 			return

@@ -19,6 +19,12 @@ var (
 	// ErrRejected reports an admission-control rejection: the daemon's bounded
 	// queue was full. Callers may back off and retry.
 	ErrRejected = errors.New("grid: campaign rejected")
+	// ErrQuotaExceeded reports an admission rejected because the submitting
+	// tenant's own queue quota was exhausted — other tenants keep admitting.
+	// It wraps ErrRejected (quota rejections are retryable and existing
+	// errors.Is(err, ErrRejected) backoff loops keep working), but retrying
+	// helps only once the tenant's earlier campaigns drain.
+	ErrQuotaExceeded = fmt.Errorf("%w: tenant quota exceeded", ErrRejected)
 	// ErrCampaignFailed reports a campaign the daemon accepted but could not
 	// drive to completion (timeout, shutdown, no live SeD, ...). The daemon's
 	// reason is in the wrapping error's message.
@@ -240,7 +246,7 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
 	}
 	if !verdict.Submit.Accepted {
-		return nil, fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, verdict.Submit.Reason, verdict.Submit.QueueDepth)
+		return nil, rejectionError(verdict.Submit)
 	}
 	if onAdmit != nil {
 		onAdmit(verdict.Submit.ID)
@@ -325,9 +331,20 @@ func (c *Client) SubmitContext(ctx context.Context, app core.Application, heuris
 		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
 	}
 	if !resp.Submit.Accepted {
-		return resp.Submit, fmt.Errorf("%w: %s", ErrRejected, resp.Submit.Reason)
+		return resp.Submit, rejectionError(resp.Submit)
 	}
 	return resp.Submit, nil
+}
+
+// rejectionError maps an admission rejection to its typed sentinel: the
+// quota code gets ErrQuotaExceeded (which itself wraps ErrRejected), every
+// other rejection — including a pre-quota daemon's codeless one — the plain
+// queue-full ErrRejected.
+func rejectionError(v *diet.SubmitResponse) error {
+	if v.Code == diet.RejectQuota {
+		return fmt.Errorf("%w: %s (queue depth %d)", ErrQuotaExceeded, v.Reason, v.QueueDepth)
+	}
+	return fmt.Errorf("%w: %s (queue depth %d)", ErrRejected, v.Reason, v.QueueDepth)
 }
 
 // Result polls a campaign's current state by ID.

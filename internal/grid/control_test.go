@@ -14,28 +14,57 @@ import (
 	"oagrid/internal/platform"
 )
 
-// TestCampaignQueueOrder: the admission heap pops by (priority desc, id
-// asc) — higher priorities first, strict admission order within a priority.
+// queueScheduler builds a bare scheduler — queue structures only, no
+// listener or dispatchers — for exercising enqueue/dequeue directly.
+func queueScheduler(cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:     cfg.withDefaults(),
+		tokens:  make(chan struct{}, 1024),
+		done:    make(chan struct{}),
+		tenants: make(map[string]*tenantState),
+	}
+}
+
+// push reserves the queue slots and enqueues like admit does, minus the
+// admission control.
+func (s *Scheduler) push(c *campaign) {
+	if c.tenant == "" {
+		c.tenant = s.tenantName(c.labels)
+	}
+	if c.enqueuedAt.IsZero() {
+		c.enqueuedAt = time.Now()
+	}
+	s.mu.Lock()
+	s.queueLen++
+	s.tenant(c.tenant).queued++
+	s.tenant(c.tenant).admitted++
+	s.enqueue(c)
+	s.mu.Unlock()
+}
+
+// TestCampaignQueueOrder: within one tenant the queue pops by (priority
+// desc, id asc) — higher priorities first, strict admission order within a
+// priority.
 func TestCampaignQueueOrder(t *testing.T) {
 	app := core.Application{Scenarios: 1, Months: 1}
-	var q campaignQueue
+	s := queueScheduler(Config{})
 	type in struct {
 		id  uint64
 		pri int
 	}
 	pushes := []in{{1, 0}, {2, 5}, {3, 0}, {4, 5}, {5, -3}, {6, 9}, {7, 0}}
 	for _, p := range pushes {
-		heapPush(&q, newCampaign(p.id, app, core.NameKnapsack, submitMeta{priority: p.pri}))
+		s.push(newCampaign(p.id, app, core.NameKnapsack, submitMeta{priority: p.pri}))
 	}
 	want := []uint64{6, 2, 4, 1, 3, 7, 5}
 	for i, id := range want {
-		c := heapPop(&q)
+		c := s.dequeue()
 		if c.id != id {
 			t.Fatalf("pop %d returned campaign %d (priority %d), want %d", i, c.id, c.priority, id)
 		}
 	}
-	if len(q) != 0 {
-		t.Fatalf("queue still holds %d campaigns after draining", len(q))
+	if s.queueLen != 0 {
+		t.Fatalf("queue still holds %d campaigns after draining", s.queueLen)
 	}
 }
 

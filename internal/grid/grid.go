@@ -29,6 +29,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -80,6 +81,36 @@ type Config struct {
 	// re-admitted with their unfinished scenarios requeued. Empty keeps the
 	// scheduler purely in-memory.
 	StateDir string
+	// TenantKey is the label key that names a campaign's fair-queueing
+	// tenant (default "team"). Campaigns without the label — including
+	// everything submitted by pre-v3 peers, whose labels are stripped —
+	// share the DefaultTenant.
+	TenantKey string
+	// TenantWeights assigns fair-queueing weights by tenant name. Dispatch
+	// is virtual-time weighted-fair: over any contended stretch a tenant
+	// receives dispatch slots proportional to its weight. Unlisted tenants
+	// (and entries <= 0) weigh 1.
+	TenantWeights map[string]float64
+	// TenantQuota caps how many campaigns one tenant may hold in the queue
+	// at once; a submission beyond it is rejected with the retryable
+	// quota-exceeded code while other tenants keep admitting. 0 means no
+	// per-tenant cap (the global QueueCap still applies). TenantQuotas
+	// overrides it per tenant (a negative entry means unlimited for that
+	// tenant).
+	TenantQuota  int
+	TenantQuotas map[string]int
+	// AgeAfter is the aging interval: a queued campaign's effective
+	// priority rises by one for every AgeAfter it has waited, so sustained
+	// high-priority traffic cannot starve a low-priority campaign of the
+	// same tenant forever. 0 picks the default (10s); negative disables
+	// aging. Aging reorders only the admission queue — never a dispatched
+	// campaign's results.
+	AgeAfter time.Duration
+	// MetricsAddr, when non-empty, serves a Prometheus text-format
+	// /metrics endpoint on the address ("127.0.0.1:0" for an ephemeral
+	// port): queue and per-tenant gauges, SeD utilization, WAL size and
+	// wire-level byte counters.
+	MetricsAddr string
 	// MaxProtocol caps the protocol version this daemon negotiates (0 means
 	// the build's newest). A daemon capped below v4 also refuses binary
 	// connections, exactly like a real pre-v4 build — the staged-rollout
@@ -112,8 +143,21 @@ func (c Config) withDefaults() Config {
 	if c.RotateBytes == 0 {
 		c.RotateBytes = 4 << 20
 	}
+	if c.TenantKey == "" {
+		c.TenantKey = DefaultTenantKey
+	}
+	if c.AgeAfter == 0 {
+		c.AgeAfter = 10 * time.Second
+	}
 	return c
 }
+
+// DefaultTenantKey is the label key that names a campaign's tenant unless
+// Config.TenantKey overrides it.
+const DefaultTenantKey = "team"
+
+// DefaultTenant is the tenant of campaigns that carry no tenant label.
+const DefaultTenant = "default"
 
 // vecKey identifies a cached performance vector. Entry k-1 of a vector is
 // the makespan of k scenarios — independent of how many scenarios the
@@ -136,6 +180,37 @@ type sedState struct {
 	vectors map[vecKey][]float64
 }
 
+// tenantState is one tenant's slice of the weighted-fair queue: its queued
+// campaigns, its virtual-time tag, and its service counters.
+type tenantState struct {
+	name   string
+	weight float64
+	// vfinish is the virtual finish tag of the tenant's last dispatched
+	// campaign (start-time fair queueing): the next dispatch would finish at
+	// max(global vtime, vfinish) + 1/weight, and the tenant with the
+	// earliest such finish wins the slot — so observed service tracks
+	// weights over any contended stretch.
+	vfinish float64
+	// queue holds the tenant's queued campaigns in admission order; the
+	// within-tenant pick is by effective priority (priority plus aging
+	// boost), resolved by linear scan at pop time because aging makes the
+	// order time-dependent. queued counts reserved admission slots, which
+	// lead queue membership by the WAL-append window (mirroring queueLen).
+	queue  []*campaign
+	queued int
+	// running counts the tenant's campaigns currently held by a dispatcher.
+	running       int
+	admitted      uint64
+	completed     uint64
+	failed        uint64
+	cancelled     uint64
+	quotaRejected uint64
+	// Queue-wait moments of dispatched campaigns (admission → dispatch).
+	waitCount uint64
+	waitSum   time.Duration
+	waitMax   time.Duration
+}
+
 // Scheduler is the online master agent.
 type Scheduler struct {
 	cfg   Config
@@ -143,15 +218,20 @@ type Scheduler struct {
 	store *store.Store // nil without a StateDir
 
 	// tokens carries one signal per enqueued campaign; the campaign itself
-	// sits in the priority-ordered pq under mu. A dispatcher first takes a
-	// token, then pops the highest-priority campaign — so admission order
-	// only breaks ties, never priority.
+	// sits in its tenant's queue under mu. A dispatcher first takes a
+	// token, then runs the WFQ pick — so admission order only breaks ties,
+	// never the fair-queueing order.
 	tokens chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
 
-	mu        sync.Mutex
-	pq        campaignQueue
+	metrics *metricsServer // nil without a MetricsAddr
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	// vtime is the global virtual clock of the weighted-fair queue: the
+	// start tag of the last dispatched campaign.
+	vtime     float64
 	seds      map[string]*sedState
 	campaigns map[uint64]*campaign
 	doneOrder []uint64
@@ -165,6 +245,43 @@ type Scheduler struct {
 	rejected  uint64
 	requeues  uint64
 	evicted   uint64
+}
+
+// tenantName resolves a campaign's tenant from its labels.
+func (s *Scheduler) tenantName(labels map[string]string) string {
+	if name := labels[s.cfg.TenantKey]; name != "" {
+		return name
+	}
+	return DefaultTenant
+}
+
+// tenant returns (creating on first use) a tenant's state. Callers hold
+// s.mu. Tenant entries persist for the scheduler's lifetime: their counters
+// are the /metrics series and must not reset when a queue drains.
+func (s *Scheduler) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		weight := s.cfg.TenantWeights[name]
+		if weight <= 0 {
+			weight = 1
+		}
+		t = &tenantState{name: name, weight: weight}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// quotaFor is the tenant's queued-campaign cap: the per-tenant override
+// when listed (negative = unlimited), the global default otherwise, 0 = no
+// cap.
+func (s *Scheduler) quotaFor(name string) int {
+	if q, ok := s.cfg.TenantQuotas[name]; ok {
+		if q < 0 {
+			return 0
+		}
+		return q
+	}
+	return s.cfg.TenantQuota
 }
 
 // Start listens on cfg.Addr and begins serving. With a StateDir, the
@@ -207,6 +324,7 @@ func Start(cfg Config) (*Scheduler, error) {
 		store:     st,
 		tokens:    make(chan struct{}, cfg.QueueCap+live),
 		done:      make(chan struct{}),
+		tenants:   make(map[string]*tenantState),
 		seds:      make(map[string]*sedState),
 		campaigns: make(map[uint64]*campaign),
 	}
@@ -214,19 +332,26 @@ func Start(cfg Config) (*Scheduler, error) {
 
 	// Rebuild the campaign table and re-admit the unfinished backlog in
 	// original admission order, before the dispatchers start. Recovered
-	// campaigns keep their journaled priority; among equal priorities their
-	// lower IDs put them ahead of any new traffic.
+	// campaigns keep their journaled priority and labels — and with them
+	// their tenant; among equal priorities their lower IDs put them ahead
+	// of any new traffic of the same tenant. Re-admission bypasses tenant
+	// quotas: a backlog the daemon already accepted must never block
+	// startup.
+	now := time.Now()
 	for _, rc := range recovered {
 		c := recoveredCampaign(rc)
+		c.tenant = s.tenantName(c.labels)
 		s.campaigns[c.id] = c
 		if rc.Terminal() {
 			s.doneOrder = append(s.doneOrder, c.id)
 			continue
 		}
+		c.enqueuedAt = now
 		s.queueLen++
 		if s.queueLen > s.maxQueue {
 			s.maxQueue = s.queueLen
 		}
+		s.tenant(c.tenant).queued++
 		s.enqueue(c)
 	}
 	// Apply the retention cap to the recovered terminal set, then compact
@@ -259,6 +384,18 @@ func Start(cfg Config) (*Scheduler, error) {
 		st.AutoRotate(cfg.RotateBytes, s.retainedIDs)
 	}
 
+	if cfg.MetricsAddr != "" {
+		m, err := startMetrics(cfg.MetricsAddr, s)
+		if err != nil {
+			ln.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		s.metrics = m
+	}
+
 	s.wg.Add(1 + cfg.Dispatchers)
 	go s.acceptLoop()
 	go s.evictLoop()
@@ -284,6 +421,15 @@ func (s *Scheduler) journal(rec store.Record) {
 // Addr returns the daemon's listen address.
 func (s *Scheduler) Addr() string { return s.ln.Addr().String() }
 
+// MetricsAddr returns the /metrics endpoint's listen address, empty when
+// the endpoint is off.
+func (s *Scheduler) MetricsAddr() string {
+	if s.metrics == nil {
+		return ""
+	}
+	return s.metrics.addr()
+}
+
 // Close stops the daemon: the listener closes, queued and running campaigns
 // fail with a shutdown error, and the worker goroutines drain. With a state
 // dir the shutdown failures are not journaled as terminal — a scheduler
@@ -296,6 +442,9 @@ func (s *Scheduler) Close() error {
 		close(s.done)
 	}
 	s.wg.Wait()
+	if s.metrics != nil {
+		s.metrics.close()
+	}
 	if s.store != nil {
 		s.store.Close()
 	}
@@ -448,13 +597,31 @@ func (s *Scheduler) Stats() diet.StatsResponse {
 		})
 	}
 	sort.Slice(out.SeDs, func(i, j int) bool { return out.SeDs[i].Cluster < out.SeDs[j].Cluster })
+	for _, t := range s.tenants {
+		out.Tenants = append(out.Tenants, diet.TenantStatus{
+			Tenant:        t.name,
+			Weight:        t.weight,
+			Queued:        t.queued,
+			Running:       t.running,
+			Admitted:      t.admitted,
+			Completed:     t.completed,
+			Failed:        t.failed,
+			Cancelled:     t.cancelled,
+			QuotaRejected: t.quotaRejected,
+			WaitCount:     t.waitCount,
+			WaitSumMs:     float64(t.waitSum) / float64(time.Millisecond),
+			WaitMaxMs:     float64(t.waitMax) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Tenant < out.Tenants[j].Tenant })
 	return out
 }
 
 // admit applies admission control and enqueues a campaign. A malformed
 // request returns an error (a protocol-level failure the client must not
-// retry); a full queue returns a nil campaign with Accepted=false (a
-// transient verdict worth retrying).
+// retry); a full queue or an exhausted tenant quota returns a nil campaign
+// with Accepted=false and the matching reject code (a transient verdict
+// worth retrying).
 func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitResponse, error) {
 	app := core.Application{Scenarios: req.Scenarios, Months: req.Months}
 	if err := app.Validate(); err != nil {
@@ -463,12 +630,25 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 	if _, err := core.ByName(req.Heuristic); err != nil {
 		return nil, nil, err
 	}
+	tenantName := s.tenantName(req.Labels)
 	s.mu.Lock()
 	if s.queueLen >= s.cfg.QueueCap {
 		s.rejected++
 		depth := s.queueLen
 		s.mu.Unlock()
-		return nil, &diet.SubmitResponse{Reason: "queue full", QueueDepth: depth}, nil
+		return nil, &diet.SubmitResponse{Reason: "queue full", Code: diet.RejectQueueFull, QueueDepth: depth}, nil
+	}
+	t := s.tenant(tenantName)
+	if quota := s.quotaFor(tenantName); quota > 0 && t.queued >= quota {
+		s.rejected++
+		t.quotaRejected++
+		depth := s.queueLen
+		s.mu.Unlock()
+		return nil, &diet.SubmitResponse{
+			Reason:     fmt.Sprintf("tenant %q admission quota (%d queued) exhausted", tenantName, quota),
+			Code:       diet.RejectQuota,
+			QueueDepth: depth,
+		}, nil
 	}
 	s.nextID++
 	c := newCampaign(s.nextID, app, req.Heuristic, submitMeta{
@@ -476,13 +656,17 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 		labels:   req.Labels,
 		deadline: req.Deadline,
 	})
-	// Reserve the queue slot before the journal write: concurrent admissions
-	// must never overshoot the admission bound (and with it the token
-	// channel's capacity).
+	c.tenant = tenantName
+	c.enqueuedAt = time.Now()
+	// Reserve the queue slot (global and tenant) before the journal write:
+	// concurrent admissions must never overshoot the admission bound (and
+	// with it the token channel's capacity) or the tenant quota.
 	s.queueLen++
 	if s.queueLen > s.maxQueue {
 		s.maxQueue = s.queueLen
 	}
+	t.queued++
+	t.admitted++
 	depth := s.queueLen
 	s.mu.Unlock()
 	// The admission record must be durable before the verdict goes out: an
@@ -508,6 +692,8 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 			s.mu.Lock()
 			s.queueLen--
 			s.rejected++
+			t.queued--
+			t.admitted--
 			s.mu.Unlock()
 			return nil, nil, fmt.Errorf("grid: journaling admission: %w", err)
 		}
@@ -519,22 +705,113 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 	return c, &diet.SubmitResponse{ID: c.id, Accepted: true, QueueDepth: depth}, nil
 }
 
-// enqueue puts a campaign whose queue slot is already reserved (queueLen
-// counted) on the priority queue and signals a dispatcher. Callers hold
-// s.mu; queueLen never exceeds cap(tokens), so the token send cannot block.
+// enqueue puts a campaign whose queue slots are already reserved (queueLen
+// and its tenant's queued counted) on its tenant's queue and signals a
+// dispatcher. A tenant going idle→backlogged gets its virtual finish tag
+// stamped here, start-time-fair style: max(vtime, old tag) + 1/weight. The
+// max keeps an idle tenant from banking credit while away (it re-enters at
+// the current virtual time, it does not lock out the others), while a
+// backlogged tenant's tag is left alone — it must keep the credit it
+// accumulated waiting, or a heavier tenant would re-shadow it every pop and
+// starve it. Callers hold s.mu; queueLen never exceeds cap(tokens), so the
+// token send cannot block.
 func (s *Scheduler) enqueue(c *campaign) {
-	heapPush(&s.pq, c)
+	t := s.tenant(c.tenant)
+	if len(t.queue) == 0 {
+		t.vfinish = math.Max(s.vtime, t.vfinish) + 1/t.weight
+	}
+	t.queue = append(t.queue, c)
 	s.tokens <- struct{}{}
 }
 
-// dequeue pops the highest-priority queued campaign after its token was
-// consumed. Callers hold no lock.
+// effPriority is a queued campaign's dispatch priority at now: its submit
+// priority plus one aging boost per AgeAfter waited. Aging bounds
+// within-tenant starvation — a priority-0 campaign under a sustained
+// priority-P stream dispatches after at most P aging intervals.
+func (s *Scheduler) effPriority(c *campaign, now time.Time) int {
+	if s.cfg.AgeAfter <= 0 {
+		return c.priority
+	}
+	return c.priority + int(now.Sub(c.enqueuedAt)/s.cfg.AgeAfter)
+}
+
+// dequeue runs the weighted-fair pick after a token was consumed: among
+// tenants with queued campaigns, dispatch the one with the earliest virtual
+// finish tag (stamped at enqueue, advanced by 1/weight per dispatch while
+// backlogged) — over any contended stretch each tenant's dispatch share
+// tracks its weight, so no tenant starves whatever the others' priorities
+// or submit rates. Within the winning tenant the pick is by effective
+// (aged) priority, then admission order. Ties across tenants break by
+// name, keeping the schedule deterministic. Callers hold no lock.
 func (s *Scheduler) dequeue() *campaign {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	c := heapPop(&s.pq)
+	var winner *tenantState
+	for _, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if winner == nil || t.vfinish < winner.vfinish ||
+			(t.vfinish == winner.vfinish && t.name < winner.name) {
+			winner = t
+		}
+	}
+	t := winner // a token was consumed, so some tenant has a campaign
+	if t.vfinish > s.vtime {
+		s.vtime = t.vfinish
+	}
+
+	now := time.Now()
+	best := 0
+	for i := 1; i < len(t.queue); i++ {
+		bi, bc := t.queue[i], t.queue[best]
+		pi, pb := s.effPriority(bi, now), s.effPriority(bc, now)
+		if pi > pb || (pi == pb && bi.id < bc.id) {
+			best = i
+		}
+	}
+	c := t.queue[best]
+	t.queue = append(t.queue[:best], t.queue[best+1:]...)
+	t.queued--
 	s.queueLen--
+	if len(t.queue) > 0 {
+		// Still backlogged: the next campaign's finish tag is one more
+		// weighted slot past the one just consumed.
+		t.vfinish = math.Max(s.vtime, t.vfinish) + 1/t.weight
+	}
 	return c
+}
+
+// noteDispatched moves a freshly popped campaign into the running gauges
+// and records its queue wait — the per-tenant fairness signal. Corpses
+// (campaigns cancelled while queued) never get here.
+func (s *Scheduler) noteDispatched(c *campaign) {
+	wait := time.Since(c.enqueuedAt)
+	c.mu.Lock()
+	if !c.claimed {
+		c.queueWait = wait
+		c.dispatched = true
+	}
+	c.mu.Unlock()
+	s.mu.Lock()
+	s.running++
+	t := s.tenant(c.tenant)
+	t.running++
+	t.waitCount++
+	t.waitSum += wait
+	if wait > t.waitMax {
+		t.waitMax = wait
+	}
+	s.mu.Unlock()
+}
+
+// releaseRunning backs a campaign out of the running gauges — the
+// dispatcher's bookkeeping when a cancel owned the terminal transition.
+func (s *Scheduler) releaseRunning(c *campaign) {
+	s.mu.Lock()
+	s.running--
+	s.tenant(c.tenant).running--
+	s.mu.Unlock()
 }
 
 // retainedIDs snapshots the campaign table's keys — the journal rotation's
@@ -553,15 +830,19 @@ func (s *Scheduler) lookup(id uint64) *campaign {
 	return s.campaigns[id]
 }
 
-// finish moves a campaign out of the running gauge and prunes the oldest
+// finish moves a campaign out of the running gauges and prunes the oldest
 // finished entries beyond the retention cap.
 func (s *Scheduler) finish(c *campaign, failed bool) {
 	s.mu.Lock()
 	s.running--
+	t := s.tenant(c.tenant)
+	t.running--
 	if failed {
 		s.failed++
+		t.failed++
 	} else {
 		s.completed++
+		t.completed++
 	}
 	s.retire(c)
 	s.mu.Unlock()
@@ -615,9 +896,35 @@ func (s *Scheduler) Cancel(id uint64) (found bool, status string) {
 	// running gauge itself. Cancel only counts and retires.
 	s.mu.Lock()
 	s.cancelled++
+	s.tenant(c.tenant).cancelled++
 	s.retire(c)
 	s.mu.Unlock()
 	return true, diet.CampaignCancelled
+}
+
+// queuePositions snapshots every queued campaign's 1-based dispatch
+// position within its tenant's queue, by effective priority at now then
+// admission order — the order dequeue would serve them if nothing else
+// aged across a boundary meanwhile.
+func (s *Scheduler) queuePositions() map[uint64]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	pos := make(map[uint64]int)
+	for _, t := range s.tenants {
+		q := append([]*campaign(nil), t.queue...)
+		sort.Slice(q, func(i, j int) bool {
+			pi, pj := s.effPriority(q[i], now), s.effPriority(q[j], now)
+			if pi != pj {
+				return pi > pj
+			}
+			return q[i].id < q[j].id
+		})
+		for i, c := range q {
+			pos[c.id] = i + 1
+		}
+	}
+	return pos
 }
 
 // CampaignInfo snapshots one campaign's control-plane view; an unknown ID
@@ -628,6 +935,7 @@ func (s *Scheduler) CampaignInfo(id uint64) *diet.CampaignInfo {
 		return &diet.CampaignInfo{ID: id}
 	}
 	info := c.info()
+	info.QueuePos = s.queuePositions()[id]
 	return &info
 }
 
@@ -641,9 +949,11 @@ func (s *Scheduler) ListCampaigns(req *diet.ListCampaignsRequest) []diet.Campaig
 	}
 	s.mu.Unlock()
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	pos := s.queuePositions()
 	out := make([]diet.CampaignInfo, 0, len(all))
 	for _, c := range all {
 		info := c.info()
+		info.QueuePos = pos[c.id]
 		if req != nil && req.Status != "" && info.Status != req.Status {
 			continue
 		}
@@ -653,57 +963,4 @@ func (s *Scheduler) ListCampaigns(req *diet.ListCampaignsRequest) []diet.Campaig
 		out = append(out, info)
 	}
 	return out
-}
-
-// campaignQueue is the admission priority queue: a binary max-heap ordered
-// by (priority desc, id asc), so higher-priority campaigns dispatch first
-// and equal priorities keep strict admission order. Small enough (bounded by
-// QueueCap plus the recovered backlog) that hand-rolled sift beats pulling
-// in container/heap's interface indirection.
-type campaignQueue []*campaign
-
-// before is the heap order: i dispatches ahead of j.
-func (q campaignQueue) before(i, j int) bool {
-	if q[i].priority != q[j].priority {
-		return q[i].priority > q[j].priority
-	}
-	return q[i].id < q[j].id
-}
-
-func heapPush(q *campaignQueue, c *campaign) {
-	*q = append(*q, c)
-	i := len(*q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.before(i, parent) {
-			break
-		}
-		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
-		i = parent
-	}
-}
-
-func heapPop(q *campaignQueue) *campaign {
-	old := *q
-	top := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	old[last] = nil
-	*q = old[:last]
-	i := 0
-	for {
-		left, right := 2*i+1, 2*i+2
-		best := i
-		if left < last && q.before(left, best) {
-			best = left
-		}
-		if right < last && q.before(right, best) {
-			best = right
-		}
-		if best == i {
-			return top
-		}
-		(*q)[i], (*q)[best] = (*q)[best], (*q)[i]
-		i = best
-	}
 }

@@ -209,6 +209,16 @@ func Open(dir string) (*Store, map[uint64]*Campaign, error) {
 // Path returns the journal's file path.
 func (s *Store) Path() string { return s.path }
 
+// Size returns the live journal segment's acknowledged byte length — the
+// WAL-size gauge exported by the scheduler's /metrics endpoint. Rotation
+// shrinks it; a negative-rotation (append-only) store grows until the next
+// restart's compaction.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.off
+}
+
 // Append journals one record: marshal, write, fsync. The record is durable
 // when Append returns — callers acknowledge the transition only after. A
 // failed write is rolled back by truncating to the last acknowledged

@@ -10,6 +10,7 @@ import (
 	"oagrid/internal/core"
 	"oagrid/internal/diet"
 	"oagrid/internal/engine"
+	"oagrid/internal/grid"
 	"oagrid/internal/store"
 )
 
@@ -183,7 +184,20 @@ func (lc *localCampaign) info(id uint64) CampaignInfo {
 		Requeues:  lc.requeues,
 		Makespan:  lc.makespan,
 		Err:       lc.errMsg,
+		// Tenant parity with the daemon: derive from the same default label
+		// key. A local runner has no admission queue, so QueuePos and
+		// WaitMs stay zero.
+		Tenant: localTenant(lc.labels),
 	}
+}
+
+// localTenant mirrors the daemon's tenant derivation (grid.DefaultTenantKey)
+// for local campaigns.
+func localTenant(labels map[string]string) string {
+	if name := labels[grid.DefaultTenantKey]; name != "" {
+		return name
+	}
+	return grid.DefaultTenant
 }
 
 // keepLocalHandles caps how many campaign records a local runner retains:
