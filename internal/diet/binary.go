@@ -307,7 +307,12 @@ func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 		b = appendBool(b, r.Accepted)
 		b = appendStr(b, r.Reason)
 		b = appendInt(b, r.QueueDepth)
-		b = appendStr(b, r.Code)
+		// Code is a v5 field: a frame stamped with a lower negotiated
+		// version must stay byte-exact for pre-v5 peers, whose strict
+		// decoder rejects trailing payload bytes.
+		if ver >= ProtocolV5 {
+			b = appendStr(b, r.Code)
+		}
 		return finishFrame(b, start)
 	case resp.Exec != nil:
 		b, start := beginFrame(buf, byte(ver), fkExecResp)
@@ -728,7 +733,11 @@ func (d *FrameDecoder) DecodeResponseFrame(hdr FrameHeader, payload []byte) (*Re
 			Reason:   d.str(r, "submit reason"),
 		}
 		s.QueueDepth = r.int("submit queue depth")
-		s.Code = d.str(r, "submit reject code")
+		// Mirror the encoder's version gate: a v4 daemon's frame ends at
+		// QueueDepth, and reading past it would fail the exhausted payload.
+		if hdr.Version >= ProtocolV5 {
+			s.Code = d.str(r, "submit reject code")
+		}
 		resp.Submit = s
 	case fkExecResp:
 		e := &d.execResp

@@ -41,6 +41,7 @@ func hotResponses() []*Response {
 	return []*Response{
 		{Version: ProtocolV4, Err: "boom"},
 		{Version: ProtocolV4, Submit: &SubmitResponse{ID: 9, Accepted: true, Reason: "", QueueDepth: 3}},
+		{Version: ProtocolV5, Submit: &SubmitResponse{Accepted: false, Reason: "tenant quota exhausted", QueueDepth: 7, Code: RejectQuota}},
 		{Version: ProtocolV4, Exec: &exec},
 		{Version: ProtocolV4, Perf: &PerfResponse{Cluster: "grelon", Procs: 120, Vector: []float64{1.5, 2.25, math.Pi}}},
 		{Version: ProtocolV4, Heartbeat: &HeartbeatResponse{OK: true}},
@@ -238,6 +239,61 @@ func TestZeroAllocHotKinds(t *testing.T) {
 	roundTrip() // warm the buffer, the scratch slices and the intern table
 	if allocs := testing.AllocsPerRun(200, roundTrip); allocs != 0 {
 		t.Fatalf("hot-kind round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestSubmitCodeVersionGate pins the v4/v5 compat contract for the submit
+// verdict's Code field: a frame negotiated at v4 must be byte-identical
+// whether or not the daemon has a code to report (old decoders reject
+// trailing bytes), and a v5 frame must carry it.
+func TestSubmitCodeVersionGate(t *testing.T) {
+	withCode := &Response{Version: ProtocolV4, Submit: &SubmitResponse{
+		Accepted: false, Reason: "queue full", QueueDepth: 64, Code: RejectQueueFull,
+	}}
+	withoutCode := &Response{Version: ProtocolV4, Submit: &SubmitResponse{
+		Accepted: false, Reason: "queue full", QueueDepth: 64,
+	}}
+	f1, err := AppendResponseFrame(nil, withCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := AppendResponseFrame(nil, withoutCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1, f2) {
+		t.Fatalf("v4 submit frame changed with Code set:\n got % x\nwant % x", f1, f2)
+	}
+	hdr, payload, err := ParseFrame(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := &FrameDecoder{Retain: true}
+	got, err := dec.DecodeResponseFrame(hdr, payload)
+	if err != nil {
+		t.Fatalf("v4 decode of a new daemon's submit verdict: %v", err)
+	}
+	if got.Submit.Code != "" {
+		t.Fatalf("v4 frame smuggled code %q", got.Submit.Code)
+	}
+
+	v5 := &Response{Version: ProtocolV5, Submit: &SubmitResponse{
+		Accepted: false, Reason: "quota", QueueDepth: 2, Code: RejectQuota,
+	}}
+	f5, err := AppendResponseFrame(nil, v5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, payload, err = ParseFrame(f5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = dec.DecodeResponseFrame(hdr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Submit.Code != RejectQuota {
+		t.Fatalf("v5 frame carried code %q, want %q", got.Submit.Code, RejectQuota)
 	}
 }
 

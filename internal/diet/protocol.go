@@ -42,6 +42,13 @@ import (
 // therefore v4 or later by construction, and v1-v3 peers keep the legacy
 // codec end to end.
 //
+// Version 5 adds the SubmitResponse.Code rejection classifier. On the
+// legacy gob and JSON-envelope codecs the field is a plain optional
+// addition old peers ignore; on binary framing it is a trailing field of
+// the fkSubmitResp payload, encoded and decoded only when the frame's
+// negotiated version is >= 5 — the binary decoder rejects trailing bytes,
+// so a v4 peer must keep seeing byte-exact v4 frames.
+//
 // Negotiation is min(client, server): the client states its version in the
 // Request, the server answers every frame with the effective version, and
 // features above the effective version stay off the wire. Old clients never
@@ -61,8 +68,9 @@ const (
 	ProtocolV2 = 2
 	ProtocolV3 = 3
 	ProtocolV4 = 4
+	ProtocolV5 = 5
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV4
+	ProtocolVersion = ProtocolV5
 )
 
 // NegotiateVersion resolves the effective version of a connection from the
@@ -297,8 +305,9 @@ type SubmitResponse struct {
 	// queue bound was hit, RejectQuota means the submitting tenant's own
 	// admission quota was. Both are transient verdicts worth retrying; the
 	// quota code tells a multi-tenant client that backing off will not help
-	// until its own earlier campaigns drain. Empty on acceptance and from
-	// pre-quota daemons (treat as queue-full).
+	// until its own earlier campaigns drain. Empty on acceptance, from
+	// pre-v5 daemons, and on binary connections negotiated below v5 (treat
+	// a codeless rejection as queue-full).
 	Code string
 }
 

@@ -87,8 +87,10 @@ type progressFrame struct {
 }
 
 // encoded returns the frame's v4 wire bytes, computing them on first use.
-// Binary connections always run at protocol v4 (the version every binary
-// peer negotiates), so one encoding serves them all.
+// Binary connections negotiate v4 or later, the progress layout is
+// identical across those versions, and decoders accept any frame stamped
+// at or below their own version — so the one v4 encoding serves every
+// binary subscriber whatever it negotiated.
 func (f *progressFrame) encoded() ([]byte, error) {
 	f.once.Do(func() {
 		f.enc, f.encErr = diet.AppendResponseFrame(nil, &diet.Response{Version: diet.ProtocolV4, Progress: &f.u})
@@ -352,7 +354,10 @@ func (s *Scheduler) drainQueue() {
 			if c.cancelledNow() {
 				continue
 			}
-			s.noteDispatched(c)
+			// Not a dispatch: enter the running gauges (failCampaign's finish
+			// decrements them) but record no queue wait — a shutdown drain
+			// must not inflate the fairness wait moments.
+			s.bumpRunning(c)
 			if !s.failCampaign(c, "grid: scheduler shut down", false) {
 				s.releaseRunning(c)
 			}

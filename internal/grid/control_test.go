@@ -18,10 +18,11 @@ import (
 // listener or dispatchers — for exercising enqueue/dequeue directly.
 func queueScheduler(cfg Config) *Scheduler {
 	return &Scheduler{
-		cfg:     cfg.withDefaults(),
-		tokens:  make(chan struct{}, 1024),
-		done:    make(chan struct{}),
-		tenants: make(map[string]*tenantState),
+		cfg:       cfg.withDefaults(),
+		tokens:    make(chan struct{}, 1024),
+		done:      make(chan struct{}),
+		tenants:   make(map[string]*tenantState),
+		campaigns: make(map[uint64]*campaign),
 	}
 }
 

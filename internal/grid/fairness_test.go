@@ -3,6 +3,7 @@ package grid
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -284,6 +285,72 @@ func TestTenantQuotaRejection(t *testing.T) {
 	}
 	if q.QuotaRejected != 1 || q.Admitted != 2 || q.Completed != 2 {
 		t.Fatalf("tenant q stats %+v, want 1 quota rejection, 2 admitted, 2 completed", q)
+	}
+}
+
+// TestTenantTableBounded: a client cycling unique tenant-label values
+// cannot grow the tenant table (and with it the /metrics cardinality)
+// without bound — past maxDynamicTenants distinct names, new ones fold
+// into OverflowTenant, while configured tenants always keep their own
+// entry and rejected submissions leave no state behind.
+func TestTenantTableBounded(t *testing.T) {
+	s := queueScheduler(Config{
+		QueueCap:      512,
+		TenantWeights: map[string]float64{"vip": 2},
+	})
+	submit := func(tenant string) *diet.SubmitResponse {
+		t.Helper()
+		_, verdict, err := s.admit(&diet.SubmitRequest{
+			Scenarios: 1, Months: 1, Heuristic: core.NameKnapsack,
+			Labels: map[string]string{DefaultTenantKey: tenant},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return verdict
+	}
+	overflowing := 40
+	for i := 0; i < maxDynamicTenants+overflowing; i++ {
+		if v := submit(fmt.Sprintf("churn-%04d", i)); !v.Accepted {
+			t.Fatalf("submission %d rejected: %+v", i, v)
+		}
+	}
+	// A configured tenant still gets its own entry after the fold kicks in.
+	if v := submit("vip"); !v.Accepted {
+		t.Fatalf("vip submission rejected: %+v", v)
+	}
+
+	s.mu.Lock()
+	total := len(s.tenants)
+	overflow := s.tenants[OverflowTenant]
+	vip := s.tenants["vip"]
+	s.mu.Unlock()
+	// The cap plus the overflow bucket plus the configured tenant.
+	if total > maxDynamicTenants+2 {
+		t.Fatalf("tenant table grew to %d entries, want <= %d", total, maxDynamicTenants+2)
+	}
+	if overflow == nil || overflow.queued != overflowing {
+		t.Fatalf("overflow tenant holds %+v, want %d queued", overflow, overflowing)
+	}
+	if vip == nil || vip.weight != 2 {
+		t.Fatalf("configured tenant folded away: %+v", vip)
+	}
+
+	// A rejected submission must not create tenant state: fill the queue,
+	// then submit under a fresh name.
+	for s.queueLen < s.cfg.QueueCap {
+		if v := submit(DefaultTenant); !v.Accepted {
+			t.Fatalf("filler rejected early: %+v", v)
+		}
+	}
+	if v := submit("never-admitted"); v.Accepted || v.Code != diet.RejectQueueFull {
+		t.Fatalf("expected queue-full rejection, got %+v", v)
+	}
+	s.mu.Lock()
+	ghost := s.tenants["never-admitted"]
+	s.mu.Unlock()
+	if ghost != nil {
+		t.Fatalf("queue-full rejection left tenant state behind: %+v", ghost)
 	}
 }
 

@@ -84,7 +84,9 @@ type Config struct {
 	// TenantKey is the label key that names a campaign's fair-queueing
 	// tenant (default "team"). Campaigns without the label — including
 	// everything submitted by pre-v3 peers, whose labels are stripped —
-	// share the DefaultTenant.
+	// share the DefaultTenant. The tenant table is bounded: beyond
+	// maxDynamicTenants distinct unconfigured names, new ones fold into
+	// the OverflowTenant (see canonicalTenant).
 	TenantKey string
 	// TenantWeights assigns fair-queueing weights by tenant name. Dispatch
 	// is virtual-time weighted-fair: over any contended stretch a tenant
@@ -159,6 +161,20 @@ const DefaultTenantKey = "team"
 // DefaultTenant is the tenant of campaigns that carry no tenant label.
 const DefaultTenant = "default"
 
+// OverflowTenant absorbs submissions from tenant names beyond the dynamic
+// cap: they share one weight-1 queue, one quota, and one set of /metrics
+// series instead of growing the tenant table.
+const OverflowTenant = "other"
+
+// maxDynamicTenants bounds how many distinct unconfigured tenant names the
+// scheduler tracks individually. Tenant entries persist for the scheduler's
+// lifetime (their counters are /metrics series), and the name is a
+// client-supplied label value — without a cap, a client cycling unique
+// values would grow the table and the metric cardinality without bound.
+// Operator-configured tenants (a TenantWeights or TenantQuotas entry) are
+// always tracked and do not count against the cap.
+const maxDynamicTenants = 64
+
 // vecKey identifies a cached performance vector. Entry k-1 of a vector is
 // the makespan of k scenarios — independent of how many scenarios the
 // campaign that fetched it had — so the cache keys on (months, heuristic)
@@ -229,6 +245,9 @@ type Scheduler struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
+	// dynamicTenants counts the tenant entries created for unconfigured
+	// names — the population maxDynamicTenants bounds.
+	dynamicTenants int
 	// vtime is the global virtual clock of the weighted-fair queue: the
 	// start tag of the last dispatched campaign.
 	vtime     float64
@@ -256,8 +275,9 @@ func (s *Scheduler) tenantName(labels map[string]string) string {
 }
 
 // tenant returns (creating on first use) a tenant's state. Callers hold
-// s.mu. Tenant entries persist for the scheduler's lifetime: their counters
-// are the /metrics series and must not reset when a queue drains.
+// s.mu and pass canonical names only (see canonicalTenant). Tenant entries
+// persist for the scheduler's lifetime: their counters are the /metrics
+// series and must not reset when a queue drains.
 func (s *Scheduler) tenant(name string) *tenantState {
 	t := s.tenants[name]
 	if t == nil {
@@ -267,8 +287,37 @@ func (s *Scheduler) tenant(name string) *tenantState {
 		}
 		t = &tenantState{name: name, weight: weight}
 		s.tenants[name] = t
+		if name != DefaultTenant && name != OverflowTenant && !s.configuredTenant(name) {
+			s.dynamicTenants++
+		}
 	}
 	return t
+}
+
+// configuredTenant reports whether name is operator-declared through a
+// weight or quota entry — such tenants always get their own state.
+func (s *Scheduler) configuredTenant(name string) bool {
+	if _, ok := s.cfg.TenantWeights[name]; ok {
+		return true
+	}
+	_, ok := s.cfg.TenantQuotas[name]
+	return ok
+}
+
+// canonicalTenant folds a client-supplied tenant name into the bounded
+// tenant table: a name with existing state, an operator-configured name,
+// and the two well-known names map to themselves; a brand-new dynamic name
+// maps to OverflowTenant once maxDynamicTenants distinct ones exist.
+// Callers hold s.mu (or run before the scheduler's goroutines start).
+func (s *Scheduler) canonicalTenant(name string) string {
+	if name == DefaultTenant || name == OverflowTenant ||
+		s.tenants[name] != nil || s.configuredTenant(name) {
+		return name
+	}
+	if s.dynamicTenants >= maxDynamicTenants {
+		return OverflowTenant
+	}
+	return name
 }
 
 // quotaFor is the tenant's queued-campaign cap: the per-tenant override
@@ -346,6 +395,10 @@ func Start(cfg Config) (*Scheduler, error) {
 			s.doneOrder = append(s.doneOrder, c.id)
 			continue
 		}
+		// Re-admitted campaigns go through the same tenant fold as live
+		// submissions, so a hostile label set in the journal cannot blow the
+		// tenant table either. Safe without s.mu: nothing else runs yet.
+		c.tenant = s.canonicalTenant(c.tenant)
 		c.enqueuedAt = now
 		s.queueLen++
 		if s.queueLen > s.maxQueue {
@@ -638,18 +691,25 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 		s.mu.Unlock()
 		return nil, &diet.SubmitResponse{Reason: "queue full", Code: diet.RejectQueueFull, QueueDepth: depth}, nil
 	}
-	t := s.tenant(tenantName)
-	if quota := s.quotaFor(tenantName); quota > 0 && t.queued >= quota {
-		s.rejected++
-		t.quotaRejected++
-		depth := s.queueLen
-		s.mu.Unlock()
-		return nil, &diet.SubmitResponse{
-			Reason:     fmt.Sprintf("tenant %q admission quota (%d queued) exhausted", tenantName, quota),
-			Code:       diet.RejectQuota,
-			QueueDepth: depth,
-		}, nil
+	tenantName = s.canonicalTenant(tenantName)
+	// The quota check reads existing state only: a tenant without state has
+	// nothing queued, so it cannot be over quota — and a rejected submission
+	// must not leave persistent per-tenant state (and /metrics series)
+	// behind.
+	if quota := s.quotaFor(tenantName); quota > 0 {
+		if t := s.tenants[tenantName]; t != nil && t.queued >= quota {
+			s.rejected++
+			t.quotaRejected++
+			depth := s.queueLen
+			s.mu.Unlock()
+			return nil, &diet.SubmitResponse{
+				Reason:     fmt.Sprintf("tenant %q admission quota (%d queued) exhausted", tenantName, quota),
+				Code:       diet.RejectQuota,
+				QueueDepth: depth,
+			}, nil
+		}
 	}
+	t := s.tenant(tenantName)
 	s.nextID++
 	c := newCampaign(s.nextID, app, req.Heuristic, submitMeta{
 		priority: req.Priority,
@@ -802,6 +862,17 @@ func (s *Scheduler) noteDispatched(c *campaign) {
 	if wait > t.waitMax {
 		t.waitMax = wait
 	}
+	s.mu.Unlock()
+}
+
+// bumpRunning moves a popped campaign into the running gauges without
+// recording a queue wait: the shutdown drain's pops are not dispatches,
+// and counting their waits would skew the per-tenant fairness moments
+// (waitMax especially) with services that never happened.
+func (s *Scheduler) bumpRunning(c *campaign) {
+	s.mu.Lock()
+	s.running++
+	s.tenant(c.tenant).running++
 	s.mu.Unlock()
 }
 

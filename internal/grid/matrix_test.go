@@ -107,11 +107,75 @@ func TestBinaryConnSpeaksV4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Version != diet.ProtocolV4 {
-		t.Fatalf("binary connection negotiated %d, want %d", resp.Version, diet.ProtocolV4)
+	if resp.Version != diet.ProtocolVersion {
+		t.Fatalf("binary connection negotiated %d, want %d", resp.Version, diet.ProtocolVersion)
 	}
 	if resp.Stats == nil {
 		t.Fatalf("no stats in binary response: %+v", resp)
+	}
+}
+
+// TestSubmitCompatAcrossV4V5 pins the staged-rollout rows the v5 Code
+// field could break: a current client against a daemon capped at protocol
+// v4, and a raw v4 binary client against a current daemon. In both mixed
+// pairings the submit verdict must round-trip over binary framing — the
+// v5 field stays off the wire, because the strict binary decoder rejects
+// any trailing bytes.
+func TestSubmitCompatAcrossV4V5(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxProtocol = diet.ProtocolV4
+	f := startFabric(t, cfg, 3)
+	addr := f.Sched.Addr()
+	app := core.Application{Scenarios: 6, Months: 12}
+
+	// Current client, v4-capped daemon. The first campaign runs over legacy
+	// gob (unknown peer) and caches the daemon's v4 answer; the second runs
+	// on binary framing, where the daemon must emit byte-exact v4 submit
+	// verdicts a strict reader accepts.
+	client := &Client{Addr: addr, Timeout: 30 * time.Second}
+	want, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := diet.PeerVersion(addr); got != diet.ProtocolV4 {
+		t.Fatalf("peer cache holds %d after talking to a v4-capped daemon, want %d", got, diet.ProtocolV4)
+	}
+	binRes, err := client.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatalf("binary campaign against a v4-capped daemon: %v", err)
+	}
+	sameCampaignOutcome(t, "current client vs v4 daemon", binRes, want)
+
+	// Raw v4 binary client, current daemon: the negotiated version is v4, so
+	// the verdict frame must end at QueueDepth — a smuggled Code field would
+	// fail this strict decode with trailing payload bytes.
+	f2 := startFabric(t, testConfig(), 1)
+	conn, err := net.Dial("tcp", f2.Sched.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := diet.WriteRequestFrame(conn, &diet.Request{
+		Version: diet.ProtocolV4, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+			Scenarios: 2, Months: 6, Heuristic: core.NameKnapsack,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dec := &diet.FrameDecoder{Retain: true}
+	resp, err := dec.ReadResponse(conn)
+	if err != nil {
+		t.Fatalf("v4 binary client decoding a current daemon's verdict: %v", err)
+	}
+	if resp.Version != diet.ProtocolV4 {
+		t.Fatalf("v4 binary submit negotiated %d, want %d", resp.Version, diet.ProtocolV4)
+	}
+	if resp.Submit == nil || !resp.Submit.Accepted {
+		t.Fatalf("v4 binary submit rejected: %+v", resp)
+	}
+	if resp.Submit.Code != "" {
+		t.Fatalf("v4 verdict carried code %q", resp.Submit.Code)
 	}
 }
 

@@ -43,11 +43,12 @@ func (m *metricsServer) addr() string { return m.ln.Addr().String() }
 
 func (m *metricsServer) close() { _ = m.srv.Close() }
 
+// promReplacer escapes label values per the exposition format; stateless
+// and safe for concurrent use, so built once instead of per label value.
+var promReplacer = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // promEscape escapes a label value per the exposition format.
-func promEscape(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
-}
+func promEscape(v string) string { return promReplacer.Replace(v) }
 
 // metricsWriter accumulates one exposition-format family at a time.
 type metricsWriter struct {
