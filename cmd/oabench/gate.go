@@ -27,6 +27,11 @@ type baseline struct {
 	Grid struct {
 		ThroughputCPS float64 `json:"throughput_cps"`
 	} `json:"grid"`
+	// Ring floors the sharded-ring run (`oaload -ring ...` against a
+	// 3-daemon ring → -ring-json): aggregate throughput across the shards.
+	Ring struct {
+		ThroughputCPS float64 `json:"throughput_cps"`
+	} `json:"ring"`
 	// Fairness floors apply to the dedicated multi-tenant run (`oaload
 	// -tenants ...` → -fairness-json). They are absolute bounds, not
 	// tolerance-scaled throughputs: Jain below JainMin or a per-tenant p95
@@ -63,7 +68,7 @@ type gateGrid struct {
 	TenantP95Ratio float64 `json:"tenant_p95_ratio"`
 }
 
-func runGate(basePath, enginePath, gridPath, fairnessPath string, tolerance float64) {
+func runGate(basePath, enginePath, gridPath, fairnessPath, ringPath string, tolerance float64) {
 	var base baseline
 	readJSON(basePath, &base)
 	if tolerance <= 0 {
@@ -122,6 +127,22 @@ func runGate(basePath, enginePath, gridPath, fairnessPath string, tolerance floa
 		}
 		if base.Grid.ThroughputCPS > 0 {
 			check("grid campaigns/s", g.ThroughputCPS, base.Grid.ThroughputCPS)
+		}
+	}
+
+	if ringPath != "" {
+		var r gateGrid
+		readJSON(ringPath, &r)
+		if r.Completed+r.Cancels != r.Campaigns {
+			fmt.Printf("%-28s %d completed + %d cancelled of %d campaigns\n", "ring/completion", r.Completed, r.Cancels, r.Campaigns)
+			failed = true
+		}
+		if !r.Verified {
+			fmt.Printf("%-28s campaign reports not verified bit-identical\n", "ring/verification")
+			failed = true
+		}
+		if base.Ring.ThroughputCPS > 0 {
+			check("ring campaigns/s", r.ThroughputCPS, base.Ring.ThroughputCPS)
 		}
 	}
 

@@ -55,6 +55,7 @@ import (
 	"oagrid"
 	"oagrid/internal/diet"
 	"oagrid/internal/grid"
+	"oagrid/internal/platform"
 )
 
 // loadReport is the BENCH_grid.json schema.
@@ -101,6 +102,21 @@ type loadReport struct {
 	FairnessJain    float64                 `json:"fairness_jain,omitempty"`
 	TenantP95Ratio  float64                 `json:"tenant_p95_ratio,omitempty"`
 	QuotaRejections int                     `json:"quota_rejections,omitempty"`
+	// Sharded-ring block, present only with -ring: the member list driven
+	// and each shard's local (non-fanned-out) accounting after the run.
+	Ring   []string               `json:"ring,omitempty"`
+	Shards map[string]shardReport `json:"shards,omitempty"`
+}
+
+// shardReport is one ring member's local accounting, read through the
+// forwarded-request envelope so the numbers are the shard's own rather than
+// the ring-wide fan-out merge every plain stats call returns.
+type shardReport struct {
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled,omitempty"`
+	Requeues  uint64 `json:"requeues"`
+	MaxQueue  int    `json:"max_queue_depth"`
 }
 
 // tenantReport is one tenant's slice of the fairness workload.
@@ -117,6 +133,7 @@ type tenantReport struct {
 func main() {
 	var (
 		addr      = flag.String("addr", "", "daemon address (empty = self-hosted daemon + SeDs)")
+		ringSpec  = flag.String("ring", "", "comma-separated ring member addresses to drive (external sharded ring; submissions spread across members, per-shard accounting in the report; members must run the default cluster profiles for -verify)")
 		campaigns = flag.Int("campaigns", 50, "campaigns to inject")
 		arrival   = flag.String("arrival", "poisson", "arrival pattern: poisson, burst or uniform")
 		rate      = flag.Float64("rate", 50, "mean arrival rate in campaigns/second (poisson, uniform)")
@@ -182,11 +199,30 @@ func main() {
 		report.Burst = *burst
 	}
 
-	// Self-hosted fabric unless pointed at an external daemon.
+	// Self-hosted fabric unless pointed at an external daemon or ring.
 	target := *addr
+	ringMembers := splitRing(*ringSpec)
+	if len(ringMembers) > 0 {
+		if target != "" {
+			fail(errors.New("oaload: -addr and -ring are mutually exclusive"))
+		}
+		target = strings.Join(ringMembers, ",")
+		report.Ring = ringMembers
+	}
 	stateDir := *state
 	var fabric *grid.Fabric
-	if target == "" {
+	var verifyClusters map[string]*platform.Cluster
+	if len(ringMembers) > 0 {
+		if *kill > 0 || *restart > 0 {
+			fmt.Fprintln(os.Stderr, "oaload: -kill and -restart need the self-hosted fabric; disabled against a ring (kill a ring daemon externally instead)")
+			*kill, *restart = 0, 0
+		}
+		if *verify {
+			// Ring daemons run the paper's default cluster profiles (oarun
+			// -daemon), so the serial verifier can be built without a fabric.
+			verifyClusters = defaultClusters(*seds, *cprocs)
+		}
+	} else if target == "" {
 		if *restart > 0 && stateDir == "" {
 			tmp, err := os.MkdirTemp("", "oaload-state-*")
 			if err != nil {
@@ -214,6 +250,7 @@ func main() {
 		if err := fabric.WaitAlive(*seds, 5*time.Second); err != nil {
 			fail(err)
 		}
+		verifyClusters = fabric.Clusters
 	} else if *kill > 0 || *restart > 0 || *verify {
 		fmt.Fprintln(os.Stderr, "oaload: -kill, -restart and -verify need the self-hosted fabric; disabled against an external daemon")
 		*kill, *restart, *verify = 0, 0, false
@@ -252,14 +289,31 @@ func main() {
 	fmt.Printf("== oaload: %d campaigns (NS=%d, NM=%d, %s), %s arrivals against %s ==\n",
 		*campaigns, *ns, *months, *heuristic, *arrival, target)
 
-	// All submissions flow through the public client API: one shared Runner,
-	// one streamed campaign per goroutine, typed ErrRejected for the
-	// admission-retry loop.
-	runner, err := oagrid.Dial(ctx, target, oagrid.WithTimeout(*timeout))
-	if err != nil {
-		fail(err)
+	// All submissions flow through the public client API: one streamed
+	// campaign per goroutine, typed ErrRejected for the admission-retry loop.
+	// A plain target shares one Runner; a ring gets one Runner per member —
+	// each with the others as fallbacks — and campaigns round-robin across
+	// them, so admission (and therefore ownership) spreads over the shards
+	// and cross-shard routing actually gets exercised.
+	var runners []oagrid.Runner
+	if len(ringMembers) > 1 {
+		for i := range ringMembers {
+			rot := append(append([]string{}, ringMembers[i:]...), ringMembers[:i]...)
+			r, err := oagrid.Dial(ctx, strings.Join(rot, ","), oagrid.WithTimeout(*timeout))
+			if err != nil {
+				fail(err)
+			}
+			defer r.Close()
+			runners = append(runners, r)
+		}
+	} else {
+		r, err := oagrid.Dial(ctx, target, oagrid.WithTimeout(*timeout))
+		if err != nil {
+			fail(err)
+		}
+		defer r.Close()
+		runners = append(runners, r)
 	}
-	defer runner.Close()
 
 	var killOnce, restartOnce sync.Once
 	latencies := make([]time.Duration, *campaigns)
@@ -335,7 +389,11 @@ func main() {
 					oagrid.WithPriority((i%3)*5))
 			}
 			t0 := time.Now()
-			outcomes[i] = runCampaign(ctx, runner, campaign, t0.Add(*timeout), restartAt >= 0, cancelSet[i], opts)
+			// Recovery through Attach is on under restart injection and
+			// against a ring: a ring member may be killed externally mid-run,
+			// and its admitted campaigns are finished by the failover owner.
+			outcomes[i] = runCampaign(ctx, runners[i%len(runners)], campaign, t0.Add(*timeout),
+				restartAt >= 0 || len(ringMembers) > 0, cancelSet[i], opts)
 			latencies[i] = time.Since(t0)
 		}(i)
 	}
@@ -392,7 +450,14 @@ func main() {
 		report.TenantP95Ratio = p95Ratio(report.Tenants)
 	}
 
-	if stats, err := (&grid.Client{Addr: target}).Stats(); err == nil {
+	// Ring-wide gauges: any member answers (stats fan out and merge), and the
+	// multi-addr client survives a member killed during the run. A plain
+	// target keeps the single-address client.
+	statsClient := &grid.Client{Addr: target}
+	if len(ringMembers) > 0 {
+		statsClient = &grid.Client{Addr: ringMembers[0], Addrs: ringMembers[1:]}
+	}
+	if stats, err := statsClient.Stats(); err == nil {
 		report.MaxQueueDepth = stats.MaxQueueDepth
 		if preMaxQueue > report.MaxQueueDepth {
 			report.MaxQueueDepth = preMaxQueue
@@ -400,9 +465,12 @@ func main() {
 		report.Requeues = stats.Requeues + preRequeues
 		report.Evictions = stats.Evicted + preEvictions
 	}
+	if len(ringMembers) > 0 {
+		report.Shards = shardAccounting(ringMembers)
+	}
 
 	if *verify {
-		if err := verifyAll(fabric, campaign, results); err != nil {
+		if err := verifyAll(verifyClusters, campaign, results); err != nil {
 			fail(err)
 		}
 		report.Verified = true
@@ -422,6 +490,17 @@ func main() {
 		}
 		fmt.Printf("fairness: Jain %.4f  p95 ratio %.2f  quota rejections %d\n",
 			report.FairnessJain, report.TenantP95Ratio, report.QuotaRejections)
+	}
+	if len(report.Shards) > 0 {
+		for _, m := range ringMembers {
+			sr, ok := report.Shards[m]
+			if !ok {
+				fmt.Printf("shard %-22s unreachable (no local accounting)\n", m)
+				continue
+			}
+			fmt.Printf("shard %-22s completed %4d  failed %d  requeues %d  max queue %d\n",
+				m, sr.Completed, sr.Failed, sr.Requeues, sr.MaxQueue)
+		}
 	}
 	if report.Cancels > 0 {
 		fmt.Printf("cancel injection: %d campaign(s) cancelled server-side, cancel latency p95 %.1fms\n",
@@ -446,6 +525,67 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// splitRing parses the -ring member list: whitespace trimmed, empties dropped.
+func splitRing(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// defaultClusters rebuilds the cluster map a self-hosted fabric (and an oarun
+// -daemon with default flags) serves: the paper's five Grid'5000 profiles,
+// capped to n and with procs processors each. It feeds the serial verifier
+// when the daemons are external and there is no fabric to read it from.
+func defaultClusters(n, procs int) map[string]*platform.Cluster {
+	out := map[string]*platform.Cluster{}
+	profiles := platform.FiveClusters()
+	if n > len(profiles) {
+		n = len(profiles)
+	}
+	for _, cl := range profiles[:n] {
+		cl.Procs = procs
+		out[cl.Name] = cl
+	}
+	return out
+}
+
+// shardAccounting asks every ring member for its own local stats. A plain
+// stats request to a ring member fans out and merges, so each member is
+// queried through the forwarded-request envelope instead — the receiver
+// serves a forwarded request locally, which is exactly the per-shard view.
+// Unreachable members (a killed daemon) are simply absent from the map.
+func shardAccounting(members []string) map[string]shardReport {
+	out := make(map[string]shardReport, len(members))
+	for _, m := range members {
+		resp, err := diet.RoundTrip(m, &diet.Request{
+			Version: diet.ProtocolVersion,
+			Kind:    diet.KindForward,
+			Forward: &diet.ForwardRequest{
+				From:  "oaload",
+				Inner: &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{}},
+			},
+		})
+		if err != nil || resp.Stats == nil {
+			continue
+		}
+		out[m] = shardReport{
+			Completed: resp.Stats.Completed,
+			Failed:    resp.Stats.Failed,
+			Cancelled: resp.Stats.Cancelled,
+			Requeues:  resp.Stats.Requeues,
+			MaxQueue:  resp.Stats.MaxQueueDepth,
+		}
+	}
+	return out
 }
 
 // schedule precomputes the deterministic arrival offsets of every campaign.
@@ -774,9 +914,9 @@ func runCampaign(ctx context.Context, runner oagrid.Runner, c oagrid.Campaign, d
 // verifyAll re-evaluates every chunk report serially in-process through
 // grid.Verifier and demands bit-identical makespans — the service must be
 // an exact distributed replay of engine.Evaluate, even across
-// failure-driven requeues.
-func verifyAll(fabric *grid.Fabric, c oagrid.Campaign, results []*oagrid.CampaignResult) error {
-	v, err := grid.NewVerifier(fabric.Clusters, c.Heuristic)
+// failure-driven requeues, daemon restarts and ring failovers.
+func verifyAll(clusters map[string]*platform.Cluster, c oagrid.Campaign, results []*oagrid.CampaignResult) error {
+	v, err := grid.NewVerifier(clusters, c.Heuristic)
 	if err != nil {
 		return err
 	}

@@ -73,6 +73,9 @@ func main() {
 		evict    = flag.Duration("evict", 3*time.Second, "daemon heartbeat eviction deadline")
 		state    = flag.String("state", "", "daemon state dir: journal campaigns and recover them on restart (empty = in-memory only)")
 		proto    = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec; debugging escape hatch)")
+		ringSpec = flag.String("ring", "", "comma-separated ring member addresses (this daemon's -addr included): shard one campaign namespace across several daemons with consistent-hash ownership and WAL-replay failover; requires -state and concrete addresses")
+		ringHb   = flag.Duration("ring-hb", time.Second, "ring membership ping and WAL replication interval")
+		ringDead = flag.Duration("ring-dead", 0, "silence after which a ring peer is declared dead and its campaigns failed over (0 = 4x -ring-hb)")
 
 		metrics     = flag.String("metrics", "", "daemon /metrics listen address, Prometheus text format (empty = off; 127.0.0.1:0 for an ephemeral port)")
 		tenantKey   = flag.String("tenant-key", grid.DefaultTenantKey, "label key that names a campaign's fair-queueing tenant")
@@ -110,6 +113,9 @@ func main() {
 			tenantKey:   *tenantKey,
 			weights:     weights,
 			quota:       *tenantQuota,
+			ring:        *ringSpec,
+			ringHb:      *ringHb,
+			ringDead:    *ringDead,
 		})
 		return
 	}
@@ -192,6 +198,18 @@ func main() {
 	fmt.Printf("outputs in %s\n", cfg.Dir())
 }
 
+// splitRing parses the -ring member list, trimming whitespace and dropping
+// empty entries.
+func splitRing(spec string) []string {
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // parseTenantWeights parses "gold=10,silver=1" into a weight map.
 func parseTenantWeights(spec string) (map[string]float64, error) {
 	if spec == "" {
@@ -222,6 +240,8 @@ type daemonConfig struct {
 	metrics, tenantKey string
 	weights            map[string]float64
 	quota              int
+	ring               string
+	ringHb, ringDead   time.Duration
 }
 
 // runDaemon serves the online scheduler until SIGINT/SIGTERM, printing a
@@ -251,6 +271,13 @@ func runDaemon(dc daemonConfig) {
 	}
 	if dc.state != "" {
 		fmt.Printf("durable: campaign journal under %s (restart on the same -state to recover)\n", dc.state)
+	}
+	if dc.ring != "" {
+		members := splitRing(dc.ring)
+		if err := sched.JoinRing(dc.addr, members, dc.ringHb, dc.ringDead); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ring member %s of %d (%s)\n", dc.addr, len(members), strings.Join(members, ","))
 	}
 	for _, sed := range fabric.SeDs {
 		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)

@@ -2,6 +2,7 @@ package oagrid
 
 import (
 	"context"
+	"strings"
 
 	"oagrid/internal/core"
 	"oagrid/internal/diet"
@@ -16,26 +17,51 @@ type remoteRunner struct {
 }
 
 // Dial builds a Runner over a live grid scheduler daemon (cmd/oarun
-// -daemon). It verifies the daemon answers before returning — ctx bounds
+// -daemon). It verifies a daemon answers before returning — ctx bounds
 // that probe. Each campaign then streams on its own connection: admission
 // verdict, per-campaign progress frames (protocol v2; a v1 daemon simply
 // sends none), and the final result, with the frame deadline refreshed on
 // every frame so campaigns may outlive any single timeout. At default
 // options a dialed campaign's Result is bit-identical to a Local run over
 // the same cluster profiles.
+//
+// addr may list several comma-separated addresses ("a:7714,b:7714,c:7714")
+// when the daemons form a sharded ring (oarun -daemon -ring): the first is
+// the primary, the rest are fallbacks tried when it is unreachable, and
+// ownership redirects from any member are followed and cached so
+// steady-state traffic goes straight to the shard that owns each campaign.
+// A single address behaves exactly as before.
 func Dial(ctx context.Context, addr string, opts ...RunnerOption) (Runner, error) {
 	cfg := newRunnerConfig(opts)
 	if _, err := core.ByName(cfg.heuristic); err != nil {
 		return nil, err
 	}
+	primary, fallbacks := splitAddrs(addr)
 	r := &remoteRunner{
-		client: grid.Client{Addr: addr, Timeout: cfg.timeout},
+		client: grid.Client{Addr: primary, Addrs: fallbacks, Timeout: cfg.timeout},
 		cfg:    cfg,
 	}
 	if _, err := r.client.StatsContext(ctx); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// splitAddrs parses Dial's address argument: a comma-separated member list
+// becomes the primary plus fallbacks; whitespace around entries is ignored
+// and empty entries dropped.
+func splitAddrs(addr string) (string, []string) {
+	parts := strings.Split(addr, ",")
+	all := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			all = append(all, p)
+		}
+	}
+	if len(all) == 0 {
+		return addr, nil
+	}
+	return all[0], all[1:]
 }
 
 // Run implements Runner. Submit options travel to the daemon on the wire

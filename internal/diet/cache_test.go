@@ -1,0 +1,31 @@
+package diet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestPeerVersionCacheBounded pins the capability cache's bound: a client
+// sweeping arbitrarily many daemon addresses (a big ring, a port scan, a
+// long-lived injector) must not grow the per-address version cache past its
+// cap — eviction keeps it a cache, not a leak.
+func TestPeerVersionCacheBounded(t *testing.T) {
+	for i := 0; i < 3*maxPeerVersions; i++ {
+		RecordPeerVersion(fmt.Sprintf("10.9.%d.%d:7714", i/250, i%250), ProtocolV4)
+	}
+	if n := PeerVersionCacheLen(); n > maxPeerVersions {
+		t.Fatalf("peer-version cache holds %d entries, cap is %d", n, maxPeerVersions)
+	}
+	// A freshly recorded entry is readable back (the newest insert is never
+	// the eviction victim).
+	RecordPeerVersion("fresh.example:1", ProtocolVersion)
+	if got := PeerVersion("fresh.example:1"); got != ProtocolVersion {
+		t.Fatalf("fresh entry reads back %d, want %d", got, ProtocolVersion)
+	}
+	// Updating a known address must not evict anyone.
+	before := PeerVersionCacheLen()
+	RecordPeerVersion("fresh.example:1", ProtocolV4)
+	if got := PeerVersionCacheLen(); got != before {
+		t.Fatalf("updating a known address changed the cache size %d -> %d", before, got)
+	}
+}

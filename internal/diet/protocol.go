@@ -63,14 +63,22 @@ import (
 // was v4 or later (the per-address cache in wire.go) — the first exchange
 // to any peer is always legacy-coded, so a v3 server never sees a frame it
 // cannot parse.
+// Version 6 adds the scheduler-ring kinds: forwarded-request envelopes
+// (KindForward), ownership redirects (KindRedirect), ring membership pings
+// (KindRingPing) and WAL segment shipping (KindSegment). None of them are
+// hot-path frames, so on binary framing they ride the JSON cold-kind
+// envelope — no new binary encodings, and a connection negotiated below v6
+// never sees them: a daemon refuses the ring kinds outright below v6, which
+// is also how a ring refuses membership to a pre-v6 peer.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
 	ProtocolV3 = 3
 	ProtocolV4 = 4
 	ProtocolV5 = 5
+	ProtocolV6 = 6
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV5
+	ProtocolVersion = ProtocolV6
 )
 
 // NegotiateVersion resolves the effective version of a connection from the
@@ -110,7 +118,28 @@ const (
 	KindCancel        = "cancel"
 	KindInfo          = "info"
 	KindListCampaigns = "list-campaigns"
+
+	// Scheduler-ring kinds (protocol v6). KindForward wraps another request
+	// in a daemon-to-daemon envelope so the shard that owns a campaign
+	// serves it; KindRedirect is the response-only fast path telling a v6
+	// client which shard to talk to directly; KindRingPing is the ring
+	// membership handshake and liveness beacon; KindSegment pulls a peer's
+	// campaign-journal bytes for failover replay.
+	KindForward  = "ring-forward"
+	KindRedirect = "ring-redirect"
+	KindRingPing = "ring-ping"
+	KindSegment  = "ring-segment"
 )
+
+// RingKind reports whether kind is one of the v6 scheduler-ring kinds — the
+// set a daemon must refuse on connections negotiated below ProtocolV6.
+func RingKind(kind string) bool {
+	switch kind {
+	case KindForward, KindRingPing, KindSegment:
+		return true
+	}
+	return false
+}
 
 // Request is the envelope every connection carries exactly one of.
 type Request struct {
@@ -132,6 +161,11 @@ type Request struct {
 	Cancel        *CancelRequest
 	Info          *InfoRequest
 	ListCampaigns *ListCampaignsRequest
+
+	// Scheduler ring (protocol v6).
+	Forward *ForwardRequest  `json:",omitempty"`
+	Ring    *RingPingRequest `json:",omitempty"`
+	Segment *SegmentRequest  `json:",omitempty"`
 }
 
 // Response is the reply envelope. A Submit connection with Wait set is the
@@ -159,6 +193,83 @@ type Response struct {
 	Cancel        *CancelResponse
 	Info          *CampaignInfo
 	ListCampaigns *ListCampaignsResponse
+
+	// Scheduler ring (protocol v6).
+	Redirect *RedirectInfo     `json:",omitempty"`
+	Ring     *RingPingResponse `json:",omitempty"`
+	Segment  *SegmentResponse  `json:",omitempty"`
+}
+
+// ForwardRequest is the daemon-to-daemon envelope of the scheduler ring
+// (protocol v6): a shard that receives a request for a campaign it does not
+// own wraps the original request and sends it to the owning shard. A
+// forwarded request is always served locally by the receiver — Forward
+// never nests, so a stale ownership view cannot loop a request around the
+// ring. The response to a KindForward request is the inner response itself.
+type ForwardRequest struct {
+	// From is the forwarding shard's advertised ring address.
+	From string
+	// Inner is the original client request. Its own Forward field must be
+	// nil.
+	Inner *Request
+}
+
+// RedirectInfo is the ring's client fast path (protocol v6): a shard that
+// receives a streaming request (Submit-wait, Attach) for a campaign another
+// shard owns answers a single KindRedirect response instead of proxying the
+// stream. A v6 client re-issues the request against Owner and remembers the
+// mapping, so steady-state traffic goes direct; pre-v6 clients never see a
+// redirect — the daemon forwards server-side on their behalf.
+type RedirectInfo struct {
+	// ID is the campaign the redirect is about (0 for request kinds that
+	// carry no campaign).
+	ID uint64
+	// Owner is the ring address of the shard that owns the campaign.
+	Owner string
+}
+
+// RingPingRequest is the ring membership handshake and liveness beacon
+// (protocol v6). From identifies the pinging shard; Members is its
+// configured member list, letting peers cross-check that both sides were
+// started with the same ring.
+type RingPingRequest struct {
+	From    string
+	Members []string
+}
+
+// RingPingResponse is the handshake verdict. Accepted=false means the
+// responding daemon cannot be a ring member on this connection — in
+// practice because the connection negotiated below protocol v6 (the daemon
+// is version-capped or predates the ring kinds). Version is the negotiated
+// version, so the pinging shard can report precisely why membership was
+// refused while the refusing daemon keeps serving plain client traffic.
+type RingPingResponse struct {
+	Accepted bool
+	Version  int
+	// Owned counts campaigns the responding shard currently owns — a cheap
+	// liveness payload the shard gauges surface.
+	Owned int
+}
+
+// SegmentRequest pulls a peer's campaign-journal bytes (protocol v6) for
+// failover replay. Generation names the journal incarnation the puller has
+// seen (journals change generation when rotated or compacted); Offset is
+// the byte position after the puller's last pull within that generation.
+type SegmentRequest struct {
+	From       string
+	Generation uint64
+	Offset     int64
+}
+
+// SegmentResponse carries journal bytes from Offset (of the request) to the
+// journal's current end. Reset=true means the journal's generation changed
+// (rotation/compaction rewrote the file): Data then starts at offset 0 of
+// the new generation and the puller must replace, not append, its replica.
+type SegmentResponse struct {
+	Generation uint64
+	Offset     int64
+	Data       []byte
+	Reset      bool
 }
 
 // RegisterRequest is a SeD announcing itself to the master agent.
@@ -557,6 +668,22 @@ type StatsResponse struct {
 	Tenants []TenantStatus
 }
 
+// RemoteError is an answered request whose response carried an Err payload:
+// the peer was reachable and spoke the protocol, it just refused or failed
+// the operation. Ring-aware clients use the distinction to stop rotating
+// through members — an authoritative refusal from one shard will not get
+// better at the next — while plain transport failures stay retryable.
+type RemoteError struct {
+	// Kind is the request kind the error answers.
+	Kind string
+	// Msg is the remote's error text, verbatim.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("diet: %s: remote error: %s", e.Kind, e.Msg)
+}
+
 // dialTimeout bounds every protocol round trip.
 const dialTimeout = 5 * time.Second
 
@@ -623,7 +750,7 @@ func RoundTripContext(ctx context.Context, addr string, req *Request, d time.Dur
 	wireRxFrames.Add(1)
 	RecordPeerVersion(addr, resp.Version)
 	if resp.Err != "" {
-		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
+		return nil, &RemoteError{Kind: req.Kind, Msg: resp.Err}
 	}
 	return &resp, nil
 }

@@ -81,30 +81,59 @@ func ForceLegacyCodec(v bool) { forceLegacy.Store(v) }
 // LegacyCodecForced reports whether ForceLegacyCodec is in effect.
 func LegacyCodecForced() bool { return forceLegacy.Load() }
 
+// maxPeerVersions bounds the capability cache the same way the scheduler
+// bounds its tenant table (maxDynamicTenants): the cache is an optimization,
+// not state, so a load injector sweeping thousands of ephemeral addresses —
+// or a large ring — must not grow it without limit. At the cap an arbitrary
+// entry is evicted; the victim's next exchange simply re-probes over the
+// legacy codec and re-learns the peer's version from the response.
+const maxPeerVersions = 1024
+
 // peerVersions caches the highest protocol version each peer address has
-// answered with. Binary framing is opt-in per peer: the first exchange to an
-// unknown address always uses the legacy codec (safe against any version),
-// and the response's negotiated version unlocks binary for the follow-ups.
-// A binary exchange that dies before its first response frame downgrades the
-// entry, so a peer replaced by an older build self-heals on the next
-// (legacy) exchange.
-var peerVersions sync.Map // addr -> int
+// answered with, bounded by maxPeerVersions. Binary framing is opt-in per
+// peer: the first exchange to an unknown address always uses the legacy
+// codec (safe against any version), and the response's negotiated version
+// unlocks binary for the follow-ups. A binary exchange that dies before its
+// first response frame downgrades the entry, so a peer replaced by an older
+// build self-heals on the next (legacy) exchange.
+var (
+	peerVersionsMu sync.Mutex
+	peerVersions   = make(map[string]int)
+)
 
 // PeerVersion returns the cached protocol version for addr (0 if the peer
-// has not answered yet).
+// has not answered yet, or its entry was evicted).
 func PeerVersion(addr string) int {
-	if v, ok := peerVersions.Load(addr); ok {
-		return v.(int)
-	}
-	return 0
+	peerVersionsMu.Lock()
+	defer peerVersionsMu.Unlock()
+	return peerVersions[addr]
 }
 
-// RecordPeerVersion caches the protocol version addr answered with.
+// RecordPeerVersion caches the protocol version addr answered with. A new
+// address arriving at the cap evicts an arbitrary existing entry first;
+// updates to known addresses never evict.
 func RecordPeerVersion(addr string, ver int) {
 	if ver < 0 {
 		ver = 0
 	}
-	peerVersions.Store(addr, ver)
+	peerVersionsMu.Lock()
+	defer peerVersionsMu.Unlock()
+	if _, known := peerVersions[addr]; !known && len(peerVersions) >= maxPeerVersions {
+		for victim := range peerVersions {
+			if victim != addr {
+				delete(peerVersions, victim)
+				break
+			}
+		}
+	}
+	peerVersions[addr] = ver
+}
+
+// PeerVersionCacheLen reports the capability cache's current size (tests).
+func PeerVersionCacheLen() int {
+	peerVersionsMu.Lock()
+	defer peerVersionsMu.Unlock()
+	return len(peerVersions)
 }
 
 // UseBinary reports whether an exchange announcing version ver should open
@@ -277,7 +306,7 @@ func roundTripBinary(ctx context.Context, addr string, req *Request, d time.Dura
 	}
 	RecordPeerVersion(addr, resp.Version)
 	if resp.Err != "" {
-		return nil, fmt.Errorf("diet: %s: remote error: %s", req.Kind, resp.Err)
+		return nil, &RemoteError{Kind: req.Kind, Msg: resp.Err}
 	}
 	return resp, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"oagrid/internal/core"
@@ -44,10 +45,19 @@ var (
 	ErrCampaignCancelled = errors.New("grid: campaign cancelled")
 )
 
-// Client submits campaigns to a scheduler daemon.
+// Client submits campaigns to a scheduler daemon — or to a ring of them:
+// with Addrs set, every exchange can fall back to the other members when the
+// primary is unreachable, and v6 ownership redirects are followed and cached
+// so steady-state traffic goes straight to the owning shard.
 type Client struct {
-	// Addr is the scheduler's address.
+	// Addr is the scheduler's address — the primary ring member when Addrs
+	// is also set. It doubles as the route-cache seed: redirects learned
+	// through this client are remembered per (Addr, campaign ID).
 	Addr string
+	// Addrs lists further ring members to try when Addr (or a cached route)
+	// is unreachable. Order is the fallback order; Addr is always tried
+	// before them. Empty for a single-daemon deployment.
+	Addrs []string
 	// Timeout bounds one protocol frame: the dial, the submit write, and each
 	// received frame (verdict, progress, result) gets this long. The deadline
 	// is refreshed on every frame, so a streamed campaign may run arbitrarily
@@ -56,6 +66,131 @@ type Client struct {
 	// daemon, which sends no progress frames, this is also the whole-campaign
 	// bound).
 	Timeout time.Duration
+}
+
+// ---- ring routing ----------------------------------------------------------
+
+// routeKey scopes a learned campaign route to the client seed that learned
+// it, so two clients pointed at unrelated rings never cross-pollute.
+type routeKey struct {
+	seed string
+	id   uint64
+}
+
+// maxRingRoutes bounds the learned-route cache the same way the transport
+// bounds its peer-version cache: routes are an optimization, not state — an
+// evicted victim's next exchange just eats one extra redirect hop.
+const maxRingRoutes = 4096
+
+var (
+	ringRoutesMu sync.Mutex
+	ringRoutes   = make(map[routeKey]string)
+)
+
+// learnRoute remembers which shard owns a campaign. A new route arriving at
+// the cap evicts an arbitrary existing entry first.
+func learnRoute(seed string, id uint64, owner string) {
+	if id == 0 || owner == "" || owner == seed {
+		return
+	}
+	ringRoutesMu.Lock()
+	defer ringRoutesMu.Unlock()
+	k := routeKey{seed: seed, id: id}
+	if _, known := ringRoutes[k]; !known && len(ringRoutes) >= maxRingRoutes {
+		for victim := range ringRoutes {
+			if victim != k {
+				delete(ringRoutes, victim)
+				break
+			}
+		}
+	}
+	ringRoutes[k] = owner
+}
+
+// routeFor returns the cached owner for a campaign ("" when unknown).
+func routeFor(seed string, id uint64) string {
+	ringRoutesMu.Lock()
+	defer ringRoutesMu.Unlock()
+	return ringRoutes[routeKey{seed: seed, id: id}]
+}
+
+// forgetRoute drops a cached route — called when its shard stopped
+// answering, so failover rediscovery starts from the surviving members.
+func forgetRoute(seed string, id uint64) {
+	ringRoutesMu.Lock()
+	defer ringRoutesMu.Unlock()
+	delete(ringRoutes, routeKey{seed: seed, id: id})
+}
+
+// ringRouteCacheLen reports the route cache's current size (tests).
+func ringRouteCacheLen() int {
+	ringRoutesMu.Lock()
+	defer ringRoutesMu.Unlock()
+	return len(ringRoutes)
+}
+
+// candidates is the address order one exchange walks: the learned route for
+// the campaign first (steady-state traffic goes direct), then Addr, then the
+// Addrs fallbacks, deduplicated.
+func (c *Client) candidates(id uint64) []string {
+	out := make([]string, 0, len(c.Addrs)+2)
+	seen := make(map[string]bool, len(c.Addrs)+2)
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	if id != 0 {
+		add(routeFor(c.Addr, id))
+	}
+	add(c.Addr)
+	for _, a := range c.Addrs {
+		add(a)
+	}
+	return out
+}
+
+// maxRedirectHops bounds how many ownership redirects one exchange follows
+// before moving to the next candidate — enough for a route to settle during
+// failover, small enough that a confused ring cannot bounce a client
+// forever.
+const maxRedirectHops = 3
+
+// ringRoundTrip sends a one-shot request across the client's member set: it
+// walks candidates(id), follows up to maxRedirectHops ownership redirects
+// per candidate (learning each), rotates to the next member on transport
+// failure, and stops immediately on an answered error — a shard that
+// answered authoritatively will not answer differently elsewhere. It returns
+// the response and the address that served it.
+func (c *Client) ringRoundTrip(ctx context.Context, id uint64, req *diet.Request) (*diet.Response, string, error) {
+	var lastErr error
+	for _, addr := range c.candidates(id) {
+		target := addr
+		for hop := 0; hop <= maxRedirectHops; hop++ {
+			resp, err := diet.RoundTripContext(ctx, target, req, c.timeout())
+			if err != nil {
+				var remote *diet.RemoteError
+				if errors.As(err, &remote) || ctx.Err() != nil {
+					return nil, target, err
+				}
+				forgetRoute(c.Addr, id)
+				lastErr = err
+				break // transport failure: rotate to the next member
+			}
+			if resp.Redirect != nil && resp.Redirect.Owner != "" && resp.Redirect.Owner != target {
+				learnRoute(c.Addr, id, resp.Redirect.Owner)
+				target = resp.Redirect.Owner
+				continue
+			}
+			learnRoute(c.Addr, id, target)
+			return resp, target, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("grid: no scheduler answered %s for campaign %d", req.Kind, id)
+	}
+	return nil, "", lastErr
 }
 
 func (c *Client) timeout() time.Duration {
@@ -85,6 +220,7 @@ func (c *Client) Run(app core.Application, heuristic string) (*diet.CampaignResu
 // The codec is fixed at open time: binary framing when the daemon is known
 // to speak v4, the legacy gob codec otherwise (fdec nil).
 type campaignStream struct {
+	addr string // the member this stream dialed (ring clients rotate)
 	conn net.Conn
 	cc   net.Conn // counted wrapper around conn
 	dec  *gob.Decoder
@@ -105,22 +241,22 @@ func (st *campaignStream) close() {
 	}
 }
 
-// openStream dials the daemon, ties the connection to ctx, and sends req.
-func (c *Client) openStream(ctx context.Context, req *diet.Request) (*campaignStream, error) {
+// openStreamAt dials one member, ties the connection to ctx, and sends req.
+func (c *Client) openStreamAt(ctx context.Context, addr string, req *diet.Request) (*campaignStream, error) {
 	dialer := net.Dialer{Timeout: c.timeout()}
-	conn, err := dialer.DialContext(ctx, "tcp", c.Addr)
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("grid: dialing %s: %w", c.Addr, err)
+		return nil, fmt.Errorf("grid: dialing %s: %w", addr, err)
 	}
 	stop := diet.AbortOnDone(ctx, conn)
 	cc := diet.CountConn(conn)
-	st := &campaignStream{conn: conn, cc: cc, stop: stop}
+	st := &campaignStream{addr: addr, conn: conn, cc: cc, stop: stop}
 	if err := conn.SetDeadline(time.Now().Add(c.timeout())); err != nil {
 		st.close()
 		return nil, err
 	}
 	var encErr error
-	if diet.UseBinary(c.Addr, req.Version) {
+	if diet.UseBinary(addr, req.Version) {
 		// Retained decoding: progress frames and results outlive the stream
 		// (the dial layer republishes them as client events).
 		st.fdec = diet.GetFrameDecoder(true)
@@ -137,7 +273,7 @@ func (c *Client) openStream(ctx context.Context, req *diet.Request) (*campaignSt
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		return nil, fmt.Errorf("grid: encoding %s to %s: %w", req.Kind, c.Addr, encErr)
+		return nil, fmt.Errorf("grid: encoding %s to %s: %w", req.Kind, addr, encErr)
 	}
 	return st, nil
 }
@@ -165,7 +301,7 @@ func (c *Client) nextFrame(ctx context.Context, st *campaignStream) (*diet.Respo
 	}
 	if err != nil {
 		if st.fdec != nil && !st.sawFrame {
-			diet.RecordPeerVersion(c.Addr, diet.ProtocolV3)
+			diet.RecordPeerVersion(st.addr, diet.ProtocolV3)
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -173,7 +309,7 @@ func (c *Client) nextFrame(ctx context.Context, st *campaignStream) (*diet.Respo
 		return nil, err
 	}
 	st.sawFrame = true
-	diet.RecordPeerVersion(c.Addr, resp.Version)
+	diet.RecordPeerVersion(st.addr, resp.Version)
 	return resp, ctx.Err()
 }
 
@@ -201,7 +337,7 @@ func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64
 			}
 			return frame.Result, nil
 		default:
-			return nil, fmt.Errorf("%w: %s sent an empty frame for campaign %d", ErrProtocol, c.Addr, id)
+			return nil, fmt.Errorf("%w: %s sent an empty frame for campaign %d", ErrProtocol, st.addr, id)
 		}
 	}
 }
@@ -220,7 +356,7 @@ func (c *Client) streamResult(ctx context.Context, st *campaignStream, id uint64
 // the connection, while the campaign itself keeps running server-side to
 // its own deadline (CancelContext is the way to stop the work itself).
 func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic string, meta SubmitMeta, onAdmit func(uint64), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
-	st, err := c.openStream(ctx, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+	req := &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
 		Scenarios: app.Scenarios,
 		Months:    app.Months,
 		Heuristic: heuristic,
@@ -229,7 +365,22 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 		Priority:  meta.Priority,
 		Labels:    meta.Labels,
 		Deadline:  meta.Deadline,
-	}})
+	}}
+	// Any ring member admits a submission (ownership is decided at ID
+	// allocation, on the daemon), so rotation happens only when the dial
+	// itself fails — once the request is on the wire the exchange is not
+	// idempotent and must not be replayed elsewhere.
+	var st *campaignStream
+	var err error
+	for _, addr := range c.candidates(0) {
+		st, err = c.openStreamAt(ctx, addr, req)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -237,17 +388,20 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 
 	verdict, err := c.nextFrame(ctx, st)
 	if err != nil {
-		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", c.Addr, err)
+		return nil, fmt.Errorf("grid: decoding admission verdict from %s: %w", st.addr, err)
 	}
 	if verdict.Err != "" {
-		return nil, fmt.Errorf("%w: submit to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
+		return nil, fmt.Errorf("%w: submit to %s: remote error: %s", ErrProtocol, st.addr, verdict.Err)
 	}
 	if verdict.Submit == nil {
-		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, st.addr)
 	}
 	if !verdict.Submit.Accepted {
 		return nil, rejectionError(verdict.Submit)
 	}
+	// The admitting member owns the campaign: remember it so a later Attach
+	// or poll through this client goes straight there.
+	learnRoute(c.Addr, verdict.Submit.ID, st.addr)
 	if onAdmit != nil {
 		onAdmit(verdict.Submit.ID)
 	}
@@ -261,32 +415,75 @@ func (c *Client) RunContext(ctx context.Context, app core.Application, heuristic
 // delivered to onAttach when non-nil. An ID the daemon does not know
 // returns an error wrapping ErrUnknownCampaign.
 func (c *Client) AttachContext(ctx context.Context, id uint64, onAttach func(*diet.AttachResponse), onProgress func(*diet.ProgressUpdate)) (*diet.CampaignResult, error) {
-	st, err := c.openStream(ctx, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindAttach, Attach: &diet.AttachRequest{
+	var lastErr error
+	for _, addr := range c.candidates(id) {
+		target := addr
+		for hop := 0; hop <= maxRedirectHops; hop++ {
+			res, redirect, reachable, err := c.attachAt(ctx, target, id, onAttach, onProgress)
+			if redirect != "" && redirect != target {
+				learnRoute(c.Addr, id, redirect)
+				target = redirect
+				continue
+			}
+			if err == nil || reachable {
+				// Answered — successfully or authoritatively (unknown ID,
+				// protocol violation, stream lost mid-result): another member
+				// cannot do better, so stop rotating.
+				if err == nil {
+					learnRoute(c.Addr, id, target)
+				}
+				return res, err
+			}
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			forgetRoute(c.Addr, id)
+			lastErr = err
+			break // member unreachable: rotate
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("grid: no scheduler answered attach for campaign %d", id)
+	}
+	return nil, lastErr
+}
+
+// attachAt runs one attach exchange against one member. reachable reports
+// whether the member answered the verdict frame — false means the dial or
+// the verdict itself failed and the caller may rotate to another member
+// (attach is idempotent); a non-empty redirect is the member's ownership
+// answer and the caller should retry there.
+func (c *Client) attachAt(ctx context.Context, addr string, id uint64, onAttach func(*diet.AttachResponse), onProgress func(*diet.ProgressUpdate)) (res *diet.CampaignResult, redirect string, reachable bool, err error) {
+	st, err := c.openStreamAt(ctx, addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindAttach, Attach: &diet.AttachRequest{
 		ID:       id,
 		Progress: true,
 	}})
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	defer st.close()
 
 	verdict, err := c.nextFrame(ctx, st)
 	if err != nil {
-		return nil, fmt.Errorf("grid: decoding attach verdict from %s: %w", c.Addr, err)
+		return nil, "", false, fmt.Errorf("grid: decoding attach verdict from %s: %w", addr, err)
+	}
+	if verdict.Redirect != nil && verdict.Redirect.Owner != "" {
+		return nil, verdict.Redirect.Owner, true, nil
 	}
 	if verdict.Err != "" {
-		return nil, fmt.Errorf("%w: attach to %s: remote error: %s", ErrProtocol, c.Addr, verdict.Err)
+		return nil, "", true, fmt.Errorf("%w: attach to %s: remote error: %s", ErrProtocol, addr, verdict.Err)
 	}
 	if verdict.Attach == nil {
-		return nil, fmt.Errorf("%w: %s sent no attach verdict", ErrProtocol, c.Addr)
+		return nil, "", true, fmt.Errorf("%w: %s sent no attach verdict", ErrProtocol, addr)
 	}
 	if !verdict.Attach.Found {
-		return nil, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+		return nil, "", true, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, addr)
 	}
 	if onAttach != nil {
 		onAttach(verdict.Attach)
 	}
-	return c.streamResult(ctx, st, id, onProgress)
+	res, err = c.streamResult(ctx, st, id, onProgress)
+	return res, "", true, err
 }
 
 // RunRetry is Run with admission-control backoff: a rejected submission is
@@ -319,20 +516,21 @@ func (c *Client) Submit(app core.Application, heuristic string) (*diet.SubmitRes
 // SubmitContext enqueues a campaign without waiting (the async half of the
 // protocol); poll with ResultContext.
 func (c *Client) SubmitContext(ctx context.Context, app core.Application, heuristic string) (*diet.SubmitResponse, error) {
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
+	resp, servedBy, err := c.ringRoundTrip(ctx, 0, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindSubmit, Submit: &diet.SubmitRequest{
 		Scenarios: app.Scenarios,
 		Months:    app.Months,
 		Heuristic: heuristic,
-	}}, c.timeout())
+	}})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Submit == nil {
-		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no admission verdict", ErrProtocol, servedBy)
 	}
 	if !resp.Submit.Accepted {
 		return resp.Submit, rejectionError(resp.Submit)
 	}
+	learnRoute(c.Addr, resp.Submit.ID, servedBy)
 	return resp.Submit, nil
 }
 
@@ -354,12 +552,12 @@ func (c *Client) Result(id uint64) (*diet.CampaignResult, error) {
 
 // ResultContext polls a campaign's current state by ID.
 func (c *Client) ResultContext(ctx context.Context, id uint64) (*diet.CampaignResult, error) {
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindResult, Result: &diet.ResultRequest{ID: id}}, c.timeout())
+	resp, servedBy, err := c.ringRoundTrip(ctx, id, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindResult, Result: &diet.ResultRequest{ID: id}})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Result == nil {
-		return nil, fmt.Errorf("%w: %s sent no result for campaign %d", ErrProtocol, c.Addr, id)
+		return nil, fmt.Errorf("%w: %s sent no result for campaign %d", ErrProtocol, servedBy, id)
 	}
 	return resp.Result, nil
 }
@@ -371,12 +569,12 @@ func (c *Client) Stats() (*diet.StatsResponse, error) {
 
 // StatsContext fetches the daemon's gauges.
 func (c *Client) StatsContext(ctx context.Context) (*diet.StatsResponse, error) {
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{}}, c.timeout())
+	resp, servedBy, err := c.ringRoundTrip(ctx, 0, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{}})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Stats == nil {
-		return nil, fmt.Errorf("%w: %s sent no stats", ErrProtocol, c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no stats", ErrProtocol, servedBy)
 	}
 	return resp.Stats, nil
 }
@@ -388,15 +586,15 @@ func (c *Client) StatsContext(ctx context.Context) (*diet.StatsResponse, error) 
 // that reached done/failed first returns that status with a nil error —
 // cancelling a finished campaign is a no-op, not a failure.
 func (c *Client) CancelContext(ctx context.Context, id uint64) (string, error) {
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindCancel, Cancel: &diet.CancelRequest{ID: id}}, c.timeout())
+	resp, servedBy, err := c.ringRoundTrip(ctx, id, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindCancel, Cancel: &diet.CancelRequest{ID: id}})
 	if err != nil {
 		return "", err
 	}
 	if resp.Cancel == nil {
-		return "", fmt.Errorf("%w: %s sent no cancel verdict for campaign %d", ErrProtocol, c.Addr, id)
+		return "", fmt.Errorf("%w: %s sent no cancel verdict for campaign %d", ErrProtocol, servedBy, id)
 	}
 	if !resp.Cancel.Found {
-		return "", fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+		return "", fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, servedBy)
 	}
 	return resp.Cancel.Status, nil
 }
@@ -404,15 +602,15 @@ func (c *Client) CancelContext(ctx context.Context, id uint64) (string, error) {
 // InfoContext fetches one campaign's control-plane snapshot. An unknown ID
 // returns an error wrapping ErrUnknownCampaign.
 func (c *Client) InfoContext(ctx context.Context, id uint64) (*diet.CampaignInfo, error) {
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindInfo, Info: &diet.InfoRequest{ID: id}}, c.timeout())
+	resp, servedBy, err := c.ringRoundTrip(ctx, id, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindInfo, Info: &diet.InfoRequest{ID: id}})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Info == nil {
-		return nil, fmt.Errorf("%w: %s sent no info for campaign %d", ErrProtocol, c.Addr, id)
+		return nil, fmt.Errorf("%w: %s sent no info for campaign %d", ErrProtocol, servedBy, id)
 	}
 	if !resp.Info.Found {
-		return nil, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, c.Addr)
+		return nil, fmt.Errorf("%w: %d at %s", ErrUnknownCampaign, id, servedBy)
 	}
 	return resp.Info, nil
 }
@@ -424,12 +622,12 @@ func (c *Client) ListCampaignsContext(ctx context.Context, filter *diet.ListCamp
 	if filter == nil {
 		filter = &diet.ListCampaignsRequest{}
 	}
-	resp, err := diet.RoundTripContext(ctx, c.Addr, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindListCampaigns, ListCampaigns: filter}, c.timeout())
+	resp, servedBy, err := c.ringRoundTrip(ctx, 0, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindListCampaigns, ListCampaigns: filter})
 	if err != nil {
 		return nil, err
 	}
 	if resp.ListCampaigns == nil {
-		return nil, fmt.Errorf("%w: %s sent no campaign list", ErrProtocol, c.Addr)
+		return nil, fmt.Errorf("%w: %s sent no campaign list", ErrProtocol, servedBy)
 	}
 	return resp.ListCampaigns.Campaigns, nil
 }

@@ -33,6 +33,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oagrid/internal/core"
@@ -242,6 +243,11 @@ type Scheduler struct {
 	wg     sync.WaitGroup
 
 	metrics *metricsServer // nil without a MetricsAddr
+
+	// shard is the ring runtime once JoinRing ran; nil for a standalone
+	// daemon. Atomic because request dispatch reads it lock-free while
+	// JoinRing installs it after Start.
+	shard atomic.Pointer[shardManager]
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
@@ -494,6 +500,9 @@ func (s *Scheduler) Close() error {
 	default:
 		close(s.done)
 	}
+	if sm := s.shard.Load(); sm != nil {
+		sm.close()
+	}
 	s.wg.Wait()
 	if s.metrics != nil {
 		s.metrics.close()
@@ -710,7 +719,10 @@ func (s *Scheduler) admit(req *diet.SubmitRequest) (*campaign, *diet.SubmitRespo
 		}
 	}
 	t := s.tenant(tenantName)
-	s.nextID++
+	// Ring members mint only IDs they are home for (ownedIDAfter skips the
+	// rest), so two shards can never allocate the same campaign ID however
+	// their liveness views diverge; standalone daemons allocate densely.
+	s.nextID = s.ownedIDAfter(s.nextID)
 	c := newCampaign(s.nextID, app, req.Heuristic, submitMeta{
 		priority: req.Priority,
 		labels:   req.Labels,
@@ -998,6 +1010,40 @@ func (s *Scheduler) queuePositions() map[uint64]int {
 	return pos
 }
 
+// queuePosition computes one campaign's 1-based dispatch position within
+// its tenant's queue — the rank queuePositions would assign it — without
+// materializing the batch snapshot: a single pass over the one tenant's
+// queue counting campaigns that would dispatch at or before it. 0 when the
+// campaign is not queued. This is the single-ID Info path: under a deep
+// queue it allocates nothing, where the batch snapshot copies and sorts
+// every tenant's queue per call.
+func (s *Scheduler) queuePosition(c *campaign) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[c.tenant]
+	if t == nil {
+		return 0
+	}
+	now := time.Now()
+	pc := s.effPriority(c, now)
+	rank, found := 0, false
+	for _, q := range t.queue {
+		if q == c {
+			rank++
+			found = true
+			continue
+		}
+		pq := s.effPriority(q, now)
+		if pq > pc || (pq == pc && q.id < c.id) {
+			rank++
+		}
+	}
+	if !found {
+		return 0
+	}
+	return rank
+}
+
 // CampaignInfo snapshots one campaign's control-plane view; an unknown ID
 // comes back with Found unset.
 func (s *Scheduler) CampaignInfo(id uint64) *diet.CampaignInfo {
@@ -1006,7 +1052,7 @@ func (s *Scheduler) CampaignInfo(id uint64) *diet.CampaignInfo {
 		return &diet.CampaignInfo{ID: id}
 	}
 	info := c.info()
-	info.QueuePos = s.queuePositions()[id]
+	info.QueuePos = s.queuePosition(c)
 	return &info
 }
 

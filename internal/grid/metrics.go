@@ -176,4 +176,41 @@ func (s *Scheduler) writeMetrics(w io.Writer) {
 	mw.sample("oagrid_wire_tx_frames_total", float64(wire.FramesTx))
 	mw.family("oagrid_wire_rx_frames_total", "counter", "Process-wide wire frames received.")
 	mw.sample("oagrid_wire_rx_frames_total", float64(wire.FramesRx))
+
+	if sm := s.shardManager(); sm != nil {
+		s.writeRingMetrics(mw, sm)
+	}
+}
+
+// writeRingMetrics renders the shard gauges of a ring member: the ring size
+// and per-peer liveness, the routing counters (forwards, redirects, proxied
+// attaches, fan-outs, requests served on peers' behalf), failover adoptions,
+// and each peer replica's on-disk size.
+func (s *Scheduler) writeRingMetrics(mw *metricsWriter, sm *shardManager) {
+	mw.family("oagrid_ring_size", "gauge", "Configured ring member count, this shard included.")
+	mw.sample("oagrid_ring_size", float64(len(sm.ring.Members())))
+	mw.family("oagrid_ring_peer_alive", "gauge", "1 when the ring peer answered its membership ping within the death deadline.")
+	for _, ps := range sm.members.Snapshot() {
+		alive := 0.0
+		if ps.Alive {
+			alive = 1
+		}
+		mw.sample("oagrid_ring_peer_alive", alive, "peer", ps.Addr)
+	}
+	mw.family("oagrid_ring_forwarded_total", "counter", "Requests forwarded to their owning shard for legacy clients.")
+	mw.sample("oagrid_ring_forwarded_total", float64(sm.forwarded.Load()))
+	mw.family("oagrid_ring_redirects_total", "counter", "Ownership redirects answered to v6 clients.")
+	mw.sample("oagrid_ring_redirects_total", float64(sm.redirected.Load()))
+	mw.family("oagrid_ring_proxied_total", "counter", "Attach streams relayed to their owning shard for legacy clients.")
+	mw.sample("oagrid_ring_proxied_total", float64(sm.proxied.Load()))
+	mw.family("oagrid_ring_fanouts_total", "counter", "List/stats requests fanned out over the alive peer set.")
+	mw.sample("oagrid_ring_fanouts_total", float64(sm.fanouts.Load()))
+	mw.family("oagrid_ring_served_total", "counter", "Forwarded requests served here on a peer's behalf.")
+	mw.sample("oagrid_ring_served_total", float64(sm.served.Load()))
+	mw.family("oagrid_ring_adopted_total", "counter", "Campaigns adopted from dead peers' WAL replicas.")
+	mw.sample("oagrid_ring_adopted_total", float64(sm.adopted.Load()))
+	mw.family("oagrid_ring_replica_bytes", "gauge", "On-disk size of the peer's tailed WAL replica.")
+	for _, p := range sm.ring.Peers() {
+		mw.sample("oagrid_ring_replica_bytes", float64(sm.replicaBytes(p)), "peer", p)
+	}
 }

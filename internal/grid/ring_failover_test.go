@@ -1,0 +1,396 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"oagrid/internal/core"
+	"oagrid/internal/diet"
+	"oagrid/internal/exec"
+	"oagrid/internal/platform"
+	"oagrid/internal/ring"
+)
+
+// ringTestMember is one in-process shard of a test ring: a durable scheduler
+// plus a close guard (the failover test kills one member mid-run and the
+// cleanup must not close it twice).
+type ringTestMember struct {
+	sched *Scheduler
+	once  sync.Once
+}
+
+func (m *ringTestMember) close() {
+	m.once.Do(func() { m.sched.Close() })
+}
+
+// startTestRing starts n durable schedulers on ephemeral ports, joins them
+// into one ring with tight heartbeats, and registers cleanup.
+func startTestRing(t *testing.T, n int, hb, dead time.Duration) ([]*ringTestMember, []string) {
+	t.Helper()
+	base := t.TempDir()
+	members := make([]*ringTestMember, n)
+	addrs := make([]string, n)
+	for i := range members {
+		cfg := testConfig()
+		cfg.StateDir = filepath.Join(base, fmt.Sprintf("shard%d", i))
+		sched, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = &ringTestMember{sched: sched}
+		addrs[i] = sched.Addr()
+		t.Cleanup(members[i].close)
+	}
+	for i, m := range members {
+		if err := m.sched.JoinRing(addrs[i], addrs, hb, dead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return members, addrs
+}
+
+// startRingSeDs gives one shard a SeD fleet over the paper's first two
+// cluster profiles at 30 processors — the same fleet on every shard, which
+// is what makes cross-shard failover bit-identical.
+func startRingSeDs(t *testing.T, schedAddr string, clusters map[string]*platform.Cluster) {
+	t.Helper()
+	for _, cl := range platform.FiveClusters()[:2] {
+		cl.Procs = 30
+		sed, err := diet.StartSeD("127.0.0.1:0", cl, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sed.Close() })
+		sed.StartHeartbeats(schedAddr, 25*time.Millisecond)
+		clusters[cl.Name] = cl
+	}
+}
+
+// waitLocalAlive polls a scheduler's own (in-process, non-fanned-out) stats
+// until n SeDs are alive.
+func waitLocalAlive(t *testing.T, s *Scheduler, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		alive := 0
+		for _, sd := range s.Stats().SeDs {
+			if sd.Alive {
+				alive++
+			}
+		}
+		if alive >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler %s never saw %d live SeDs", s.Addr(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRingFailoverBitIdentical is the tentpole acceptance test: a 3-shard
+// ring takes campaigns on every member, one member dies with admitted but
+// unstarted campaigns, the survivors replay its WAL replica, adopt its
+// campaigns by failover ownership, and finish every one of them — with
+// results bit-identical to a standalone daemon running the same application
+// over the same cluster profiles.
+func TestRingFailoverBitIdentical(t *testing.T) {
+	members, addrs := startTestRing(t, 3, 25*time.Millisecond, 150*time.Millisecond)
+
+	// Shards 1 and 2 get identical SeD fleets; shard 0 — the victim — gets
+	// none, so its campaigns are guaranteed non-terminal when it dies.
+	clusters := map[string]*platform.Cluster{}
+	startRingSeDs(t, addrs[1], clusters)
+	startRingSeDs(t, addrs[2], clusters)
+	waitLocalAlive(t, members[1].sched, 2, 5*time.Second)
+	waitLocalAlive(t, members[2].sched, 2, 5*time.Second)
+
+	// Reference outcome: a standalone (ring-free) daemon over the same two
+	// profiles. Deterministic evaluation makes every campaign of the same
+	// application bit-identical to this, wherever it runs.
+	app := core.Application{Scenarios: 4, Months: 12}
+	ref := startFabric(t, testConfig(), 2)
+	want, err := (&Client{Addr: ref.Sched.Addr(), Timeout: 60 * time.Second}).Run(app, core.NameKnapsack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two campaigns per shard, admitted at their submission target (submits
+	// are always served locally, so admission spreads ownership).
+	const campaigns = 6
+	ids := make([]uint64, campaigns)
+	for i := 0; i < campaigns; i++ {
+		c := &Client{Addr: addrs[i%3], Timeout: 30 * time.Second}
+		sub, err := c.Submit(app, core.NameKnapsack)
+		if err != nil {
+			t.Fatalf("submit %d via %s: %v", i, addrs[i%3], err)
+		}
+		if !sub.Accepted {
+			t.Fatalf("submit %d rejected: %s", i, sub.Reason)
+		}
+		ids[i] = sub.ID
+	}
+	// Shard-minted IDs must be home-owned by their minting shard.
+	sm0 := members[0].sched.shardManager()
+	for i, id := range ids {
+		if home := sm0.ring.Home(id); home != addrs[i%3] {
+			t.Fatalf("campaign %d (id %d) minted by %s but home is %s", i, id, addrs[i%3], home)
+		}
+	}
+
+	// Wait until both survivors' replicas cover the victim's whole journal —
+	// the durability precondition for failover.
+	victim := members[0].sched
+	victimSize := victim.store.Size()
+	if victimSize == 0 {
+		t.Fatal("victim journaled nothing")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, si := range []int{1, 2} {
+			if members[si].sched.shardManager().replicaBytes(addrs[0]) < victimSize {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never caught up to the victim's %d journal bytes", victimSize)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Kill the victim. The survivors declare it dead after the silence
+	// deadline and adopt its campaigns from the replica.
+	members[0].close()
+
+	// Drive every campaign to completion through the multi-addr client: it
+	// follows ownership redirects, learns routes, and rotates off the dead
+	// member. Adoption is asynchronous, so unknown-campaign verdicts and
+	// dead-owner windows are retried until the deadline.
+	mc := &Client{Addr: addrs[1], Addrs: []string{addrs[2]}, Timeout: 60 * time.Second}
+	deadline = time.Now().Add(60 * time.Second)
+	for i, id := range ids {
+		for {
+			res, err := mc.AttachContext(context.Background(), id, nil, nil)
+			if err == nil {
+				sameCampaignOutcome(t, fmt.Sprintf("ring campaign %d (id %d)", i, id), res, want)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %d (id %d) never completed after failover: %v", i, id, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// And the serial verifier agrees end to end.
+	v, err := NewVerifier(clusters, core.NameKnapsack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(app, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's two campaigns were adopted exactly once across survivors.
+	adopted := members[1].sched.shardManager().adopted.Load() +
+		members[2].sched.shardManager().adopted.Load()
+	if adopted != 2 {
+		t.Fatalf("survivors adopted %d campaigns, want 2", adopted)
+	}
+
+	// Fan-out views: any surviving member answers for the whole ring.
+	infos, err := mc.ListCampaignsContext(context.Background(), &diet.ListCampaignsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != campaigns {
+		t.Fatalf("ring-wide list holds %d campaigns, want %d", len(infos), campaigns)
+	}
+	seen := map[uint64]bool{}
+	for _, info := range infos {
+		if seen[info.ID] {
+			t.Fatalf("ring-wide list repeats campaign %d", info.ID)
+		}
+		seen[info.ID] = true
+	}
+	stats, err := mc.StatsContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != campaigns {
+		t.Fatalf("ring-wide stats count %d completed, want %d", stats.Completed, campaigns)
+	}
+
+	// Fresh work still flows through the survivors.
+	res, err := mc.RunContext(context.Background(), app, core.NameKnapsack, SubmitMeta{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaignOutcome(t, "post-failover campaign", res, want)
+}
+
+// TestRingRefusesIncompatiblePeer extends the cross-version matrix to ring
+// membership: a daemon capped at protocol v4 listed as a ring member is
+// refused with the typed ring.ErrIncompatiblePeer — never alive, never a
+// forwarding target — while it keeps serving plain client traffic at its own
+// negotiated version, bit-identically.
+func TestRingRefusesIncompatiblePeer(t *testing.T) {
+	oldCfg := testConfig()
+	oldCfg.MaxProtocol = diet.ProtocolV4
+	oldFabric := startFabric(t, oldCfg, 2)
+	oldAddr := oldFabric.Sched.Addr()
+
+	curCfg := testConfig()
+	curCfg.StateDir = t.TempDir()
+	cur, err := Start(curCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if err := cur.JoinRing(cur.Addr(), []string{cur.Addr(), oldAddr}, 25*time.Millisecond, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ping loop must record the typed refusal, not liveness.
+	sm := cur.shardManager()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := sm.members.Status(oldAddr)
+		if ok && st.Err != nil {
+			if !errors.Is(st.Err, ring.ErrIncompatiblePeer) {
+				t.Fatalf("peer status error = %v, want ring.ErrIncompatiblePeer", st.Err)
+			}
+			if st.Alive {
+				t.Fatal("incompatible peer reported alive")
+			}
+			if st.Version != diet.ProtocolV4 {
+				t.Fatalf("refused peer recorded version %d, want %d", st.Version, diet.ProtocolV4)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never refused the v4-capped peer (status %+v, ok %v)", st, ok)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sm.members.Alive(oldAddr) {
+		t.Fatal("incompatible peer counted in the alive set")
+	}
+
+	// The refused daemon still serves plain client campaigns at its cap.
+	app := core.Application{Scenarios: 4, Months: 12}
+	res, err := (&Client{Addr: oldAddr, Timeout: 30 * time.Second}).Run(app, core.NameKnapsack)
+	if err != nil {
+		t.Fatalf("v4-capped daemon stopped serving plain traffic: %v", err)
+	}
+	verifyReports(t, oldFabric, app, core.NameKnapsack, res)
+
+	// And the ring member itself keeps answering — the fan-out just skips
+	// the refused peer instead of failing on it.
+	if _, err := (&Client{Addr: cur.Addr(), Timeout: 10 * time.Second}).Stats(); err != nil {
+		t.Fatalf("ring member with a refused peer stopped serving: %v", err)
+	}
+}
+
+// TestOwnedIDAfterMintsOnlyHomeIDs pins the allocation rule that keeps shard
+// ID ranges disjoint: a ring member's allocator skips exactly the IDs other
+// shards are home for, and a standalone scheduler allocates densely.
+func TestOwnedIDAfterMintsOnlyHomeIDs(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	for _, self := range members {
+		r, err := ring.New(self, members)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Scheduler{}
+		s.shard.Store(&shardManager{ring: r})
+		id := uint64(0)
+		for i := 0; i < 200; i++ {
+			next := s.ownedIDAfter(id)
+			if next <= id {
+				t.Fatalf("%s: ownedIDAfter(%d) = %d did not advance", self, id, next)
+			}
+			if home := r.Home(next); home != self {
+				t.Fatalf("%s minted id %d homed at %s", self, next, home)
+			}
+			for j := id + 1; j < next; j++ {
+				if r.Home(j) == self {
+					t.Fatalf("%s skipped its own id %d on the way to %d", self, j, next)
+				}
+			}
+			id = next
+		}
+	}
+	// Standalone: every ID qualifies.
+	s := &Scheduler{}
+	if got := s.ownedIDAfter(7); got != 8 {
+		t.Fatalf("standalone ownedIDAfter(7) = %d, want 8", got)
+	}
+}
+
+// TestRingRouteCacheBounded pins the client route cache's bound: learning
+// far more routes than the cap never grows the cache past it, and a
+// single-daemon deployment (owner == seed) never populates it at all.
+func TestRingRouteCacheBounded(t *testing.T) {
+	for i := 0; i < maxRingRoutes+512; i++ {
+		learnRoute("bound-test-seed:1", uint64(i+1), "bound-test-owner:1")
+	}
+	if n := ringRouteCacheLen(); n > maxRingRoutes {
+		t.Fatalf("route cache holds %d entries, cap is %d", n, maxRingRoutes)
+	}
+	before := ringRouteCacheLen()
+	learnRoute("solo:1", 42, "solo:1") // owner == seed: the single-daemon case
+	if got := ringRouteCacheLen(); got != before {
+		t.Fatalf("single-daemon route cached (len %d -> %d)", before, got)
+	}
+	if got := routeFor("solo:1", 42); got != "" {
+		t.Fatalf("routeFor learned a self-route %q", got)
+	}
+	learnRoute("f:1", 7, "g:1")
+	if got := routeFor("f:1", 7); got != "g:1" {
+		t.Fatalf("routeFor = %q, want g:1", got)
+	}
+	forgetRoute("f:1", 7)
+	if got := routeFor("f:1", 7); got != "" {
+		t.Fatalf("forgotten route still resolves to %q", got)
+	}
+}
+
+// TestQueuePositionNoAllocs is the regression test for the Info hot path:
+// one campaign's queue position must not allocate, however deep the queues
+// are — the old implementation rebuilt a sorted position map of every queued
+// campaign per Info call.
+func TestQueuePositionNoAllocs(t *testing.T) {
+	for _, depth := range []int{4, 512} {
+		s := &Scheduler{tenants: map[string]*tenantState{}}
+		ts := &tenantState{name: "default", weight: 1}
+		now := time.Now()
+		for i := 0; i < depth; i++ {
+			ts.queue = append(ts.queue, &campaign{
+				id:         uint64(i + 1),
+				priority:   i % 7,
+				tenant:     "default",
+				enqueuedAt: now,
+			})
+		}
+		s.tenants["default"] = ts
+		probe := ts.queue[depth/2]
+		allocs := testing.AllocsPerRun(100, func() {
+			if got := s.queuePosition(probe); got == 0 {
+				t.Fatalf("queued campaign ranked 0")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("queuePosition allocates %.1f objects/op at depth %d, want 0", allocs, depth)
+		}
+	}
+}

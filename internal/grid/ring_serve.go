@@ -1,0 +1,324 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"oagrid/internal/diet"
+)
+
+// ---- ring request serving --------------------------------------------------
+//
+// The wire side of the scheduler ring (protocol v6). Three daemon-to-daemon
+// kinds are served here — the membership ping, the WAL segment pull, and the
+// forwarded-request envelope — plus the ownership routing that decides, per
+// client request, whether this shard serves, redirects (v6 clients), or
+// forwards/proxies on the client's behalf (legacy clients).
+
+// serveRingPing answers the ring membership handshake. Every daemon answers
+// — membership needs no prior ring state on the responder — but only a
+// connection negotiated at v6 or later is accepted: a version-capped or
+// pre-ring daemon is refused membership while it keeps serving plain client
+// traffic on the same socket.
+func (s *Scheduler) serveRingPing(ver int) *diet.Response {
+	s.mu.Lock()
+	owned := len(s.campaigns)
+	s.mu.Unlock()
+	return &diet.Response{Ring: &diet.RingPingResponse{
+		Accepted: ver >= diet.ProtocolV6,
+		Version:  ver,
+		Owned:    owned,
+	}}
+}
+
+// serveSegment ships acknowledged journal bytes to a ring peer tailing this
+// shard's WAL for failover replay.
+func (s *Scheduler) serveSegment(ver int, req *diet.SegmentRequest) *diet.Response {
+	if ver < diet.ProtocolV6 {
+		return &diet.Response{Err: "grid: ring-segment requires protocol v6"}
+	}
+	if req == nil {
+		return &diet.Response{Err: "ring-segment: empty payload"}
+	}
+	if s.store == nil {
+		return &diet.Response{Err: "grid: no journal to ship (daemon has no StateDir)"}
+	}
+	seg, err := s.store.ReadSegment(req.Generation, req.Offset)
+	if err != nil {
+		return &diet.Response{Err: err.Error()}
+	}
+	return &diet.Response{Segment: &diet.SegmentResponse{
+		Generation: seg.Generation,
+		Offset:     seg.Offset,
+		Data:       seg.Data,
+		Reset:      seg.Reset,
+	}}
+}
+
+// serveForward unwraps a daemon-to-daemon envelope and serves the inner
+// request locally, whatever this shard's ownership view says — the sender
+// already resolved ownership, and refusing to recurse is what keeps a stale
+// view from looping a request around the ring. Only one-shot kinds travel
+// forwarded; streaming kinds (submit-wait, attach) redirect or proxy instead.
+func (s *Scheduler) serveForward(ver int, req *diet.ForwardRequest) *diet.Response {
+	if ver < diet.ProtocolV6 {
+		return &diet.Response{Err: "grid: ring-forward requires protocol v6"}
+	}
+	if req == nil || req.Inner == nil {
+		return &diet.Response{Err: "ring-forward: empty payload"}
+	}
+	inner := req.Inner
+	if inner.Forward != nil || diet.RingKind(inner.Kind) {
+		return &diet.Response{Err: "grid: ring-forward cannot nest ring kinds"}
+	}
+	switch inner.Kind {
+	case diet.KindSubmit, diet.KindAttach:
+		return &diet.Response{Err: fmt.Sprintf("grid: ring-forward cannot carry streaming kind %q", inner.Kind)}
+	}
+	if sm := s.shardManager(); sm != nil {
+		sm.served.Add(1)
+	}
+	return s.handle(inner)
+}
+
+// ringCampaignID extracts the campaign ID a request is about, for the kinds
+// the ring routes by ownership. Submit is deliberately absent: submissions
+// are always admitted by the shard that received them (the allocator mints
+// only self-homed IDs, so local admission never collides), and List/Stats
+// fan out instead of routing.
+func ringCampaignID(req *diet.Request) (uint64, bool) {
+	switch req.Kind {
+	case diet.KindCancel:
+		if req.Cancel != nil {
+			return req.Cancel.ID, true
+		}
+	case diet.KindInfo:
+		if req.Info != nil {
+			return req.Info.ID, true
+		}
+	case diet.KindResult:
+		if req.Result != nil {
+			return req.Result.ID, true
+		}
+	case diet.KindAttach:
+		if req.Attach != nil {
+			return req.Attach.ID, true
+		}
+	}
+	return 0, false
+}
+
+// routeRing applies ring ownership to one client request. It reports true
+// when the request was fully answered here (fanned out, redirected,
+// forwarded, or proxied); false means the caller should serve it locally —
+// either this shard owns the campaign, already holds it (adopted from a dead
+// peer), or the kind does not route.
+func (s *Scheduler) routeRing(sm *shardManager, send respSender, ver int, req *diet.Request) bool {
+	switch req.Kind {
+	case diet.KindStats:
+		_ = send.send(s.fanoutStats(sm))
+		return true
+	case diet.KindListCampaigns:
+		_ = send.send(s.fanoutList(sm, req.ListCampaigns))
+		return true
+	}
+	id, ok := ringCampaignID(req)
+	if !ok || id == 0 {
+		return false
+	}
+	owner := sm.owner(id)
+	if owner == sm.ring.Self() || s.lookup(id) != nil {
+		return false
+	}
+	if ver >= diet.ProtocolV6 {
+		// Redirect fast path: tell the client which shard owns the campaign
+		// and let it retry direct; its route cache makes the detour one-time.
+		sm.redirected.Add(1)
+		_ = send.send(&diet.Response{Redirect: &diet.RedirectInfo{ID: id, Owner: owner}})
+		return true
+	}
+	if req.Kind == diet.KindAttach {
+		sm.proxied.Add(1)
+		s.proxyAttach(send, ver, owner, req.Attach)
+		return true
+	}
+	// Legacy one-shot: forward server-side so pre-v6 clients see a single
+	// campaign namespace without ever learning the ring exists.
+	sm.forwarded.Add(1)
+	resp, err := sm.forwardTo(owner, req)
+	if err != nil {
+		var remote *diet.RemoteError
+		if errors.As(err, &remote) {
+			_ = send.send(&diet.Response{Err: remote.Msg})
+		} else {
+			_ = send.send(&diet.Response{Err: fmt.Sprintf("grid: forwarding %s to %s: %v", req.Kind, owner, err)})
+		}
+		return true
+	}
+	_ = send.send(resp)
+	return true
+}
+
+// forwardTo wraps inner in the daemon-to-daemon envelope and round-trips it
+// to peer p.
+func (sm *shardManager) forwardTo(p string, inner *diet.Request) (*diet.Response, error) {
+	return diet.RoundTripTimeout(p, &diet.Request{
+		Version: diet.ProtocolVersion,
+		Kind:    diet.KindForward,
+		Forward: &diet.ForwardRequest{From: sm.ring.Self(), Inner: inner},
+	}, ringCallTimeout)
+}
+
+// fanoutStats merges this shard's gauges with every alive peer's into one
+// ring-wide snapshot: counters sum, the queue high-water mark takes the max,
+// SeD tables concatenate, and tenants merge by name. A peer that fails the
+// exchange is simply skipped — a partial snapshot from the survivors beats
+// no snapshot.
+func (s *Scheduler) fanoutStats(sm *shardManager) *diet.Response {
+	sm.fanouts.Add(1)
+	total := s.Stats()
+	for _, p := range sm.ring.Peers() {
+		if !sm.members.Alive(p) {
+			continue
+		}
+		resp, err := sm.forwardTo(p, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindStats, Stats: &diet.StatsRequest{}})
+		if err != nil || resp.Stats == nil {
+			continue
+		}
+		mergeStats(&total, resp.Stats)
+	}
+	return &diet.Response{Stats: &total}
+}
+
+func mergeStats(dst *diet.StatsResponse, src *diet.StatsResponse) {
+	dst.QueueDepth += src.QueueDepth
+	if src.MaxQueueDepth > dst.MaxQueueDepth {
+		dst.MaxQueueDepth = src.MaxQueueDepth
+	}
+	dst.Running += src.Running
+	dst.Completed += src.Completed
+	dst.Failed += src.Failed
+	dst.Cancelled += src.Cancelled
+	dst.Rejected += src.Rejected
+	dst.Requeues += src.Requeues
+	dst.Evicted += src.Evicted
+	dst.SeDs = append(dst.SeDs, src.SeDs...)
+	dst.Tenants = mergeTenants(dst.Tenants, src.Tenants)
+}
+
+// mergeTenants folds two per-tenant breakdowns by tenant name: gauges and
+// counters sum, the wait maximum takes the max, and the weight — configured
+// identically on every shard — keeps whichever side reports the larger.
+func mergeTenants(a, b []diet.TenantStatus) []diet.TenantStatus {
+	byName := make(map[string]diet.TenantStatus, len(a)+len(b))
+	for _, t := range a {
+		byName[t.Tenant] = t
+	}
+	for _, t := range b {
+		d, ok := byName[t.Tenant]
+		if !ok {
+			byName[t.Tenant] = t
+			continue
+		}
+		d.Queued += t.Queued
+		d.Running += t.Running
+		d.Admitted += t.Admitted
+		d.Completed += t.Completed
+		d.Failed += t.Failed
+		d.Cancelled += t.Cancelled
+		d.QuotaRejected += t.QuotaRejected
+		d.WaitCount += t.WaitCount
+		d.WaitSumMs += t.WaitSumMs
+		if t.WaitMaxMs > d.WaitMaxMs {
+			d.WaitMaxMs = t.WaitMaxMs
+		}
+		if t.Weight > d.Weight {
+			d.Weight = t.Weight
+		}
+		byName[t.Tenant] = d
+	}
+	out := make([]diet.TenantStatus, 0, len(byName))
+	for _, t := range byName {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// fanoutList enumerates the ring-wide campaign namespace: the local table
+// plus every alive peer's, deduplicated by ID (an adopted campaign can
+// briefly exist on two shards) and returned in ascending admission order.
+func (s *Scheduler) fanoutList(sm *shardManager, filter *diet.ListCampaignsRequest) *diet.Response {
+	if filter == nil {
+		return &diet.Response{Err: "list-campaigns: empty payload"}
+	}
+	sm.fanouts.Add(1)
+	all := s.ListCampaigns(filter)
+	seen := make(map[uint64]bool, len(all))
+	for _, ci := range all {
+		seen[ci.ID] = true
+	}
+	for _, p := range sm.ring.Peers() {
+		if !sm.members.Alive(p) {
+			continue
+		}
+		resp, err := sm.forwardTo(p, &diet.Request{Version: diet.ProtocolVersion, Kind: diet.KindListCampaigns, ListCampaigns: filter})
+		if err != nil || resp.ListCampaigns == nil {
+			continue
+		}
+		for _, ci := range resp.ListCampaigns.Campaigns {
+			if !seen[ci.ID] {
+				seen[ci.ID] = true
+				all = append(all, ci)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return &diet.Response{ListCampaigns: &diet.ListCampaignsResponse{Campaigns: all}}
+}
+
+// proxyAttach relays an attach stream for a legacy (pre-v6) client: this
+// shard attaches to the owner with the in-package client and replays the
+// verdict, progress frames, and result onto the client's connection. A v6
+// client would get a one-frame redirect instead; the proxy exists so the
+// ring is invisible to clients that predate it.
+func (s *Scheduler) proxyAttach(send respSender, ver int, owner string, req *diet.AttachRequest) {
+	if req == nil {
+		_ = send.send(&diet.Response{Err: "attach: empty payload"})
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	relay := &Client{Addr: owner}
+	verdictSent := false
+	onAttach := func(v *diet.AttachResponse) {
+		verdictSent = true
+		if send.send(&diet.Response{Attach: v}) != nil {
+			cancel() // client gone: tear the relay stream down too
+		}
+	}
+	var onProgress func(*diet.ProgressUpdate)
+	if req.Progress && ver >= diet.ProtocolV2 {
+		onProgress = func(u *diet.ProgressUpdate) {
+			if send.sendProgress(&progressFrame{u: *u}) != nil {
+				cancel()
+			}
+		}
+	}
+	res, err := relay.AttachContext(ctx, req.ID, onAttach, onProgress)
+	switch {
+	case res != nil:
+		// Terminal snapshot, whatever its status: the client maps
+		// failed/cancelled results to its typed errors itself.
+		_ = send.send(&diet.Response{Result: res})
+	case errors.Is(err, ErrUnknownCampaign):
+		// Mirror serveAttach's unknown-ID verdict (Found unset).
+		_ = send.send(&diet.Response{Attach: &diet.AttachResponse{ID: req.ID}})
+	case err != nil && !verdictSent:
+		_ = send.send(&diet.Response{Err: fmt.Sprintf("grid: proxying attach for campaign %d to %s: %v", req.ID, owner, err)})
+	case err != nil:
+		_ = send.send(&diet.Response{Err: fmt.Sprintf("grid: attach proxy to %s lost: %v", owner, err)})
+	}
+}

@@ -141,7 +141,24 @@ func (s *Scheduler) maxVersion() int {
 }
 
 // dispatch routes one decoded request to the streaming or one-shot path.
+// The ring kinds come first — they are daemon-to-daemon and never route —
+// then ring ownership gets a chance to redirect, forward, or fan the request
+// out before the local paths serve it.
 func (s *Scheduler) dispatch(send respSender, ver int, req *diet.Request) {
+	switch req.Kind {
+	case diet.KindRingPing:
+		_ = send.send(s.serveRingPing(ver))
+		return
+	case diet.KindForward:
+		_ = send.send(s.serveForward(ver, req.Forward))
+		return
+	case diet.KindSegment:
+		_ = send.send(s.serveSegment(ver, req.Segment))
+		return
+	}
+	if sm := s.shardManager(); sm != nil && s.routeRing(sm, send, ver, req) {
+		return
+	}
 	switch req.Kind {
 	case diet.KindSubmit:
 		s.serveSubmit(send, ver, req.Submit)

@@ -123,6 +123,14 @@ type Campaign struct {
 	records []Record
 }
 
+// Records returns a copy of the campaign's raw journal lines in replay
+// order. The failover path appends them verbatim into the adopting shard's
+// own journal, so an adopted campaign is exactly as durable there as it was
+// on the shard that died.
+func (c *Campaign) Records() []Record {
+	return append([]Record(nil), c.records...)
+}
+
 // Terminal reports whether the campaign reached a journaled terminal state.
 // A cancelled campaign is terminal: replay must never re-admit it.
 func (c *Campaign) Terminal() bool {
@@ -158,10 +166,23 @@ type Store struct {
 	// owner's retention policy. IDs it stops reporting are dropped at the
 	// next rotation.
 	retain func() []uint64
+	// gen names the live segment's incarnation for pull-based replication:
+	// seeded from the wall clock at Open so two incarnations of one daemon
+	// never share a generation, bumped whenever rotation or compaction
+	// rewrites the file. A puller whose generation no longer matches must
+	// restart its replica from offset 0.
+	gen uint64
 }
 
 // journalName is the WAL file inside the state directory.
 const journalName = "campaigns.wal"
+
+// ErrCorrupt is the typed verdict on a journal with a malformed record
+// before its final line — corruption no crash can produce (a kill -9 tears
+// at most the tail), so replay refuses the journal instead of silently
+// dropping journaled state. A torn final line is not corruption: Open
+// truncates it and resumes.
+var ErrCorrupt = fmt.Errorf("store: corrupt journal")
 
 // Open creates dir if needed, replays the journal found there (truncating a
 // partial trailing record left by a crash mid-write), and returns the store
@@ -198,7 +219,8 @@ func Open(dir string) (*Store, map[uint64]*Campaign, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	st := &Store{f: f, path: path, off: good, records: make(map[uint64][]Record)}
+	st := &Store{f: f, path: path, off: good, records: make(map[uint64][]Record),
+		gen: uint64(time.Now().UnixNano())}
 	for _, c := range ByID(campaigns) {
 		st.records[c.ID] = append([]Record(nil), c.records...)
 		st.order = append(st.order, c.ID)
@@ -380,6 +402,7 @@ func (s *Store) rewriteLocked(keep func(uint64) bool) error {
 	s.f.Close()
 	s.f = f
 	s.off = off
+	s.gen++
 	for _, id := range s.order {
 		if !keep(id) {
 			delete(s.records, id)
@@ -487,7 +510,7 @@ func replay(f *os.File) (map[uint64]*Campaign, int64, error) {
 		}
 		var rec Record
 		if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
-			pendingErr = fmt.Errorf("store: corrupt journal record at offset %d: %w", good, jerr)
+			pendingErr = fmt.Errorf("%w: record at offset %d: %v", ErrCorrupt, good, jerr)
 			continue
 		}
 		apply(campaigns, &rec)
@@ -566,6 +589,105 @@ func apply(campaigns map[uint64]*Campaign, rec *Record) {
 	}
 	frame.Done = c.ScenariosDone
 	c.History = append(c.History, frame)
+}
+
+// ---- segment export (ring replication) ------------------------------------
+
+// MaxSegmentChunk bounds one ReadSegment answer so a replication pull never
+// ships more than a frame's worth of journal at a time; pullers loop until
+// they drain the tail.
+const MaxSegmentChunk = 1 << 20
+
+// Segment is one ReadSegment answer: journal bytes from the requested
+// offset, plus the coordinates the puller needs for its next request.
+type Segment struct {
+	// Generation is the live segment's incarnation.
+	Generation uint64
+	// Offset is the byte position the data ends at — the puller's next
+	// request offset.
+	Offset int64
+	// Data holds acknowledged journal bytes (whole records; the acknowledged
+	// offset never splits a record).
+	Data []byte
+	// Reset is true when the requested generation no longer matches: Data
+	// then starts at offset 0 of the current generation and the puller must
+	// replace its replica, not append to it.
+	Reset bool
+}
+
+// Generation returns the live segment's incarnation.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// ReadSegment serves the replication pull: acknowledged journal bytes from
+// offset off of generation gen, capped at MaxSegmentChunk. When gen does not
+// match the live segment (the journal was rotated or compacted, or the
+// daemon restarted), the answer resets to offset 0 of the current
+// generation. Reads use ReadAt against the open journal, so concurrent
+// appends are unaffected; only bytes at or below the acknowledged offset are
+// served — a torn in-flight append is never shipped.
+func (s *Store) ReadSegment(gen uint64, off int64) (Segment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg := Segment{Generation: s.gen}
+	if gen != s.gen || off < 0 || off > s.off {
+		seg.Reset = true
+		off = 0
+	}
+	n := s.off - off
+	if n > MaxSegmentChunk {
+		n = MaxSegmentChunk
+		// Never split a record across pulls: back off to the last newline so
+		// the replica on disk is always a valid (possibly torn-free) journal.
+		buf := make([]byte, n)
+		if _, err := s.f.ReadAt(buf, off); err != nil {
+			return seg, fmt.Errorf("store: reading segment of %s: %w", s.path, err)
+		}
+		cut := int64(len(buf))
+		for cut > 0 && buf[cut-1] != '\n' {
+			cut--
+		}
+		if cut == 0 {
+			cut = n // a single record larger than the cap ships whole later; give what we have
+		}
+		seg.Data = buf[:cut]
+		seg.Offset = off + cut
+		return seg, nil
+	}
+	if n > 0 {
+		buf := make([]byte, n)
+		if _, err := s.f.ReadAt(buf, off); err != nil {
+			return seg, fmt.Errorf("store: reading segment of %s: %w", s.path, err)
+		}
+		seg.Data = buf
+	}
+	seg.Offset = off + n
+	return seg, nil
+}
+
+// ReplayFile replays a journal file read-only — no lock, no truncation, no
+// store — and returns the folded campaigns. It is the failover path: a ring
+// shard replays the replica it tailed from a dead peer to adopt that peer's
+// campaigns. A torn final line is ignored exactly as Open would truncate it;
+// mid-file corruption returns ErrCorrupt. A missing file is an empty
+// journal, not an error.
+func ReplayFile(path string) (map[uint64]*Campaign, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[uint64]*Campaign{}, nil
+		}
+		return nil, fmt.Errorf("store: opening replica %s: %w", path, err)
+	}
+	defer f.Close()
+	campaigns, _, err := replay(f)
+	if err != nil {
+		return nil, err
+	}
+	return campaigns, nil
 }
 
 // Without returns remaining minus ids, preserving order — the completed-

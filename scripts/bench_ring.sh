@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Sharded-ring bench: start a clean 3-daemon ring and drive it with
+# `oaload -ring` to produce BENCH_ring.json — the artifact the CI
+# bench-regression gate floors (oabench -gate -ring-json). Unlike
+# smoke_ring.sh no daemon is killed: this measures the ring's steady-state
+# aggregate throughput, including cross-shard routing and WAL replication
+# overhead. Usage:
+#
+#   ./scripts/bench_ring.sh [out.json]     # default BENCH_ring.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_ring.json}"
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+  status=$?
+  for pid in "${pids[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  if [ "$status" -ne 0 ]; then
+    for i in 0 1 2; do
+      [ -f "$workdir/daemon$i.log" ] && { echo "--- daemon $i log ---" >&2; cat "$workdir/daemon$i.log" >&2; }
+    done
+  fi
+  rm -rf "$workdir"
+  exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/oarun" ./cmd/oarun
+go build -o "$workdir/oaload" ./cmd/oaload
+
+read -r p0 p1 p2 <<<"$(python3 -c '
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+')"
+members="127.0.0.1:$p0,127.0.0.1:$p1,127.0.0.1:$p2"
+ports=("$p0" "$p1" "$p2")
+echo "bench: ring members $members"
+
+for i in 0 1 2; do
+  "$workdir/oarun" -daemon -addr "127.0.0.1:${ports[$i]}" -seds 2 -cprocs 30 \
+    -queue 512 -state "$workdir/state$i" \
+    -ring "$members" -ring-hb 100ms >"$workdir/daemon$i.log" 2>&1 &
+  pids+=($!)
+done
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    grep -q "^ring member " "$workdir/daemon$i.log" 2>/dev/null && break
+    if ! kill -0 "${pids[$i]}" 2>/dev/null; then
+      echo "bench: daemon $i exited before joining the ring" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+done
+
+"$workdir/oaload" -ring "$members" -campaigns 120 -arrival burst -burst 40 \
+  -seds 2 -cprocs 30 -out "$out"
