@@ -1,6 +1,10 @@
 package oagrid
 
-import "oagrid/internal/grid"
+import (
+	"errors"
+
+	"oagrid/internal/grid"
+)
 
 // The typed error taxonomy of the campaign API. Errors returned by
 // Handle.Wait (and surfaced as EventResult.Err) wrap exactly one of these
@@ -32,4 +36,12 @@ var (
 	// dir — resolves with this error; the cancellation is terminal, so
 	// resubmit if the work is still wanted.
 	ErrCampaignCancelled = grid.ErrCampaignCancelled
+	// ErrUnreachable reports an exchange that no daemon answered: every ring
+	// member was down or unreachable at the transport level. Back off and
+	// retry, or check the deployment.
+	ErrUnreachable = grid.ErrUnreachable
+	// ErrInvalidConfig reports a malformed setup handed to a constructor or
+	// planner entry point — no clusters, an empty grid. Fix the
+	// configuration; retrying cannot succeed.
+	ErrInvalidConfig = errors.New("oagrid: invalid configuration")
 )

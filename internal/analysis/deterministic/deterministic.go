@@ -1,0 +1,180 @@
+// Package deterministic enforces the repo's bit-identical reproducibility
+// discipline at the source level. Every PR since PR 1 carries an acceptance
+// test asserting that parallel, restarted, failed-over and cross-version
+// runs produce byte-for-byte identical campaign results; this analyzer
+// turns the three incident classes those tests keep catching into
+// compile-time findings inside code marked //oalint:deterministic:
+//
+//   - ranging over a map: Go randomizes iteration order per run, so any
+//     map-order-dependent output (report assembly, stats merging, encoded
+//     label sets) diverges between bit-identical runs. The one allowed
+//     shape is the collect-then-sort idiom — a range whose body only
+//     appends to a slice that the same function later sorts.
+//   - wall-clock reads (time.Now / time.Since / time.Until): virtual-time
+//     evaluation is what makes the paper's figures reproducible; a
+//     wall-clock read in a result path ties output to scheduling.
+//   - the unseeded global math/rand generators, whose sequences differ per
+//     process. Seeded generators built with rand.New(rand.NewSource(seed))
+//     stay available — jitter in the engine is deterministic noise.
+//   - select statements with several live communication cases: when more
+//     than one case is ready the runtime picks uniformly at random, so a
+//     result-ordering path must not fan in through a bare select.
+package deterministic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"oagrid/internal/analysis"
+)
+
+// Analyzer is the deterministic checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "deterministic",
+	Doc:  "flags map-iteration, wall-clock, global-rand and select nondeterminism in //oalint:deterministic code",
+	Run:  run,
+}
+
+// wallClock lists the time package's wall-clock reads. time.Parse, unit
+// constants and Duration arithmetic stay legal — only sampling the clock is
+// nondeterministic.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded state rather than sampling the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fn := range pass.MarkedFuncs(analysis.DirectiveDeterministic) {
+		checkFunc(pass, fn)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkRange(pass, fn, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.SelectStmt:
+			checkSelect(pass, n)
+		}
+		return true
+	})
+}
+
+// checkRange flags ranging over a map unless the loop is a pure
+// collect-into-a-slice loop whose slice the function later sorts.
+func checkRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if target, ok := collectTarget(rng); ok && sortedAfter(pass, fn, rng, target) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order is nondeterministic in a deterministic path; collect into a slice and sort (or suppress with //oalint:allow deterministic <reason>)")
+}
+
+// collectTarget matches a loop body consisting of exactly one statement of
+// the form `x = append(x, ...)` and returns x's printed form.
+func collectTarget(rng *ast.RangeStmt) (string, bool) {
+	if len(rng.Body.List) != 1 {
+		return "", false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+		return "", false
+	}
+	lhs := types.ExprString(asg.Lhs[0])
+	if types.ExprString(call.Args[0]) != lhs {
+		return "", false
+	}
+	return lhs, true
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// passes target to a sort.* or slices.Sort* call.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg := packageOf(pass, sel); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkCall flags wall-clock reads and global math/rand sampling.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch packageOf(pass, sel) {
+	case "time":
+		if wallClock[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic path; thread the timestamp in as data", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "rand.%s samples the unseeded process-global generator in a deterministic path; use rand.New(rand.NewSource(seed))", sel.Sel.Name)
+		}
+	}
+}
+
+// checkSelect flags selects that can choose between several ready cases.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(), "select over %d channels resolves ready cases at random in a deterministic path; serialize the fan-in or order results by index", comms)
+	}
+}
+
+// packageOf resolves a selector's qualifier to its package path ("" when the
+// qualifier is not a package name).
+func packageOf(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkg.Imported().Path()
+}

@@ -1,0 +1,12 @@
+package deterministic_test
+
+import (
+	"testing"
+
+	"oagrid/internal/analysis/analysistest"
+	"oagrid/internal/analysis/deterministic"
+)
+
+func TestDeterministic(t *testing.T) {
+	analysistest.Run(t, "testdata/src/det", deterministic.Analyzer)
+}

@@ -1,0 +1,92 @@
+// Package det exercises the deterministic analyzer.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//oalint:deterministic
+func mapOrderLeak(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+//oalint:deterministic
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+//oalint:deterministic
+func collectNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+//oalint:deterministic
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+//oalint:deterministic
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+//oalint:deterministic
+func globalRand() float64 {
+	return rand.Float64() // want `rand.Float64 samples the unseeded process-global generator`
+}
+
+//oalint:deterministic
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+//oalint:deterministic
+func racingFanIn(a, b chan int) int {
+	select { // want `select over 2 channels resolves ready cases at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+//oalint:deterministic
+func pollOne(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+//oalint:deterministic
+func suppressed(m map[string]int) int {
+	n := 0
+	//oalint:allow deterministic cardinality is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// unmarked code is out of scope however nondeterministic it is.
+func unmarked() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //oalint:* directive namespace. Directives are ordinary Go directive
+// comments (no space after //), so gofmt leaves them alone and godoc hides
+// them:
+//
+//	//oalint:hotpath        — the function (or, on a package clause, every
+//	                          function in the package) must stay free of
+//	                          allocating constructs (see the hotpath analyzer)
+//	//oalint:deterministic  — the function/package must stay free of
+//	                          iteration-order, wall-clock and scheduling
+//	                          nondeterminism (see the deterministic analyzer)
+//	//oalint:allow <name> [reason] — suppress the named analyzer's
+//	                          diagnostics on this line and the next; "all"
+//	                          suppresses every analyzer. Use sparingly and
+//	                          leave the reason.
+const (
+	DirectiveHotpath       = "hotpath"
+	DirectiveDeterministic = "deterministic"
+)
+
+const directivePrefix = "//oalint:"
+
+// hasDirective reports whether the comment group carries //oalint:<name>.
+func hasDirective(g *ast.CommentGroup, name string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		if word, _, _ := strings.Cut(rest, " "); word == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedFuncs returns every function declaration in the pass that the named
+// directive applies to: functions carrying it in their doc comment, plus —
+// when any file's package clause carries it — every function in the package.
+func (p *Pass) MarkedFuncs(name string) []*ast.FuncDecl {
+	wholePackage := false
+	for _, f := range p.Files {
+		if hasDirective(f.Doc, name) {
+			wholePackage = true
+			break
+		}
+	}
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if wholePackage || hasDirective(fn.Doc, name) {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// buildSuppressions indexes every //oalint:allow comment by file and line.
+// The value set holds the analyzer names the comment names (space-separated
+// up to a "--"- or "—"-free reason; in practice: one name, then prose).
+func buildSuppressions(p *Pass) {
+	p.suppress = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				word, args, _ := strings.Cut(rest, " ")
+				if word != "allow" {
+					continue
+				}
+				fields := strings.Fields(args)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := p.suppress[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					p.suppress[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				// Only the first field is the analyzer name; the rest is the
+				// required human justification.
+				names[fields[0]] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package framegate_test
+
+import (
+	"testing"
+
+	"oagrid/internal/analysis/analysistest"
+	"oagrid/internal/analysis/framegate"
+)
+
+// TestGatedCodecIsClean pins the correctly-gated codec extract — the shape
+// production internal/diet has today — to zero diagnostics.
+func TestGatedCodecIsClean(t *testing.T) {
+	analysistest.Run(t, "testdata/src/gated", framegate.Analyzer)
+}
+
+// TestUngatedCodeRegression is the acceptance fixture for the protocol-v5
+// incident: deleting the `ver >= ProtocolV5` guard around the
+// SubmitResponse.Code append (and its decoder mirror) must produce framegate
+// findings, alongside the neighboring gate mistakes the fixture stages.
+func TestUngatedCodeRegression(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ungated", framegate.Analyzer)
+}

@@ -1,0 +1,95 @@
+// Package gated is the correctly-gated extract of internal/diet's
+// fkSubmitResp codec: the shape the framegate analyzer must accept without
+// a single diagnostic. The v5 Code field is guarded on both halves exactly
+// as the production codec guards it.
+package gated
+
+// Protocol versions, as in internal/diet/wire.go.
+const (
+	ProtocolV4 = 4
+	ProtocolV5 = 5
+)
+
+// Frame kinds under test.
+const (
+	fkErr        = 0x21
+	fkSubmitResp = 0x22
+)
+
+// Response is the envelope (bookkeeping; ignored by the schema).
+type Response struct {
+	Version int
+	Err     string
+	Submit  *SubmitResponse
+}
+
+// SubmitResponse is the wire struct whose layout the schema commits.
+type SubmitResponse struct {
+	ID         uint64
+	Accepted   bool
+	Reason     string
+	QueueDepth int
+	Code       string
+}
+
+// FrameHeader mirrors the parsed v4 header (bookkeeping; ignored).
+type FrameHeader struct {
+	Version byte
+	Kind    byte
+}
+
+// AppendResponseFrame is the encoder half, gates intact.
+func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
+	ver := resp.Version
+	if ver < ProtocolV4 {
+		ver = ProtocolV4
+	}
+	switch {
+	case resp.Err != "":
+		b, start := beginFrame(buf, byte(ver), fkErr)
+		b = appendStr(b, resp.Err)
+		return finishFrame(b, start)
+	case resp.Submit != nil:
+		b, start := beginFrame(buf, byte(ver), fkSubmitResp)
+		r := resp.Submit
+		b = appendU64(b, r.ID)
+		b = appendBool(b, r.Accepted)
+		b = appendStr(b, r.Reason)
+		b = appendInt(b, r.QueueDepth)
+		// Code is a v5 field: a frame stamped with a lower negotiated
+		// version must stay byte-exact for pre-v5 peers.
+		if ver >= ProtocolV5 {
+			b = appendStr(b, r.Code)
+		}
+		return finishFrame(b, start)
+	default:
+		return buf, nil
+	}
+}
+
+// DecodeResponseFrame is the decoder half, gates intact.
+func DecodeResponseFrame(d *FrameDecoder, hdr FrameHeader, payload []byte) (*Response, error) {
+	resp := &Response{Version: int(hdr.Version)}
+	r := &byteReader{b: payload}
+	switch hdr.Kind {
+	case fkErr:
+		resp.Err = d.str(r, "error message")
+	case fkSubmitResp:
+		s := &SubmitResponse{
+			ID:       r.u64("submit id"),
+			Accepted: r.bool("submit accepted"),
+			Reason:   d.str(r, "submit reason"),
+		}
+		s.QueueDepth = r.int("submit queue depth")
+		// Mirror the encoder's version gate: a v4 daemon's frame ends at
+		// QueueDepth.
+		if hdr.Version >= ProtocolV5 {
+			s.Code = d.str(r, "submit reject code")
+		}
+		resp.Submit = s
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,116 @@
+// Package ungated reproduces the protocol-v5 incident verbatim — the PR 7
+// change that appended SubmitResponse.Code to the fkSubmitResp frame with
+// no negotiated-version gate, breaking every pre-v5 peer whose strict
+// decoder rejects trailing payload bytes — plus the neighboring gate
+// mistakes framegate must catch: a base field moved behind a gate, a gate
+// pinned at the wrong version, a never-committed field, a dropped base
+// field and a frame kind missing from the schema entirely.
+package ungated
+
+// Protocol versions, as in internal/diet/wire.go.
+const (
+	ProtocolV4 = 4
+	ProtocolV5 = 5
+)
+
+// Frame kinds under test. fkTrace is deliberately absent from the schema.
+const (
+	fkErr        = 0x21
+	fkSubmitResp = 0x22
+	fkTrace      = 0x29
+)
+
+// Response is the envelope (bookkeeping; ignored by the schema).
+type Response struct {
+	Version int
+	Err     string
+	Submit  *SubmitResponse
+	Trace   *TraceFrame
+}
+
+// SubmitResponse carries one never-committed field (Station) on top of the
+// production layout.
+type SubmitResponse struct {
+	ID         uint64
+	Accepted   bool
+	Reason     string
+	QueueDepth int
+	Code       string
+	Station    string
+}
+
+// TraceFrame is the payload of the unscheduled frame kind.
+type TraceFrame struct {
+	Span string
+}
+
+// FrameHeader mirrors the parsed v4 header (bookkeeping; ignored).
+type FrameHeader struct {
+	Version byte
+	Kind    byte
+}
+
+// AppendResponseFrame is the encoder half with the gates wrong.
+func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
+	ver := resp.Version
+	if ver < ProtocolV4 {
+		ver = ProtocolV4
+	}
+	switch {
+	case resp.Err != "":
+		b, start := beginFrame(buf, byte(ver), fkErr)
+		b = appendStr(b, resp.Err)
+		return finishFrame(b, start)
+	case resp.Submit != nil:
+		b, start := beginFrame(buf, byte(ver), fkSubmitResp)
+		r := resp.Submit
+		b = appendU64(b, r.ID)
+		b = appendBool(b, r.Accepted)
+		b = appendStr(b, r.Reason)
+		// A base field moved behind a gate: pre-v5 peers stop receiving it.
+		if ver >= ProtocolV5 {
+			b = appendInt(b, r.QueueDepth) // want `SubmitResponse\.QueueDepth is part of enc:fkSubmitResp's base layout but sits behind a v5 gate`
+		}
+		// The PR 7 bug, verbatim: the v5 field appended unconditionally.
+		b = appendStr(b, r.Code) // want `SubmitResponse\.Code is a v5 field of enc:fkSubmitResp encoded/decoded without its negotiated-version gate`
+		// A field nobody committed to the schema.
+		b = appendStr(b, r.Station) // want `SubmitResponse\.Station is not part of enc:fkSubmitResp's committed wire layout`
+		return finishFrame(b, start)
+	case resp.Trace != nil: // want `frame scope enc:fkTrace is not in the committed framegate schema`
+		b, start := beginFrame(buf, byte(ver), fkTrace)
+		b = appendStr(b, resp.Trace.Span)
+		return finishFrame(b, start)
+	default:
+		return buf, nil
+	}
+}
+
+// DecodeResponseFrame is the decoder half with its own gate mistakes.
+func DecodeResponseFrame(d *FrameDecoder, hdr FrameHeader, payload []byte) (*Response, error) {
+	resp := &Response{Version: int(hdr.Version)}
+	r := &byteReader{b: payload}
+	switch hdr.Kind {
+	case fkErr:
+		resp.Err = d.str(r, "error message")
+	case fkSubmitResp: // want `dec:fkSubmitResp's base-layout field SubmitResponse\.Reason is no longer encoded/decoded unconditionally`
+		s := &SubmitResponse{
+			ID:       r.u64("submit id"),
+			Accepted: r.bool("submit accepted"),
+			// Reason dropped: old peers' payload offsets shift under them.
+		}
+		s.QueueDepth = r.int("submit queue depth")
+		// Gate pinned at the wrong version: desynchronized codec halves.
+		if hdr.Version >= 6 {
+			s.Code = d.str(r, "submit reject code") // want `SubmitResponse\.Code is gated at v6 here but the schema \(and the other codec half\) pin it to v5`
+		}
+		// Version-gated, but never committed to the schema.
+		if hdr.Version >= 7 {
+			s.Station = d.str(r, "submit station") // want `SubmitResponse\.Station is version-gated but absent from the framegate schema`
+		}
+		resp.Submit = s
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"oagrid/internal/analysis/analysistest"
+	"oagrid/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hot", hotpath.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package hot exercises the hotpath analyzer.
+package hot
+
+import (
+	"fmt"
+	"strconv"
+)
+
+//oalint:hotpath
+func sprint(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt.Sprintf allocates`
+}
+
+//oalint:hotpath
+func sprintAppend(buf []byte, n int) []byte {
+	return fmt.Appendf(buf, "%d", n) // want `fmt.Appendf allocates`
+}
+
+//oalint:hotpath
+func errorPathExempt(err error) error {
+	return fmt.Errorf("hot: wrapping is off the hot path: %w", err)
+}
+
+//oalint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//oalint:hotpath
+func constFold() string {
+	return "a" + "b" // folded at compile time, costs nothing
+}
+
+//oalint:hotpath
+func plusAssign(s string) string {
+	s += "!" // want `string \+= allocates`
+	return s
+}
+
+//oalint:hotpath
+func closure(xs []int) int {
+	f := func() int { return len(xs) } // want `function literal on a hot path`
+	return f()
+}
+
+//oalint:hotpath
+func growingAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want `append to out grows an un-capped fresh slice`
+	}
+	return out
+}
+
+//oalint:hotpath
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//oalint:hotpath
+func box(v int) any {
+	return any(v) // want `conversion to any boxes its operand`
+}
+
+//oalint:hotpath
+func fastPath(n int64, buf []byte) []byte {
+	return strconv.AppendInt(buf, n, 10)
+}
+
+//oalint:hotpath
+func internMiss(k string, tbl map[string]string) string {
+	v, ok := tbl[k]
+	if !ok {
+		v = k + ":" //oalint:allow hotpath intern-table miss is the cold branch
+		tbl[k] = v
+	}
+	return v
+}
+
+// unmarked code may allocate freely.
+func unmarked(n int) string {
+	return fmt.Sprintf("%d", n)
+}

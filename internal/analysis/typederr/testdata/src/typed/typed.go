@@ -1,0 +1,51 @@
+// Package typed exercises the typederr analyzer with a Client receiver
+// cover, mirroring the internal/grid.Client contract.
+package typed
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnreachable is the fixture's published sentinel.
+var ErrUnreachable = errors.New("typed: no scheduler reachable")
+
+// Client mirrors grid.Client: its exported methods promise typed errors.
+type Client struct{}
+
+// Submit returns a bare fmt.Errorf — the contract violation.
+func (c *Client) Submit(n int) error {
+	if n < 0 {
+		return fmt.Errorf("typed: negative scenario count %d", n) // want `fmt.Errorf without %w inside exported Submit`
+	}
+	return nil
+}
+
+// Attach returns a fresh ad-hoc error — never errors.Is-matchable.
+func (c *Client) Attach(id uint64) error {
+	return errors.New("typed: attach failed") // want `errors.New inside exported Attach`
+}
+
+// Wrapped honors the contract by wrapping the sentinel.
+func (c *Client) Wrapped(id uint64) error {
+	return fmt.Errorf("typed: campaign %d: %w", id, ErrUnreachable)
+}
+
+// roundTrip is unexported: helpers may build the message their exported
+// caller wraps.
+func (c *Client) roundTrip() error {
+	return errors.New("typed: transport closed")
+}
+
+// Other receivers are outside the Client cover.
+type Other struct{}
+
+// Do is exported but not on Client; the cover skips it.
+func (o *Other) Do() error {
+	return errors.New("typed: other")
+}
+
+// Dial is a plain function; a receiver-scoped cover skips it too.
+func Dial(addr string) error {
+	return errors.New("typed: dial")
+}

@@ -1,0 +1,45 @@
+// Package typedall exercises the typederr analyzer with a whole-package
+// cover, mirroring the root oagrid facade.
+package typedall
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidConfig is the fixture's published sentinel.
+var ErrInvalidConfig = errors.New("typedall: invalid configuration")
+
+// Connect violates the contract with a fresh error.
+func Connect(addr string) error {
+	return errors.New("typedall: connection refused") // want `errors.New inside exported Connect`
+}
+
+// Run violates the contract with an unwrappable fmt.Errorf.
+func Run() error {
+	return fmt.Errorf("typedall: run failed") // want `fmt.Errorf without %w inside exported Run`
+}
+
+// Configure honors the contract by wrapping the sentinel.
+func Configure(clusters int) error {
+	if clusters == 0 {
+		return fmt.Errorf("typedall: need at least one cluster: %w", ErrInvalidConfig)
+	}
+	return nil
+}
+
+// Legacy carries a reviewed suppression while migration is in flight.
+func Legacy() error {
+	//oalint:allow typederr bare error predates the sentinel migration
+	return errors.New("typedall: legacy path")
+}
+
+// helper is unexported and free to build bare messages.
+func helper() error {
+	return errors.New("typedall: helper detail")
+}
+
+// Describe returns no error; the analyzer ignores it.
+func Describe() string {
+	return fmt.Sprintf("clusters=%d", 1)
+}

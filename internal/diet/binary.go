@@ -103,12 +103,16 @@ type FrameHeader struct {
 }
 
 // IsBinaryMagic reports whether b opens with the v4 frame magic.
+//
+//oalint:hotpath
 func IsBinaryMagic(b []byte) bool {
 	return len(b) >= 4 && b[0] == frameMagic[0] && b[1] == frameMagic[1] && b[2] == frameMagic[2] && b[3] == frameMagic[3]
 }
 
 // parseFrameHeader validates the fixed header. It does not look at the
 // payload.
+//
+//oalint:hotpath
 func parseFrameHeader(b []byte) (FrameHeader, error) {
 	var h FrameHeader
 	if len(b) < frameHeaderSize {
@@ -129,6 +133,8 @@ func parseFrameHeader(b []byte) (FrameHeader, error) {
 
 // ParseFrame splits one whole in-memory frame into header and payload —
 // the pure, reader-free half of frame decoding (the fuzz target).
+//
+//oalint:hotpath
 func ParseFrame(b []byte) (FrameHeader, []byte, error) {
 	h, err := parseFrameHeader(b)
 	if err != nil {
@@ -142,19 +148,24 @@ func ParseFrame(b []byte) (FrameHeader, []byte, error) {
 
 // ---- append-style encoding primitives -------------------------------------
 
+//oalint:hotpath
 func appendU32(b []byte, v uint32) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
+//oalint:hotpath
 func appendU64(b []byte, v uint64) []byte {
 	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
+//oalint:hotpath
 func appendInt(b []byte, v int) []byte { return appendU64(b, uint64(int64(v))) }
 
+//oalint:hotpath
 func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
 
+//oalint:hotpath
 func appendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)
@@ -162,11 +173,13 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+//oalint:hotpath
 func appendStr(b []byte, s string) []byte {
 	b = appendU32(b, uint32(len(s)))
 	return append(b, s...)
 }
 
+//oalint:hotpath
 func appendInts(b []byte, v []int) []byte {
 	b = appendU32(b, uint32(len(v)))
 	for _, x := range v {
@@ -175,6 +188,7 @@ func appendInts(b []byte, v []int) []byte {
 	return b
 }
 
+//oalint:hotpath
 func appendFloats(b []byte, v []float64) []byte {
 	b = appendU32(b, uint32(len(v)))
 	for _, x := range v {
@@ -185,6 +199,8 @@ func appendFloats(b []byte, v []float64) []byte {
 
 // beginFrame reserves a header at the end of b; finishFrame patches the
 // length once the payload is appended.
+//
+//oalint:hotpath
 func beginFrame(b []byte, ver, kind byte) ([]byte, int) {
 	start := len(b)
 	b = append(b, frameMagic[0], frameMagic[1], frameMagic[2], frameMagic[3],
@@ -192,6 +208,7 @@ func beginFrame(b []byte, ver, kind byte) ([]byte, int) {
 	return b, start
 }
 
+//oalint:hotpath
 func finishFrame(b []byte, start int) ([]byte, error) {
 	payload := len(b) - start - frameHeaderSize
 	if payload > MaxFramePayload {
@@ -201,6 +218,7 @@ func finishFrame(b []byte, start int) ([]byte, error) {
 	return b, nil
 }
 
+//oalint:hotpath
 func appendExecResponse(b []byte, e *ExecResponse) []byte {
 	b = appendStr(b, e.Cluster)
 	b = appendF64(b, e.Makespan)
@@ -217,6 +235,8 @@ func appendExecResponse(b []byte, e *ExecResponse) []byte {
 // the extended slice. Hot request kinds get the hand-rolled layout; every
 // other kind travels as a JSON envelope frame. The append never aliases
 // req: buf is the only memory written.
+//
+//oalint:hotpath
 func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 	ver := req.Version
 	if ver < ProtocolV4 || ver > 0xFF {
@@ -290,6 +310,8 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 // AppendResponseFrame appends resp encoded as one v4 frame to buf. An error
 // response becomes an fkErr frame whatever else the envelope carries,
 // mirroring the legacy codec's Err-field-wins contract.
+//
+//oalint:hotpath
 func AppendResponseFrame(buf []byte, resp *Response) ([]byte, error) {
 	ver := resp.Version
 	if ver < ProtocolV4 || ver > 0xFF {
@@ -395,12 +417,14 @@ type byteReader struct {
 	err error
 }
 
+//oalint:hotpath
 func (r *byteReader) fail(what string) {
 	if r.err == nil {
 		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrBadFrame, what, r.off)
 	}
 }
 
+//oalint:hotpath
 func (r *byteReader) u8(what string) byte {
 	if r.err != nil || r.off+1 > len(r.b) {
 		r.fail(what)
@@ -411,6 +435,7 @@ func (r *byteReader) u8(what string) byte {
 	return v
 }
 
+//oalint:hotpath
 func (r *byteReader) u32(what string) uint32 {
 	if r.err != nil || r.off+4 > len(r.b) {
 		r.fail(what)
@@ -421,6 +446,7 @@ func (r *byteReader) u32(what string) uint32 {
 	return v
 }
 
+//oalint:hotpath
 func (r *byteReader) u64(what string) uint64 {
 	if r.err != nil || r.off+8 > len(r.b) {
 		r.fail(what)
@@ -431,12 +457,16 @@ func (r *byteReader) u64(what string) uint64 {
 	return v
 }
 
+//oalint:hotpath
 func (r *byteReader) int(what string) int { return int(int64(r.u64(what))) }
 
+//oalint:hotpath
 func (r *byteReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
 
+//oalint:hotpath
 func (r *byteReader) bool(what string) bool { return r.u8(what) != 0 }
 
+//oalint:hotpath
 func (r *byteReader) bytes(what string) []byte {
 	n := r.u32(what)
 	if r.err != nil || r.off+int(n) > len(r.b) {
@@ -451,13 +481,15 @@ func (r *byteReader) bytes(what string) []byte {
 // count reads a collection length and sanity-caps it against the bytes
 // remaining (elemSize is a lower bound on one element's encoding), so a
 // corrupt count cannot drive a huge preallocation.
+//
+//oalint:hotpath
 func (r *byteReader) count(what string, elemSize int) int {
 	n := r.u32(what)
 	if r.err != nil {
 		return 0
 	}
 	if int(n) > (len(r.b)-r.off)/elemSize {
-		r.fail(what + " count")
+		r.fail(what + " count") //oalint:allow hotpath corrupt-frame error branch, never taken on well-formed frames
 		return 0
 	}
 	return int(n)
@@ -466,6 +498,8 @@ func (r *byteReader) count(what string, elemSize int) int {
 // done demands the payload was consumed exactly; trailing garbage means a
 // framing bug or a tampered frame, and silently ignoring it would let two
 // peers disagree about what was said.
+//
+//oalint:hotpath
 func (r *byteReader) done() error {
 	if r.err != nil {
 		return r.err
@@ -527,6 +561,8 @@ type FrameDecoder struct {
 
 // str decodes a string, interning it so repeated cluster/heuristic/status
 // names cost zero allocations after the first sighting.
+//
+//oalint:hotpath
 func (d *FrameDecoder) str(r *byteReader, what string) string {
 	b := r.bytes(what)
 	if len(b) == 0 {
@@ -545,6 +581,7 @@ func (d *FrameDecoder) str(r *byteReader, what string) string {
 	return s
 }
 
+//oalint:hotpath
 func (d *FrameDecoder) intSlice(r *byteReader, scratch *[]int, what string) []int {
 	n := r.count(what, 8)
 	if n == 0 {
@@ -568,6 +605,7 @@ func (d *FrameDecoder) intSlice(r *byteReader, scratch *[]int, what string) []in
 	return out
 }
 
+//oalint:hotpath
 func (d *FrameDecoder) floatSlice(r *byteReader, scratch *[]float64, what string) []float64 {
 	n := r.count(what, 8)
 	if n == 0 {
@@ -594,6 +632,8 @@ func (d *FrameDecoder) floatSlice(r *byteReader, scratch *[]float64, what string
 // decodeExecResponse fills e from r. groups selects the scratch slice for
 // the allocation's processor groups (nil forces a fresh allocation, used
 // where several ExecResponses share one frame).
+//
+//oalint:hotpath
 func (d *FrameDecoder) decodeExecResponse(r *byteReader, e *ExecResponse, groups *[]int) {
 	e.Cluster = d.str(r, "exec cluster")
 	e.Makespan = r.f64("exec makespan")
@@ -610,6 +650,8 @@ func (d *FrameDecoder) decodeExecResponse(r *byteReader, e *ExecResponse, groups
 // DecodeRequestFrame decodes one request frame payload. In scratch mode the
 // returned Request and its payload structs are owned by the decoder and
 // valid only until the next decode.
+//
+//oalint:hotpath
 func (d *FrameDecoder) DecodeRequestFrame(hdr FrameHeader, payload []byte) (*Request, error) {
 	req := &d.req
 	if d.Retain {
@@ -712,6 +754,8 @@ func (d *FrameDecoder) DecodeRequestFrame(hdr FrameHeader, payload []byte) (*Req
 // DecodeResponseFrame decodes one response frame payload. Scratch-mode
 // ownership rules match DecodeRequestFrame. An fkErr frame decodes into a
 // Response with Err set, like the legacy codec's error envelope.
+//
+//oalint:hotpath
 func (d *FrameDecoder) DecodeResponseFrame(hdr FrameHeader, payload []byte) (*Response, error) {
 	resp := &d.resp
 	if d.Retain {

@@ -152,8 +152,10 @@ type frameBuf struct{ b []byte }
 
 var bufPool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 4096)} }}
 
+//oalint:hotpath
 func getBuf() *frameBuf { return bufPool.Get().(*frameBuf) }
 
+//oalint:hotpath
 func putBuf(fb *frameBuf) {
 	if cap(fb.b) > maxPooledBuf {
 		return
@@ -186,6 +188,8 @@ func PutFrameDecoder(d *FrameDecoder) {
 
 // readFrame reads one whole frame into the decoder's scratch buffer. The
 // returned payload is valid until the next readFrame on this decoder.
+//
+//oalint:hotpath
 func (d *FrameDecoder) readFrame(r io.Reader) (FrameHeader, []byte, error) {
 	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
 		return FrameHeader{}, nil, err
@@ -206,6 +210,8 @@ func (d *FrameDecoder) readFrame(r io.Reader) (FrameHeader, []byte, error) {
 }
 
 // ReadRequest reads and decodes one request frame.
+//
+//oalint:hotpath
 func (d *FrameDecoder) ReadRequest(r io.Reader) (*Request, error) {
 	h, p, err := d.readFrame(r)
 	if err != nil {
@@ -215,6 +221,8 @@ func (d *FrameDecoder) ReadRequest(r io.Reader) (*Request, error) {
 }
 
 // ReadResponse reads and decodes one response frame.
+//
+//oalint:hotpath
 func (d *FrameDecoder) ReadResponse(r io.Reader) (*Response, error) {
 	h, p, err := d.readFrame(r)
 	if err != nil {
@@ -225,6 +233,8 @@ func (d *FrameDecoder) ReadResponse(r io.Reader) (*Response, error) {
 
 // WriteRequestFrame encodes req through a pooled buffer and writes it as a
 // single frame.
+//
+//oalint:hotpath
 func WriteRequestFrame(w io.Writer, req *Request) error {
 	fb := getBuf()
 	defer putBuf(fb)
@@ -242,6 +252,8 @@ func WriteRequestFrame(w io.Writer, req *Request) error {
 
 // WriteResponseFrame encodes resp through a pooled buffer and writes it as
 // a single frame.
+//
+//oalint:hotpath
 func WriteResponseFrame(w io.Writer, resp *Response) error {
 	fb := getBuf()
 	defer putBuf(fb)
@@ -259,6 +271,8 @@ func WriteResponseFrame(w io.Writer, resp *Response) error {
 
 // WriteRawFrame writes an already-encoded frame (the serialize-once replay
 // path: one encode shared by every subscriber).
+//
+//oalint:hotpath
 func WriteRawFrame(w io.Writer, frame []byte) error {
 	if _, err := w.Write(frame); err != nil {
 		return err

@@ -25,6 +25,8 @@
 // across a worker pool while keeping results bit-identical to a serial run:
 // jobs carry their own deterministic seeds and results are collected by job
 // index, never by arrival order.
+//
+//oalint:deterministic
 package engine
 
 import (

@@ -9,6 +9,8 @@
 // The executor is the ground truth the analytical model (internal/core) is
 // validated against, and the evaluator used to build the performance vectors
 // of the grid repartition.
+//
+//oalint:deterministic
 package exec
 
 import (

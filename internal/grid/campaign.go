@@ -254,6 +254,8 @@ func (c *campaign) unsubscribe(ch chan *progressFrame) {
 // frame racing the terminal claim is dropped: once a cancel (or any other
 // terminal transition) owns the campaign, nothing may follow its verdict on
 // any stream.
+//
+//oalint:hotpath
 func (c *campaign) publish(u diet.ProgressUpdate) {
 	u.ID = c.id
 	u.Total = c.app.Scenarios
@@ -596,6 +598,8 @@ func (s *Scheduler) runCampaign(c *campaign) bool {
 // Local runner sorts its reports the same way); FirstScenario — unique
 // across completed chunks, whose scenario sets are disjoint — backstops
 // the key into a total order.
+//
+//oalint:deterministic
 func sortReports(reports []diet.ExecResponse) {
 	sort.SliceStable(reports, func(i, j int) bool {
 		if reports[i].Cluster != reports[j].Cluster {

@@ -43,6 +43,10 @@ var (
 	// after a daemon restart — resolves with this error; the cancellation is
 	// final, so resubmit if the work is still wanted.
 	ErrCampaignCancelled = errors.New("grid: campaign cancelled")
+	// ErrUnreachable reports an exchange no ring member answered: every
+	// candidate was down or unreachable at the transport level. The daemons
+	// themselves may be healthy behind a partition — back off and retry.
+	ErrUnreachable = errors.New("grid: no scheduler reachable")
 )
 
 // Client submits campaigns to a scheduler daemon — or to a ring of them:
@@ -188,9 +192,9 @@ func (c *Client) ringRoundTrip(ctx context.Context, id uint64, req *diet.Request
 		}
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("grid: no scheduler answered %s for campaign %d", req.Kind, id)
+		return nil, "", fmt.Errorf("%w: no member answered %s for campaign %d", ErrUnreachable, req.Kind, id)
 	}
-	return nil, "", lastErr
+	return nil, "", fmt.Errorf("%w: %s for campaign %d: %w", ErrUnreachable, req.Kind, id, lastErr)
 }
 
 func (c *Client) timeout() time.Duration {
@@ -443,9 +447,9 @@ func (c *Client) AttachContext(ctx context.Context, id uint64, onAttach func(*di
 		}
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("grid: no scheduler answered attach for campaign %d", id)
+		return nil, fmt.Errorf("%w: no member answered attach for campaign %d", ErrUnreachable, id)
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("%w: attach for campaign %d: %w", ErrUnreachable, id, lastErr)
 }
 
 // attachAt runs one attach exchange against one member. reachable reports

@@ -112,6 +112,8 @@ func NewVerifier(clusters map[string]*platform.Cluster, heuristic string) (*Veri
 // SerialMakespan evaluates (scenarios, months) on the named cluster the way
 // a SeD does, but fully serial: plan with the heuristic, run the
 // event-driven executor.
+//
+//oalint:deterministic
 func (v *Verifier) SerialMakespan(cluster string, scenarios, months int) (float64, error) {
 	key := verifyKey{cluster: cluster, scenarios: scenarios, months: months}
 	v.mu.Lock()
@@ -142,6 +144,8 @@ func (v *Verifier) SerialMakespan(cluster string, scenarios, months int) (float6
 // Verify checks one completed campaign: every chunk report bit-identical to
 // its serial replay, all scenarios accounted for, and the campaign makespan
 // equal to the slowest report.
+//
+//oalint:deterministic
 func (v *Verifier) Verify(app core.Application, res *diet.CampaignResult) error {
 	if res.Status != diet.CampaignDone {
 		return fmt.Errorf("grid: campaign %d status %q: %s", res.ID, res.Status, res.Err)
@@ -171,6 +175,8 @@ type ChunkReport struct {
 // and the campaign makespan equal to the sum of per-round chunk maxima
 // (repartition rounds run sequentially after a requeue, so a multi-round
 // campaign takes longer than its slowest single chunk).
+//
+//oalint:deterministic
 func (v *Verifier) VerifyChunks(app core.Application, makespan float64, chunks []ChunkReport) error {
 	total := 0
 	folded := make([]diet.ExecResponse, 0, len(chunks))

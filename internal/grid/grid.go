@@ -1017,6 +1017,8 @@ func (s *Scheduler) queuePositions() map[uint64]int {
 // campaign is not queued. This is the single-ID Info path: under a deep
 // queue it allocates nothing, where the batch snapshot copies and sorts
 // every tenant's queue per call.
+//
+//oalint:hotpath
 func (s *Scheduler) queuePosition(c *campaign) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

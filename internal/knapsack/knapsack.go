@@ -14,6 +14,8 @@
 // deterministic tie-break (higher value, then fewer items, then lower cost),
 // so equal-value plans always resolve the same way. A brute-force reference
 // solver is included for property tests and ablations.
+//
+//oalint:deterministic
 package knapsack
 
 import (

@@ -243,7 +243,7 @@ func (r *localRunner) register(id uint64, lc *localCampaign) {
 // Records live for the runner's lifetime.
 func Local(clusters []*Cluster, opts ...RunnerOption) (Runner, error) {
 	if len(clusters) == 0 {
-		return nil, fmt.Errorf("oagrid: Local needs at least one cluster")
+		return nil, fmt.Errorf("%w: Local needs at least one cluster", ErrInvalidConfig)
 	}
 	sorted := make([]*Cluster, len(clusters))
 	copy(sorted, clusters)

@@ -221,7 +221,7 @@ type GridPlan struct {
 // assigns scenarios, and each loaded cluster's share is simulated.
 func Distribute(app Experiment, grid *Grid, h Heuristic, opt Options) (*GridPlan, error) {
 	if grid == nil || len(grid.Clusters) == 0 {
-		return nil, fmt.Errorf("oagrid: empty grid")
+		return nil, fmt.Errorf("%w: empty grid", ErrInvalidConfig)
 	}
 	plan := &GridPlan{
 		Clusters:    grid.Names(),

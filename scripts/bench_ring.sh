@@ -51,7 +51,7 @@ for i in 0 1 2; do
   "$workdir/oarun" -daemon -addr "127.0.0.1:${ports[$i]}" -seds 2 -cprocs 30 \
     -queue 512 -state "$workdir/state$i" \
     -ring "$members" -ring-hb 100ms >"$workdir/daemon$i.log" 2>&1 &
-  pids+=($!)
+  pids+=("$!")
 done
 for i in 0 1 2; do
   for _ in $(seq 1 100); do

@@ -57,7 +57,7 @@ for i in 0 1 2; do
   "$workdir/oarun" -daemon -addr "127.0.0.1:${ports[$i]}" -metrics 127.0.0.1:0 \
     -seds 2 -cprocs 30 -state "$workdir/state$i" \
     -ring "$members" -ring-hb 100ms >"$workdir/daemon$i.log" 2>&1 &
-  pids+=($!)
+  pids+=("$!")
 done
 
 for i in 0 1 2; do
