@@ -40,6 +40,17 @@ type baseline struct {
 		JainMin     float64 `json:"jain_min"`
 		P95RatioMax float64 `json:"p95_ratio_max"`
 	} `json:"fairness"`
+	// Autoscale bounds the elastic-fleet burst run (`oaload -profile burst
+	// -autoscale ...` → -autoscale-json). Like fairness these are absolute
+	// bounds: the run must have grown the fleet to at least FleetPeakMin,
+	// shrunk it back (ScaleDownsMin), kept the peak-phase p99 under the
+	// ceiling, and reacted within ScaleUpLatencyMaxMs.
+	Autoscale struct {
+		FleetPeakMin        int     `json:"fleet_peak_min"`
+		ScaleDownsMin       int     `json:"scale_downs_min"`
+		PeakP99MaxMs        float64 `json:"peak_p99_max_ms"`
+		ScaleUpLatencyMaxMs float64 `json:"scale_up_latency_max_ms"`
+	} `json:"autoscale"`
 }
 
 // gateEngine mirrors the BENCH_engine.json fields the gate reads.
@@ -68,7 +79,26 @@ type gateGrid struct {
 	TenantP95Ratio float64 `json:"tenant_p95_ratio"`
 }
 
-func runGate(basePath, enginePath, gridPath, fairnessPath, ringPath string, tolerance float64) {
+// gateAutoscale mirrors the BENCH_autoscale.json fields the gate reads: the
+// elastic-fleet witness (peak size, completed scale-downs, spawn latency)
+// plus the invariants a scale-down must not break (zero requeues,
+// bit-identical verification).
+type gateAutoscale struct {
+	Campaigns        int     `json:"campaigns"`
+	Completed        int     `json:"completed"`
+	Requeues         int     `json:"requeues"`
+	Verified         bool    `json:"verified_bit_identical"`
+	FleetBase        int     `json:"fleet_base"`
+	FleetPeak        int     `json:"fleet_peak"`
+	ScaleUps         uint64  `json:"scale_ups"`
+	ScaleDowns       uint64  `json:"scale_downs"`
+	ScaleUpLatencyMs float64 `json:"scale_up_latency_ms"`
+	Phases           map[string]struct {
+		P99Ms float64 `json:"p99_ms"`
+	} `json:"phases"`
+}
+
+func runGate(basePath, enginePath, gridPath, fairnessPath, ringPath, autoscalePath string, tolerance float64) {
 	var base baseline
 	readJSON(basePath, &base)
 	if tolerance <= 0 {
@@ -172,6 +202,56 @@ func runGate(basePath, enginePath, gridPath, fairnessPath, ringPath string, tole
 				failed = true
 			}
 			fmt.Printf("%-28s current %10.2f   ceiling  %10.2f   %s\n", "fairness tenant p95 ratio", f.TenantP95Ratio, ceil, verdict)
+		}
+	}
+
+	if autoscalePath != "" {
+		var a gateAutoscale
+		readJSON(autoscalePath, &a)
+		if a.Completed != a.Campaigns {
+			fmt.Printf("%-28s %d completed of %d campaigns\n", "autoscale/completion", a.Completed, a.Campaigns)
+			failed = true
+		}
+		if !a.Verified {
+			fmt.Printf("%-28s campaign reports not verified bit-identical\n", "autoscale/verification")
+			failed = true
+		}
+		if a.Requeues != 0 {
+			fmt.Printf("%-28s %d chunks requeued, want 0 (drain must finish in-flight work)\n", "autoscale/requeues", a.Requeues)
+			failed = true
+		}
+		if floor := base.Autoscale.FleetPeakMin; floor > 0 {
+			verdict := "ok"
+			if a.FleetPeak < floor {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10d   floor    %10d   %s\n", "autoscale fleet peak", a.FleetPeak, floor, verdict)
+		}
+		if floor := base.Autoscale.ScaleDownsMin; floor > 0 {
+			verdict := "ok"
+			if a.ScaleDowns < uint64(floor) {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10d   floor    %10d   %s\n", "autoscale scale-downs", a.ScaleDowns, floor, verdict)
+		}
+		if ceil := base.Autoscale.PeakP99MaxMs; ceil > 0 {
+			verdict := "ok"
+			p99 := a.Phases["peak"].P99Ms
+			if p99 > ceil {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10.1f   ceiling  %10.1f   %s\n", "autoscale peak p99 ms", p99, ceil, verdict)
+		}
+		if ceil := base.Autoscale.ScaleUpLatencyMaxMs; ceil > 0 {
+			verdict := "ok"
+			if a.ScaleUpLatencyMs > ceil {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-28s current %10.1f   ceiling  %10.1f   %s\n", "autoscale spawn latency ms", a.ScaleUpLatencyMs, ceil, verdict)
 		}
 	}
 

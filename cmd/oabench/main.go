@@ -50,12 +50,13 @@ func main() {
 		gridJSON     = flag.String("grid-json", "BENCH_grid.json", "current grid load artifact for -gate (empty = skip)")
 		fairnessJSON = flag.String("fairness-json", "", "multi-tenant fairness artifact for -gate, from `oaload -tenants ...` (empty = skip fairness floors)")
 		ringJSON     = flag.String("ring-json", "", "sharded-ring artifact for -gate, from `oaload -ring ...` (empty = skip the ring floor)")
+		asJSON       = flag.String("autoscale-json", "", "elastic-fleet artifact for -gate, from `oaload -profile burst -autoscale ...` (empty = skip the autoscale bounds)")
 		tolerance    = flag.Float64("tolerance", 0, "allowed throughput regression for -gate (0 = baseline's, else 20%)")
 	)
 	flag.Parse()
 
 	if *gate != "" {
-		runGate(*gate, *engineJSON, *gridJSON, *fairnessJSON, *ringJSON, *tolerance)
+		runGate(*gate, *engineJSON, *gridJSON, *fairnessJSON, *ringJSON, *asJSON, *tolerance)
 		return
 	}
 

@@ -13,6 +13,7 @@
 //	oaload -restart 0.5                     # kill + restart the daemon mid-run
 //	oaload -cancel 0.2                      # cancel ~20% of campaigns server-side
 //	oaload -tenants gold=1,silver=1,bronze=1  # multi-tenant fairness workload
+//	oaload -profile burst -autoscale 1:5 -seds 1  # elastic-fleet burst bench
 //	oaload -addr 127.0.0.1:7714             # drive an external daemon (injection off)
 //
 // Without -addr the injector starts its own scheduler and SeDs on loopback
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"oagrid"
+	"oagrid/internal/autoscale"
 	"oagrid/internal/diet"
 	"oagrid/internal/grid"
 	"oagrid/internal/platform"
@@ -106,6 +108,35 @@ type loadReport struct {
 	// and each shard's local (non-fanned-out) accounting after the run.
 	Ring   []string               `json:"ring,omitempty"`
 	Shards map[string]shardReport `json:"shards,omitempty"`
+	// Elastic-fleet block, present only with -profile burst: phase-tagged
+	// latency percentiles (warm/peak/cool), periodic fleet-size samples,
+	// and — when the self-hosted daemon runs -autoscale — the controller's
+	// scale counters. FleetPeak is the largest dispatchable fleet any
+	// sample saw; the CI autoscale gate floors it and ceilings PeakP99Ms.
+	Profile          string                 `json:"profile,omitempty"`
+	PeakMult         float64                `json:"peak_mult,omitempty"`
+	Phases           map[string]phaseReport `json:"phases,omitempty"`
+	FleetBase        int                    `json:"fleet_base,omitempty"`
+	FleetPeak        int                    `json:"fleet_peak,omitempty"`
+	FleetSamples     []fleetSample          `json:"fleet_samples,omitempty"`
+	ScaleUps         uint64                 `json:"scale_ups,omitempty"`
+	ScaleDowns       uint64                 `json:"scale_downs,omitempty"`
+	ScaleUpLatencyMs float64                `json:"scale_up_latency_ms,omitempty"`
+}
+
+// phaseReport is one burst-profile phase's service numbers.
+type phaseReport struct {
+	Campaigns int     `json:"campaigns"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// fleetSample is one periodic observation of the dispatchable fleet size
+// (alive, non-draining SeDs).
+type fleetSample struct {
+	TMs  float64 `json:"t_ms"`
+	Size int     `json:"size"`
 }
 
 // shardReport is one ring member's local accounting, read through the
@@ -151,17 +182,35 @@ func main() {
 		cprocs    = flag.Int("cprocs", 30, "processors per in-process SeD cluster")
 		queueCap  = flag.Int("queue", 64, "daemon queue bound (self-hosted only)")
 		inflight  = flag.Int("inflight", 4, "per-SeD in-flight limit (self-hosted only)")
+		dispatch  = flag.Int("dispatchers", 4, "daemon concurrent campaign dispatchers (self-hosted only)")
 		seed      = flag.Int64("seed", 1, "arrival-schedule random seed")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-campaign client deadline")
 		out       = flag.String("out", "BENCH_grid.json", "benchmark artifact path (empty = skip writing)")
 		proto     = flag.String("proto", "binary", "wire codec: binary (v4 framing when the peer speaks it) or legacy (force the pre-v4 codec)")
 		tenants   = flag.String("tenants", "", "fairness workload as name=weight[,name=weight...]: campaigns get round-robin tenant labels and cycling priorities; the self-hosted daemon gets the weights")
+
+		profile       = flag.String("profile", "", "arrival profile: burst (warm quarter at -rate, peak half at -rate x -peak-mult, cool quarter back at -rate; overrides -arrival, phase-tagged percentiles and fleet-size samples in the report)")
+		peakMult      = flag.Float64("peak-mult", 4, "peak-phase rate multiplier for -profile burst")
+		autoscaleSpec = flag.String("autoscale", "", "elastic SeD fleet bounds as min:max (self-hosted only; grows from -seds toward max under pressure, drains back when calm)")
+		sedSpeeds     = flag.String("sed-speeds", "", "comma-separated relative SeD speed factors, cycled (self-hosted only; 1 = reference, 0.5 = twice as slow)")
+		extVerify     = flag.Bool("verify-external", false, "verify against an external -addr daemon too, assuming it serves the default cluster profiles (-seds/-cprocs must match the daemon's)")
 	)
 	flag.Parse()
 
 	tenantWeights, err := parseTenantWeights(*tenants)
 	if err != nil {
 		fail(err)
+	}
+	asMin, asMax, err := parseAutoscale(*autoscaleSpec)
+	if err != nil {
+		fail(err)
+	}
+	speeds, err := parseSpeeds(*sedSpeeds)
+	if err != nil {
+		fail(err)
+	}
+	if *profile != "" && *profile != "burst" {
+		fail(fmt.Errorf("oaload: unknown -profile %q (want burst)", *profile))
 	}
 	var tenantNames []string
 	for name := range tenantWeights {
@@ -198,6 +247,10 @@ func main() {
 	if *arrival == "burst" {
 		report.Burst = *burst
 	}
+	if *profile != "" {
+		report.Profile = *profile
+		report.PeakMult = *peakMult
+	}
 
 	// Self-hosted fabric unless pointed at an external daemon or ring.
 	target := *addr
@@ -232,14 +285,15 @@ func main() {
 			stateDir = tmp
 		}
 		var err error
-		fabric, err = grid.StartFabric(grid.Config{
+		fabric, err = grid.StartFabricSpeeds(grid.Config{
 			Addr:           "127.0.0.1:0",
 			QueueCap:       *queueCap,
+			Dispatchers:    *dispatch,
 			PerSeDInFlight: *inflight,
 			EvictAfter:     time.Second,
 			StateDir:       stateDir,
 			TenantWeights:  tenantWeights,
-		}, *seds, *cprocs, 100*time.Millisecond)
+		}, *seds, *cprocs, 100*time.Millisecond, speeds)
 		if err != nil {
 			fail(err)
 		}
@@ -251,12 +305,63 @@ func main() {
 			fail(err)
 		}
 		verifyClusters = fabric.Clusters
-	} else if *kill > 0 || *restart > 0 || *verify {
-		fmt.Fprintln(os.Stderr, "oaload: -kill, -restart and -verify need the self-hosted fabric; disabled against an external daemon")
-		*kill, *restart, *verify = 0, 0, false
+	} else if *kill > 0 || *restart > 0 || (*verify && !*extVerify) {
+		fmt.Fprintln(os.Stderr, "oaload: -kill, -restart and -verify need the self-hosted fabric; disabled against an external daemon (-verify-external opts verification back in)")
+		*kill, *restart = 0, 0
+		if !*extVerify {
+			*verify = false
+		}
+	}
+	if *extVerify && fabric == nil && len(ringMembers) == 0 && *verify {
+		// The external daemon is assumed to serve the default profiles the
+		// way oarun -daemon does; autoscale-spawned "<name>#<seq>" clones
+		// fall back to their base profile inside the verifier.
+		verifyClusters = defaultClusters(*seds, *cprocs)
 	}
 
-	arrivals, err := schedule(*arrival, *campaigns, *rate, *burst, *gap, *seed)
+	var ctl *autoscale.Controller
+	if asMax > 0 {
+		if fabric == nil {
+			fail(errors.New("oaload: -autoscale needs the self-hosted fabric (drop -addr/-ring, or pass -autoscale to the external oarun daemon instead)"))
+		}
+		if *restart > 0 {
+			fail(errors.New("oaload: -autoscale and -restart are mutually exclusive (the controller holds the old scheduler)"))
+		}
+		ascfg := autoscale.Config{
+			Min:            asMin,
+			Max:            asMax,
+			HeartbeatEvery: 100 * time.Millisecond,
+			// The injection window is seconds long; sample well inside it so
+			// the burst's queue pressure is seen while it is still building.
+			Sample: 50 * time.Millisecond,
+			Speeds: speeds,
+		}
+		if *profile == "burst" {
+			// The burst profile is the acceptance workload: its peak phase is
+			// only a few hundred milliseconds wide, so the policy must react
+			// on the first pressured samples rather than wait for the default
+			// half-second thresholds — by then the peak is over.
+			ascfg.Policy = autoscale.Policy{
+				UpQueue:       2,
+				UpWaitMs:      100,
+				DownIdleTicks: 4,
+				CoolDownTicks: 1,
+			}
+		}
+		ctl, err = autoscale.Start(fabric.Sched, fabric.SeDs, ascfg)
+		if err != nil {
+			fail(err)
+		}
+		defer ctl.Close()
+	}
+
+	var arrivals []time.Duration
+	var phaseTags []string
+	if *profile == "burst" {
+		arrivals, phaseTags, err = scheduleBurstProfile(*campaigns, *rate, *peakMult)
+	} else {
+		arrivals, err = schedule(*arrival, *campaigns, *rate, *burst, *gap, *seed)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -359,6 +464,50 @@ func main() {
 
 	wireBefore := diet.WireStats()
 	start := time.Now()
+
+	// The burst profile samples the dispatchable fleet (alive, non-draining
+	// SeDs) over the wire every 100ms — the record of the scale-up and the
+	// scale-back the report's fleet_peak/fleet_base summarize.
+	var samplerWg sync.WaitGroup
+	samplerStop := make(chan struct{})
+	if *profile == "burst" {
+		report.FleetBase = *seds
+		sampleClient := &grid.Client{Addr: target}
+		if len(ringMembers) > 0 {
+			sampleClient = &grid.Client{Addr: ringMembers[0], Addrs: ringMembers[1:]}
+		}
+		samplerWg.Add(1)
+		go func() {
+			defer samplerWg.Done()
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-t.C:
+				}
+				st, err := sampleClient.Stats()
+				if err != nil {
+					continue
+				}
+				size := 0
+				for _, sd := range st.SeDs {
+					if sd.Alive && !sd.Draining {
+						size++
+					}
+				}
+				report.FleetSamples = append(report.FleetSamples, fleetSample{
+					TMs:  float64(time.Since(start)) / float64(time.Millisecond),
+					Size: size,
+				})
+				if size > report.FleetPeak {
+					report.FleetPeak = size
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < *campaigns; i++ {
 		wg.Add(1)
@@ -399,6 +548,22 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	// With an elastic fleet the run is not over at the last verdict: the
+	// report must also witness the scale-back. Keep the fleet sampler
+	// running and wait (bounded) for the controller to drain back to min —
+	// the burst acceptance is "up AND back down", not just up.
+	if ctl != nil && *profile == "burst" {
+		settle := time.Now().Add(30 * time.Second)
+		for time.Now().Before(settle) {
+			cs := ctl.Counters()
+			if cs.FleetSize <= asMin && cs.Draining == 0 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	close(samplerStop)
+	samplerWg.Wait()
 	wireAfter := diet.WireStats()
 	report.BytesTx = wireAfter.BytesTx - wireBefore.BytesTx
 	report.BytesRx = wireAfter.BytesRx - wireBefore.BytesRx
@@ -449,6 +614,15 @@ func main() {
 		report.FairnessJain = jainIndex(tenantNames, tenantWeights, report.Tenants)
 		report.TenantP95Ratio = p95Ratio(report.Tenants)
 	}
+	if *profile == "burst" {
+		report.Phases = phaseBreakdown(phaseTags, outcomes, latencies)
+		if ctl != nil {
+			cs := ctl.Counters()
+			report.ScaleUps = cs.ScaleUps
+			report.ScaleDowns = cs.ScaleDowns
+			report.ScaleUpLatencyMs = cs.ScaleUpLatencyMaxMs
+		}
+	}
 
 	// Ring-wide gauges: any member answers (stats fan out and merge), and the
 	// multi-addr client survives a member killed during the run. A plain
@@ -490,6 +664,20 @@ func main() {
 		}
 		fmt.Printf("fairness: Jain %.4f  p95 ratio %.2f  quota rejections %d\n",
 			report.FairnessJain, report.TenantP95Ratio, report.QuotaRejections)
+	}
+	if *profile == "burst" {
+		for _, name := range []string{"warm", "peak", "cool"} {
+			if ph, ok := report.Phases[name]; ok {
+				fmt.Printf("phase %-5s %3d campaigns  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+					name, ph.Campaigns, ph.P50Ms, ph.P95Ms, ph.P99Ms)
+			}
+		}
+		fmt.Printf("fleet: base %d, peak %d (%d samples)", report.FleetBase, report.FleetPeak, len(report.FleetSamples))
+		if ctl != nil {
+			fmt.Printf("  scale-ups %d, scale-downs %d, scale-up latency max %.1fms",
+				report.ScaleUps, report.ScaleDowns, report.ScaleUpLatencyMs)
+		}
+		fmt.Println()
 	}
 	if len(report.Shards) > 0 {
 		for _, m := range ringMembers {
@@ -586,6 +774,100 @@ func shardAccounting(members []string) map[string]shardReport {
 		}
 	}
 	return out
+}
+
+// scheduleBurstProfile builds the elastic-fleet acceptance workload: a warm
+// quarter of the campaigns arriving uniformly at rate, a peak half at rate x
+// mult, and a cool quarter back at rate. Arrivals are fully deterministic
+// (uniform steps within each phase) so the run replays exactly; the returned
+// tags name each campaign's phase for the report's percentile breakdown.
+func scheduleBurstProfile(n int, rate, mult float64) ([]time.Duration, []string, error) {
+	if n <= 0 {
+		return nil, nil, errors.New("oaload: need at least one campaign")
+	}
+	if rate <= 0 {
+		return nil, nil, errors.New("oaload: -profile burst needs -rate > 0")
+	}
+	if mult < 1 {
+		return nil, nil, errors.New("oaload: -profile burst needs -peak-mult >= 1")
+	}
+	warm := n / 4
+	peak := n / 2
+	out := make([]time.Duration, n)
+	tags := make([]string, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		r := rate
+		switch {
+		case i < warm:
+			tags[i] = "warm"
+		case i < warm+peak:
+			tags[i], r = "peak", rate*mult
+		default:
+			tags[i] = "cool"
+		}
+		out[i] = time.Duration(t * float64(time.Second))
+		t += 1.0 / r
+	}
+	return out, tags, nil
+}
+
+// phaseBreakdown folds completed-campaign latencies into per-phase
+// percentiles, keyed by the tags scheduleBurstProfile assigned.
+func phaseBreakdown(tags []string, outcomes []campaignOutcome, latencies []time.Duration) map[string]phaseReport {
+	buckets := map[string][]time.Duration{}
+	for i, oc := range outcomes {
+		if oc.res == nil {
+			continue
+		}
+		buckets[tags[i]] = append(buckets[tags[i]], latencies[i])
+	}
+	out := make(map[string]phaseReport, len(buckets))
+	for name, lats := range buckets {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out[name] = phaseReport{
+			Campaigns: len(lats),
+			P50Ms:     percentileMs(lats, 50),
+			P95Ms:     percentileMs(lats, 95),
+			P99Ms:     percentileMs(lats, 99),
+		}
+	}
+	return out
+}
+
+// parseAutoscale parses the -autoscale "min:max" fleet bounds; an empty
+// spec (autoscaling off) parses to (0, 0).
+func parseAutoscale(spec string) (min, max int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	lo, hi, ok := strings.Cut(spec, ":")
+	if ok {
+		min, err = strconv.Atoi(strings.TrimSpace(lo))
+		if err == nil {
+			max, err = strconv.Atoi(strings.TrimSpace(hi))
+		}
+	}
+	if !ok || err != nil || min < 1 || max < min {
+		return 0, 0, fmt.Errorf("oaload: bad -autoscale %q (want min:max with 1 <= min <= max)", spec)
+	}
+	return min, max, nil
+}
+
+// parseSpeeds parses the -sed-speeds factor list.
+func parseSpeeds(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("oaload: bad -sed-speeds entry %q (want a positive factor)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // schedule precomputes the deterministic arrival offsets of every campaign.

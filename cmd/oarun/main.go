@@ -12,6 +12,7 @@
 //	oarun -schedule -ns 3 -months 2 -r 20               # realrun an ensemble
 //	oarun -daemon -addr 127.0.0.1:7714 -seds 3          # scheduler daemon
 //	oarun -daemon -state /var/lib/oagrid                # durable daemon
+//	oarun -daemon -seds 1 -autoscale 1:5                # elastic SeD fleet
 //
 // Daemon mode starts an internal/grid scheduler on -addr and, when -seds is
 // positive, that many in-process SeDs (the paper's five Grid'5000 cluster
@@ -39,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"oagrid/internal/autoscale"
 	"oagrid/internal/climate/field"
 	"oagrid/internal/climate/pipeline"
 	"oagrid/internal/core"
@@ -77,6 +79,9 @@ func main() {
 		ringHb   = flag.Duration("ring-hb", time.Second, "ring membership ping and WAL replication interval")
 		ringDead = flag.Duration("ring-dead", 0, "silence after which a ring peer is declared dead and its campaigns failed over (0 = 4x -ring-hb)")
 
+		autoscaleSpec = flag.String("autoscale", "", "elastic SeD fleet bounds as min:max (empty = fixed fleet); the daemon starts -seds SeDs and grows toward max under queue pressure, draining gracefully back when calm")
+		sedSpeeds     = flag.String("sed-speeds", "", "comma-separated relative speed factors cycled across SeDs (1 = reference, 0.5 = twice as slow); scales advertised performance vectors only, never execution")
+
 		metrics     = flag.String("metrics", "", "daemon /metrics listen address, Prometheus text format (empty = off; 127.0.0.1:0 for an ephemeral port)")
 		tenantKey   = flag.String("tenant-key", grid.DefaultTenantKey, "label key that names a campaign's fair-queueing tenant")
 		tenantWts   = flag.String("tenant-weights", "", "weighted-fair-queueing weights as name=weight[,name=weight...]; unlisted tenants weigh 1")
@@ -99,11 +104,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oarun: %v\n", err)
 			os.Exit(2)
 		}
+		asMin, asMax, err := parseAutoscale(*autoscaleSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oarun: %v\n", err)
+			os.Exit(2)
+		}
+		speeds, err := parseSpeeds(*sedSpeeds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oarun: %v\n", err)
+			os.Exit(2)
+		}
 		runDaemon(daemonConfig{
 			addr:        *addr,
 			state:       *state,
 			seds:        *seds,
 			cprocs:      *cprocs,
+			asMin:       asMin,
+			asMax:       asMax,
+			speeds:      speeds,
 			queueCap:    *queueCap,
 			inflight:    *inflight,
 			dispatchers: *dispatch,
@@ -230,10 +248,47 @@ func parseTenantWeights(spec string) (map[string]float64, error) {
 	return out, nil
 }
 
+// parseAutoscale parses the -autoscale "min:max" fleet bounds; an empty
+// spec (autoscaling off) parses to (0, 0).
+func parseAutoscale(spec string) (min, max int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	lo, hi, ok := strings.Cut(spec, ":")
+	if ok {
+		min, err = strconv.Atoi(strings.TrimSpace(lo))
+		if err == nil {
+			max, err = strconv.Atoi(strings.TrimSpace(hi))
+		}
+	}
+	if !ok || err != nil || min < 1 || max < min {
+		return 0, 0, fmt.Errorf("bad -autoscale %q (want min:max with 1 <= min <= max)", spec)
+	}
+	return min, max, nil
+}
+
+// parseSpeeds parses the -sed-speeds factor list.
+func parseSpeeds(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad -sed-speeds entry %q (want a positive factor)", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // daemonConfig bundles the -daemon flag set.
 type daemonConfig struct {
 	addr, state        string
 	seds, cprocs       int
+	asMin, asMax       int
+	speeds             []float64
 	queueCap, inflight int
 	dispatchers        int
 	hbEvery, evict     time.Duration
@@ -247,7 +302,10 @@ type daemonConfig struct {
 // runDaemon serves the online scheduler until SIGINT/SIGTERM, printing a
 // stats line every few seconds.
 func runDaemon(dc daemonConfig) {
-	fabric, err := grid.StartFabric(grid.Config{
+	if dc.asMax > 0 && dc.seds < 1 {
+		fail(fmt.Errorf("-autoscale needs at least one in-process SeD (-seds 1) to clone profiles from"))
+	}
+	fabric, err := grid.StartFabricSpeeds(grid.Config{
 		Addr:           dc.addr,
 		QueueCap:       dc.queueCap,
 		Dispatchers:    dc.dispatchers,
@@ -258,7 +316,7 @@ func runDaemon(dc daemonConfig) {
 		TenantKey:      dc.tenantKey,
 		TenantWeights:  dc.weights,
 		TenantQuota:    dc.quota,
-	}, dc.seds, dc.cprocs, dc.hbEvery)
+	}, dc.seds, dc.cprocs, dc.hbEvery, dc.speeds)
 	if err != nil {
 		fail(err)
 	}
@@ -280,7 +338,25 @@ func runDaemon(dc daemonConfig) {
 		fmt.Printf("ring member %s of %d (%s)\n", dc.addr, len(members), strings.Join(members, ","))
 	}
 	for _, sed := range fabric.SeDs {
-		fmt.Printf("SeD %-12s %s (%d processors)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs)
+		fmt.Printf("SeD %-12s %s (%d processors, speed %g)\n", sed.Cluster().Name, sed.Addr(), sed.Cluster().Procs, sed.Speed())
+	}
+	var ctl *autoscale.Controller
+	if dc.asMax > 0 {
+		ctl, err = autoscale.Start(sched, fabric.SeDs, autoscale.Config{
+			Min:            dc.asMin,
+			Max:            dc.asMax,
+			HeartbeatEvery: dc.hbEvery,
+			// Sample at the heartbeat interval: fleet state changes no faster
+			// than heartbeats land, and a -hb tuned for a fast-moving fabric
+			// should make the scaler react at the same pace.
+			Sample: dc.hbEvery,
+			Speeds: dc.speeds,
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer ctl.Close()
+		fmt.Printf("autoscale: elastic fleet %d..%d SeDs\n", dc.asMin, dc.asMax)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -300,8 +376,13 @@ func runDaemon(dc daemonConfig) {
 					alive++
 				}
 			}
-			fmt.Printf("queue %d (max %d)  running %d  done %d  failed %d  rejected %d  requeues %d  seds %d/%d alive\n",
+			line := fmt.Sprintf("queue %d (max %d)  running %d  done %d  failed %d  rejected %d  requeues %d  seds %d/%d alive",
 				st.QueueDepth, st.MaxQueueDepth, st.Running, st.Completed, st.Failed, st.Rejected, st.Requeues, alive, len(st.SeDs))
+			if ctl != nil {
+				cs := ctl.Counters()
+				line += fmt.Sprintf("  fleet %d (+%d/-%d, %d draining)", cs.FleetSize, cs.ScaleUps, cs.ScaleDowns, cs.Draining)
+			}
+			fmt.Println(line)
 		}
 	}
 }

@@ -90,6 +90,11 @@ var Schema = WireSchema{
 		// frame header says >= 5 — the retrofit that fixed the PR 7 break.
 		"enc:fkSubmitResp": {"SubmitResponse.Code": 5},
 		"dec:fkSubmitResp": {"SubmitResponse.Code": 5},
+		// Protocol v7: the elastic-fleet heartbeat fields — the SeD's speed
+		// factor and its graceful-drain flag — gated exactly like the v5
+		// retrofit so pre-v7 peers keep byte-exact v4 heartbeat frames.
+		"enc:fkHeartbeatReq": {"HeartbeatRequest.Speed": 7, "HeartbeatRequest.Draining": 7},
+		"dec:fkHeartbeatReq": {"HeartbeatRequest.Speed": 7, "HeartbeatRequest.Draining": 7},
 	},
 }
 

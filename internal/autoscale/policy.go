@@ -1,0 +1,123 @@
+// Package autoscale grows and shrinks an in-process SeD fleet against the
+// scheduler's queue pressure. The controller samples the daemon's stats,
+// feeds them through a hysteresis policy, and spawns clone SeDs under load
+// or gracefully drains them when the queue stays calm — drain meaning the
+// daemon stops receiving new chunks, finishes what it holds, and only then
+// deregisters, so a scale-down never requeues a chunk.
+package autoscale
+
+// Signals is one sampled observation of scheduler pressure — the inputs a
+// scaling decision is made from.
+type Signals struct {
+	// QueueDepth is the number of campaigns waiting for a dispatcher.
+	QueueDepth int
+	// OldestWaitMs is the longest admission-to-now wait among queued
+	// campaigns: the deadline-pressure signal. Queue depth alone misses a
+	// single starved campaign behind a slow fleet.
+	OldestWaitMs float64
+	// FleetSize is the controller's current dispatchable fleet (base plus
+	// spawned, draining excluded).
+	FleetSize int
+	// Outstanding sums the scheduler's open requests across the fleet —
+	// the work-in-progress signal that keeps a busy-but-unqueued system
+	// from scaling down.
+	Outstanding int
+}
+
+// Policy is the hysteresis scaling policy: scale up under sustained queue
+// or wait pressure, scale down only after the system has stayed calm for a
+// run of consecutive samples, and never act twice within the cool-down
+// window. The zero value of each threshold picks the default. Decide
+// mutates internal counters and is not safe for concurrent use — the
+// controller calls it from its single sampler goroutine.
+type Policy struct {
+	// Min and Max bound the fleet size. Decide never proposes a fleet
+	// below Min or above Max.
+	Min, Max int
+	// UpQueue is the queue depth at which the policy wants another SeD
+	// (default 4).
+	UpQueue int
+	// UpWaitMs is the oldest-wait threshold in milliseconds that counts as
+	// pressure even with a shallow queue (default 500).
+	UpWaitMs float64
+	// DownIdleTicks is how many consecutive calm samples must pass before
+	// a scale-down (default 8). Hysteresis: one idle instant between
+	// bursts must not shed capacity.
+	DownIdleTicks int
+	// CoolDownTicks is how many samples after any action the policy stays
+	// quiet (default 4), so one burst scales in steps instead of jumping
+	// straight to Max and oscillating.
+	CoolDownTicks int
+	// DownOutstanding is the most open requests the fleet may hold while
+	// still counting as calm (default 2): a trickle of work should not pin
+	// an over-provisioned fleet forever. Set -1 to demand a fully idle
+	// fleet before any scale-down.
+	DownOutstanding int
+
+	normalized bool
+	cooldown   int
+	calm       int
+}
+
+// defaults fills unset thresholds in place, once: the -1 spellings must
+// not be re-normalized on the next tick.
+func (p *Policy) defaults() {
+	if p.normalized {
+		return
+	}
+	p.normalized = true
+	if p.Min < 1 {
+		p.Min = 1
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.UpQueue <= 0 {
+		p.UpQueue = 4
+	}
+	if p.UpWaitMs <= 0 {
+		p.UpWaitMs = 500
+	}
+	if p.DownIdleTicks <= 0 {
+		p.DownIdleTicks = 8
+	}
+	if p.CoolDownTicks <= 0 {
+		p.CoolDownTicks = 4
+	}
+	if p.DownOutstanding < 0 {
+		p.DownOutstanding = 0
+	} else if p.DownOutstanding == 0 {
+		p.DownOutstanding = 2
+	}
+}
+
+// Decide folds one observation into the policy state and returns the
+// action: +1 to spawn a SeD, -1 to drain one, 0 to hold.
+func (p *Policy) Decide(sig Signals) int {
+	p.defaults()
+	coolingDown := p.cooldown > 0
+	if coolingDown {
+		p.cooldown--
+	}
+	pressure := sig.QueueDepth >= p.UpQueue || sig.OldestWaitMs >= p.UpWaitMs
+	calm := sig.QueueDepth == 0 && sig.Outstanding <= p.DownOutstanding
+	if pressure {
+		p.calm = 0
+		if sig.FleetSize < p.Max && !coolingDown {
+			p.cooldown = p.CoolDownTicks
+			return 1
+		}
+		return 0
+	}
+	if !calm {
+		p.calm = 0
+		return 0
+	}
+	p.calm++
+	if sig.FleetSize > p.Min && p.calm >= p.DownIdleTicks && !coolingDown {
+		p.cooldown = p.CoolDownTicks
+		p.calm = 0
+		return -1
+	}
+	return 0
+}

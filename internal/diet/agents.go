@@ -82,23 +82,46 @@ type SeD struct {
 	cluster *platform.Cluster
 	opts    exec.Options
 	ln      net.Listener
+	// speed is the daemon's relative speed factor: 1.0 is the reference,
+	// 0.5 advertises every performance-vector entry doubled so the
+	// repartition hands this daemon proportionally smaller chunks.
+	// Immutable after start. Execution itself stays on the cluster's base
+	// timing — the factor shifts placement, never a chunk's reported
+	// makespan, which keeps results bit-identical to serial replay.
+	speed float64
 
 	inFlight int64 // gauge of requests currently being served
+	// draining is nonzero once Drain() ran: the daemon advertises the flag
+	// on every beat so the scheduler stops placing new chunks on it.
+	draining int32
 
 	hbMu   sync.Mutex
 	hbStop chan struct{}
+	// hbAddr remembers the scheduler a heartbeat loop beacons to, so
+	// Drain() can push an immediate flagged beat instead of waiting out the
+	// ticker interval.
+	hbAddr string
 }
 
-// StartSeD listens on addr and serves the cluster.
+// StartSeD listens on addr and serves the cluster at the reference speed.
 func StartSeD(addr string, cluster *platform.Cluster, opts exec.Options) (*SeD, error) {
+	return StartSeDSpeed(addr, cluster, opts, 1.0)
+}
+
+// StartSeDSpeed is StartSeD with an explicit relative speed factor; values
+// <= 0 read as 1.0 (the reference speed).
+func StartSeDSpeed(addr string, cluster *platform.Cluster, opts exec.Options, speed float64) (*SeD, error) {
 	if err := cluster.Validate(); err != nil {
 		return nil, err
+	}
+	if speed <= 0 {
+		speed = 1.0
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("diet: SeD %s listen: %w", cluster.Name, err)
 	}
-	s := &SeD{cluster: cluster, opts: opts, ln: ln}
+	s := &SeD{cluster: cluster, opts: opts, ln: ln, speed: speed}
 	go acceptLoop(ln, s.handle)
 	return s, nil
 }
@@ -118,6 +141,27 @@ func (s *SeD) Cluster() *platform.Cluster { return s.cluster }
 // InFlight reports how many requests the daemon is serving right now.
 func (s *SeD) InFlight() int { return int(atomic.LoadInt64(&s.inFlight)) }
 
+// Speed reports the daemon's relative speed factor.
+func (s *SeD) Speed() float64 { return s.speed }
+
+// Draining reports whether Drain() has run.
+func (s *SeD) Draining() bool { return atomic.LoadInt32(&s.draining) != 0 }
+
+// Drain flips the daemon into graceful-drain mode: every subsequent
+// heartbeat carries the Draining flag, so the scheduler stops placing new
+// chunks while in-flight work finishes and banks. One flagged beat goes out
+// immediately — a scale-down must not wait out the ticker interval to take
+// effect. The daemon keeps serving until Close.
+func (s *SeD) Drain() {
+	atomic.StoreInt32(&s.draining, 1)
+	s.hbMu.Lock()
+	addr := s.hbAddr
+	s.hbMu.Unlock()
+	if addr != "" {
+		s.beat(addr)
+	}
+}
+
 // StartHeartbeats begins beaconing liveness to the scheduler at addr every
 // interval. A beat carries the registration payload, so the first one — and
 // any beat after an eviction — (re)registers the daemon. Successive calls
@@ -125,6 +169,7 @@ func (s *SeD) InFlight() int { return int(atomic.LoadInt64(&s.inFlight)) }
 func (s *SeD) StartHeartbeats(schedAddr string, every time.Duration) {
 	s.hbMu.Lock()
 	defer s.hbMu.Unlock()
+	s.hbAddr = schedAddr
 	if s.hbStop != nil {
 		close(s.hbStop)
 	}
@@ -163,6 +208,8 @@ func (s *SeD) beat(schedAddr string) {
 		Addr:     s.Addr(),
 		Procs:    s.cluster.Procs,
 		InFlight: s.InFlight(),
+		Speed:    s.speed,
+		Draining: s.Draining(),
 	}})
 }
 
@@ -211,6 +258,18 @@ func (s *SeD) handlePerf(req *PerfRequest) *Response {
 	vec, err := engine.PerformanceVector(engine.DES{}, app, s.cluster, h, engine.Options{Exec: s.opts}, 0)
 	if err != nil {
 		return &Response{Err: err.Error()}
+	}
+	// A non-reference speed factor scales the advertised makespans (half
+	// speed doubles them) so the repartition hands this daemon a
+	// proportionally smaller share. Only the advertisement is scaled:
+	// execution runs on the base timing, so chunk reports stay bit-identical
+	// to their serial replay whatever the fleet's speed mix.
+	if s.speed != 1.0 {
+		scaled := make([]float64, len(vec))
+		for i, v := range vec {
+			scaled[i] = v / s.speed
+		}
+		vec = scaled
 	}
 	return &Response{Perf: &PerfResponse{
 		Cluster: s.cluster.Name,

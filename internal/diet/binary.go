@@ -286,6 +286,13 @@ func AppendRequestFrame(buf []byte, req *Request) ([]byte, error) {
 		b = appendStr(b, r.Addr)
 		b = appendInt(b, r.Procs)
 		b = appendInt(b, r.InFlight)
+		// Speed and Draining are v7 fields: a frame stamped with a lower
+		// negotiated version must stay byte-exact for pre-v7 peers, whose
+		// strict decoder rejects trailing payload bytes.
+		if ver >= ProtocolV7 {
+			b = appendF64(b, r.Speed)
+			b = appendBool(b, r.Draining)
+		}
 		return finishFrame(b, start)
 	case req.Kind == KindAttach && req.Attach != nil:
 		b, start := beginFrame(buf, byte(ver), fkAttachReq)
@@ -717,6 +724,12 @@ func (d *FrameDecoder) DecodeRequestFrame(hdr FrameHeader, payload []byte) (*Req
 			Addr:     d.str(r, "heartbeat addr"),
 			Procs:    r.int("heartbeat procs"),
 			InFlight: r.int("heartbeat inflight"),
+		}
+		// Mirror the encoder's version gate: a pre-v7 peer's frame ends at
+		// InFlight, and reading past it would fail the exhausted payload.
+		if hdr.Version >= ProtocolV7 {
+			h.Speed = r.f64("heartbeat speed")
+			h.Draining = r.bool("heartbeat draining")
 		}
 		req.Kind, req.Heartbeat = KindHeartbeat, h
 	case fkAttachReq:

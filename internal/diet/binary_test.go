@@ -27,6 +27,9 @@ func hotRequests() []*Request {
 		{Version: ProtocolV4, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
 			Cluster: "grillon", Addr: "127.0.0.1:9999", Procs: 56, InFlight: 2,
 		}},
+		{Version: ProtocolV7, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+			Cluster: "grelon", Addr: "127.0.0.1:9998", Procs: 120, InFlight: 1, Speed: 0.5, Draining: true,
+		}},
 		{Version: ProtocolV4, Kind: KindAttach, Attach: &AttachRequest{ID: 42, Progress: true}},
 		{Version: ProtocolV4, Kind: KindResult, Result: &ResultRequest{ID: 7}},
 	}
@@ -294,6 +297,62 @@ func TestSubmitCodeVersionGate(t *testing.T) {
 	}
 	if got.Submit.Code != RejectQuota {
 		t.Fatalf("v5 frame carried code %q, want %q", got.Submit.Code, RejectQuota)
+	}
+}
+
+// TestHeartbeatSpeedVersionGate pins the v4/v7 compat contract for the
+// elastic-fleet heartbeat fields: a frame negotiated below v7 must be
+// byte-identical whether or not the daemon carries a speed factor or drain
+// flag (old decoders reject trailing bytes), and a v7 frame must carry
+// both.
+func TestHeartbeatSpeedVersionGate(t *testing.T) {
+	withFields := &Request{Version: ProtocolV6, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+		Cluster: "grillon", Addr: "127.0.0.1:9999", Procs: 56, InFlight: 2, Speed: 0.5, Draining: true,
+	}}
+	withoutFields := &Request{Version: ProtocolV6, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+		Cluster: "grillon", Addr: "127.0.0.1:9999", Procs: 56, InFlight: 2,
+	}}
+	f1, err := AppendRequestFrame(nil, withFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := AppendRequestFrame(nil, withoutFields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1, f2) {
+		t.Fatalf("pre-v7 heartbeat frame changed with Speed/Draining set:\n got % x\nwant % x", f1, f2)
+	}
+	hdr, payload, err := ParseFrame(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := &FrameDecoder{Retain: true}
+	got, err := dec.DecodeRequestFrame(hdr, payload)
+	if err != nil {
+		t.Fatalf("pre-v7 decode of an elastic daemon's heartbeat: %v", err)
+	}
+	if got.Heartbeat.Speed != 0 || got.Heartbeat.Draining {
+		t.Fatalf("pre-v7 frame smuggled speed %v draining %v", got.Heartbeat.Speed, got.Heartbeat.Draining)
+	}
+
+	v7 := &Request{Version: ProtocolV7, Kind: KindHeartbeat, Heartbeat: &HeartbeatRequest{
+		Cluster: "grelon", Addr: "127.0.0.1:9998", Procs: 120, InFlight: 1, Speed: 0.25, Draining: true,
+	}}
+	f7, err := AppendRequestFrame(nil, v7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, payload, err = ParseFrame(f7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = dec.DecodeRequestFrame(hdr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Heartbeat.Speed != 0.25 || !got.Heartbeat.Draining {
+		t.Fatalf("v7 frame carried speed %v draining %v, want 0.25 true", got.Heartbeat.Speed, got.Heartbeat.Draining)
 	}
 }
 

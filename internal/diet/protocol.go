@@ -70,6 +70,17 @@ import (
 // envelope — no new binary encodings, and a connection negotiated below v6
 // never sees them: a daemon refuses the ring kinds outright below v6, which
 // is also how a ring refuses membership to a pre-v6 peer.
+//
+// Version 7 adds the elastic-fleet heartbeat fields: Speed (the SeD's
+// relative speed factor, scaling its advertised performance vectors so
+// placement is speed-aware) and Draining (the SeD has stopped accepting new
+// chunks and is finishing in-flight work before deregistering). On the
+// legacy gob and JSON-envelope codecs both are plain optional additions old
+// peers ignore; on binary framing they are trailing fields of the
+// fkHeartbeatReq payload, encoded and decoded only when the frame's
+// negotiated version is >= 7 — the same retrofit discipline as the v5
+// SubmitResponse.Code, because the strict decoder rejects trailing bytes.
+// A beat without them (any pre-v7 peer) reads as Speed 1.0, not draining.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
@@ -77,8 +88,9 @@ const (
 	ProtocolV4 = 4
 	ProtocolV5 = 5
 	ProtocolV6 = 6
+	ProtocolV7 = 7
 	// ProtocolVersion is the highest version this build speaks.
-	ProtocolVersion = ProtocolV6
+	ProtocolVersion = ProtocolV7
 )
 
 // NegotiateVersion resolves the effective version of a connection from the
@@ -372,6 +384,17 @@ type HeartbeatRequest struct {
 	Addr     string
 	Procs    int
 	InFlight int
+	// Speed is the daemon's relative speed factor (protocol v7): 1.0 is the
+	// reference, 0.5 means the SeD runs everything twice as slowly and its
+	// advertised performance vectors are scaled accordingly, so the
+	// repartition hands it proportionally smaller chunks. 0 — every pre-v7
+	// beat — reads as 1.0.
+	Speed float64
+	// Draining marks a daemon that has stopped accepting new placements
+	// (protocol v7): the scheduler keeps the entry (its in-flight chunks
+	// must finish and bank) but excludes it from new dispatches, so a
+	// graceful scale-down never requeues a chunk.
+	Draining bool
 }
 
 // HeartbeatResponse acknowledges a heartbeat.
@@ -626,6 +649,17 @@ type SeDStatus struct {
 	Outstanding int
 	// SinceBeat is the age of the last heartbeat.
 	SinceBeat time.Duration
+	// Speed is the daemon's advertised relative speed factor (1.0 for every
+	// pre-v7 daemon).
+	Speed float64
+	// Draining is true while the daemon is gracefully leaving the fleet:
+	// excluded from new dispatches, finishing what it holds.
+	Draining bool
+	// Leases counts repartition rounds that snapshotted this daemon into
+	// their dispatch pool and have not finished processing results yet. A
+	// draining daemon with zero leases and zero outstanding requests is
+	// safe to deregister.
+	Leases int
 }
 
 // TenantStatus is one tenant's slice of the scheduler's weighted-fair
@@ -666,6 +700,10 @@ type StatsResponse struct {
 	// Tenants is the per-tenant weighted-fair-queueing breakdown, sorted by
 	// tenant name. Empty from pre-WFQ daemons.
 	Tenants []TenantStatus
+	// OldestWaitMs is the longest admission-to-now wait among campaigns
+	// still queued — the deadline-pressure signal an autoscaler samples. 0
+	// with an empty queue (and from pre-v7 daemons).
+	OldestWaitMs float64
 }
 
 // RemoteError is an answered request whose response carried an Err payload:

@@ -453,123 +453,9 @@ func (s *Scheduler) runCampaign(c *campaign) bool {
 			return s.failCampaign(c, fmt.Sprintf("grid: campaign %d timed out with %d scenarios unplaced", c.id, len(remaining)), true)
 		}
 
-		// Steps 1-3: performance vectors from every live SeD. A daemon that
-		// fails the exchange drops out of this attempt's pool.
-		seds := s.aliveSeDs()
-		var pool []sedRef
-		var perf [][]float64
-		for _, ref := range seds {
-			vec, err := s.vector(ref, len(remaining), c.app.Months, c.heuristic)
-			if err != nil {
-				s.markDead(ref.st, ref.info.Addr)
-				continue
-			}
-			pool = append(pool, ref)
-			perf = append(perf, vec)
+		if cont, ok := s.runRound(abortCtx, c, remaining, round); !cont {
+			return ok
 		}
-		if len(pool) == 0 {
-			select {
-			case <-s.done:
-				return s.failCampaign(c, "grid: scheduler shut down", false)
-			case <-c.cancelCh:
-				return false
-			case <-time.After(s.cfg.RetryEvery):
-			}
-			continue
-		}
-
-		// Step 4: Algorithm-1 repartition of the remaining scenarios.
-		rep, err := core.Repartition(perf)
-		if err != nil {
-			return s.failCampaign(c, err.Error(), true)
-		}
-		chunks := make([][]int, len(pool))
-		for slot, cl := range rep.Assignment {
-			chunks[cl] = append(chunks[cl], remaining[slot])
-		}
-		planned := make([]diet.PlannedChunk, 0, len(pool))
-		for i, ref := range pool {
-			if len(chunks[i]) > 0 {
-				planned = append(planned, diet.PlannedChunk{Cluster: ref.info.Cluster, Scenarios: len(chunks[i])})
-			}
-		}
-		s.journal(store.Record{Kind: store.KindPlanned, ID: c.id, Round: round, Planned: planned})
-		c.publish(diet.ProgressUpdate{Stage: diet.StagePlanned, Planned: planned})
-
-		// Steps 5-6: dispatch every chunk concurrently, each behind its
-		// SeD's in-flight semaphore.
-		results := make(chan chunkReport, len(pool))
-		launched := 0
-		for i, ref := range pool {
-			if len(chunks[i]) == 0 {
-				continue
-			}
-			launched++
-			go s.dispatchChunk(abortCtx, c, ref, chunks[i], results)
-		}
-		cancelled := false
-		for ; launched > 0; launched-- {
-			r := <-results
-			if c.cancelledNow() {
-				// Cancelled mid-round: drain the remaining chunks (their
-				// round trips abort on abortCtx) and discard everything —
-				// including genuine results, which must not surface as chunk
-				// frames after the cancel verdict. The SeD is not marked
-				// dead for an abort-induced error.
-				cancelled = true
-				continue
-			}
-			if r.err != nil {
-				// The chunk's scenarios stay on the campaign's plate and
-				// will be re-repartitioned over the survivors. WAL first:
-				// the requeue is fsynced before it shows up in snapshots.
-				s.markDead(r.ref.st, r.ref.info.Addr)
-				s.journal(store.Record{Kind: store.KindRequeue, ID: c.id, Requeued: len(r.ids)})
-				c.mu.Lock()
-				if c.claimed {
-					c.mu.Unlock()
-					cancelled = true
-					continue
-				}
-				c.requeues++
-				c.mu.Unlock()
-				s.mu.Lock()
-				s.requeues++
-				s.mu.Unlock()
-				c.publish(diet.ProgressUpdate{Stage: diet.StageRequeue, Requeued: len(r.ids)})
-				continue
-			}
-			// Stamp the chunk with its provenance: the round (makespan
-			// accounting) and its lowest scenario ID (the report-order
-			// tiebreak). IDs are dispatched ascending, so ids[0] is the
-			// minimum. WAL discipline: the chunk is fsynced before it
-			// becomes visible to snapshots or subscribers, so progress a
-			// polling client observed can never regress across a restart.
-			// The acceptance is claim-guarded under c.mu: once a cancel owns
-			// the campaign, snapshots are frozen — a straggler's journal
-			// record is harmless on replay (terminal status wins), but its
-			// report must never surface after the cancel verdict.
-			r.resp.Round = round
-			r.resp.FirstScenario = r.ids[0]
-			s.journal(store.Record{Kind: store.KindChunk, ID: c.id, Chunk: r.resp, IDs: r.ids})
-			c.mu.Lock()
-			if c.claimed {
-				c.mu.Unlock()
-				cancelled = true
-				continue
-			}
-			c.reports = append(c.reports, *r.resp)
-			c.scenariosDone += r.resp.Scenarios
-			c.remaining = store.Without(c.remaining, r.ids)
-			c.mu.Unlock()
-			c.publish(diet.ProgressUpdate{Stage: diet.StageChunk, Chunk: r.resp})
-		}
-		if cancelled || c.cancelledNow() {
-			return false
-		}
-		c.mu.Lock()
-		c.round++
-		c.mu.Unlock()
 	}
 
 	if !c.claim() {
@@ -587,6 +473,135 @@ func (s *Scheduler) runCampaign(c *campaign) bool {
 	c.complete(diet.CampaignDone, makespan, reports, requeues, "")
 	s.finish(c, false)
 	return true
+}
+
+// runRound runs one repartition-and-dispatch round for c over the current
+// live fleet. It returns (true, _) when the outer loop should continue —
+// after a completed round or an empty-pool retry backoff — and (false, ok)
+// when runCampaign must return ok. The fleet snapshot is leased for exactly
+// this round: the deferred releaseSeDs is what lets a draining SeD know
+// when the last round that might still dispatch to it has fully processed
+// its results, so scale-down can deregister without orphaning a chunk.
+func (s *Scheduler) runRound(abortCtx context.Context, c *campaign, remaining []int, round int) (cont, ok bool) {
+	// Steps 1-3: performance vectors from every live SeD. A daemon that
+	// fails the exchange drops out of this attempt's pool.
+	seds := s.aliveSeDs()
+	defer s.releaseSeDs(seds)
+	var pool []sedRef
+	var perf [][]float64
+	for _, ref := range seds {
+		vec, err := s.vector(ref, len(remaining), c.app.Months, c.heuristic)
+		if err != nil {
+			s.markDead(ref.st, ref.info.Addr)
+			continue
+		}
+		pool = append(pool, ref)
+		perf = append(perf, vec)
+	}
+	if len(pool) == 0 {
+		select {
+		case <-s.done:
+			return false, s.failCampaign(c, "grid: scheduler shut down", false)
+		case <-c.cancelCh:
+			return false, false
+		case <-time.After(s.cfg.RetryEvery):
+		}
+		return true, false
+	}
+
+	// Step 4: Algorithm-1 repartition of the remaining scenarios.
+	rep, err := core.Repartition(perf)
+	if err != nil {
+		return false, s.failCampaign(c, err.Error(), true)
+	}
+	chunks := make([][]int, len(pool))
+	for slot, cl := range rep.Assignment {
+		chunks[cl] = append(chunks[cl], remaining[slot])
+	}
+	planned := make([]diet.PlannedChunk, 0, len(pool))
+	for i, ref := range pool {
+		if len(chunks[i]) > 0 {
+			planned = append(planned, diet.PlannedChunk{Cluster: ref.info.Cluster, Scenarios: len(chunks[i])})
+		}
+	}
+	s.journal(store.Record{Kind: store.KindPlanned, ID: c.id, Round: round, Planned: planned})
+	c.publish(diet.ProgressUpdate{Stage: diet.StagePlanned, Planned: planned})
+
+	// Steps 5-6: dispatch every chunk concurrently, each behind its
+	// SeD's in-flight semaphore.
+	results := make(chan chunkReport, len(pool))
+	launched := 0
+	for i, ref := range pool {
+		if len(chunks[i]) == 0 {
+			continue
+		}
+		launched++
+		go s.dispatchChunk(abortCtx, c, ref, chunks[i], results)
+	}
+	cancelled := false
+	for ; launched > 0; launched-- {
+		r := <-results
+		if c.cancelledNow() {
+			// Cancelled mid-round: drain the remaining chunks (their
+			// round trips abort on abortCtx) and discard everything —
+			// including genuine results, which must not surface as chunk
+			// frames after the cancel verdict. The SeD is not marked
+			// dead for an abort-induced error.
+			cancelled = true
+			continue
+		}
+		if r.err != nil {
+			// The chunk's scenarios stay on the campaign's plate and
+			// will be re-repartitioned over the survivors. WAL first:
+			// the requeue is fsynced before it shows up in snapshots.
+			s.markDead(r.ref.st, r.ref.info.Addr)
+			s.journal(store.Record{Kind: store.KindRequeue, ID: c.id, Requeued: len(r.ids)})
+			c.mu.Lock()
+			if c.claimed {
+				c.mu.Unlock()
+				cancelled = true
+				continue
+			}
+			c.requeues++
+			c.mu.Unlock()
+			s.mu.Lock()
+			s.requeues++
+			s.mu.Unlock()
+			c.publish(diet.ProgressUpdate{Stage: diet.StageRequeue, Requeued: len(r.ids)})
+			continue
+		}
+		// Stamp the chunk with its provenance: the round (makespan
+		// accounting) and its lowest scenario ID (the report-order
+		// tiebreak). IDs are dispatched ascending, so ids[0] is the
+		// minimum. WAL discipline: the chunk is fsynced before it
+		// becomes visible to snapshots or subscribers, so progress a
+		// polling client observed can never regress across a restart.
+		// The acceptance is claim-guarded under c.mu: once a cancel owns
+		// the campaign, snapshots are frozen — a straggler's journal
+		// record is harmless on replay (terminal status wins), but its
+		// report must never surface after the cancel verdict.
+		r.resp.Round = round
+		r.resp.FirstScenario = r.ids[0]
+		s.journal(store.Record{Kind: store.KindChunk, ID: c.id, Chunk: r.resp, IDs: r.ids})
+		c.mu.Lock()
+		if c.claimed {
+			c.mu.Unlock()
+			cancelled = true
+			continue
+		}
+		c.reports = append(c.reports, *r.resp)
+		c.scenariosDone += r.resp.Scenarios
+		c.remaining = store.Without(c.remaining, r.ids)
+		c.mu.Unlock()
+		c.publish(diet.ProgressUpdate{Stage: diet.StageChunk, Chunk: r.resp})
+	}
+	if cancelled || c.cancelledNow() {
+		return false, false
+	}
+	c.mu.Lock()
+	c.round++
+	c.mu.Unlock()
+	return true, false
 }
 
 // sortReports puts chunk reports in their stable, deterministic final

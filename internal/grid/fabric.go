@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +33,15 @@ type Fabric struct {
 // the paper's five Grid'5000 cluster profiles (procs processors each), each
 // heartbeating every hbEvery.
 func StartFabric(cfg Config, seds, procs int, hbEvery time.Duration) (*Fabric, error) {
+	return StartFabricSpeeds(cfg, seds, procs, hbEvery, nil)
+}
+
+// StartFabricSpeeds is StartFabric for a heterogeneous fleet: SeD i runs at
+// speeds[i%len(speeds)] (1.0 = the profile's reference speed, 0.5 = twice as
+// slow). A nil or empty speeds slice is the homogeneous fleet. The speed
+// factor scales only the advertised performance vectors — chunk execution
+// stays on the profile's base timing, so serial verification is unchanged.
+func StartFabricSpeeds(cfg Config, seds, procs int, hbEvery time.Duration, speeds []float64) (*Fabric, error) {
 	sched, err := Start(cfg)
 	if err != nil {
 		return nil, err
@@ -41,9 +51,13 @@ func StartFabric(cfg Config, seds, procs int, hbEvery time.Duration) (*Fabric, e
 	if seds > len(profiles) {
 		seds = len(profiles)
 	}
-	for _, cl := range profiles[:seds] {
+	for i, cl := range profiles[:seds] {
 		cl.Procs = procs
-		sed, err := diet.StartSeD("127.0.0.1:0", cl, exec.Options{})
+		speed := 1.0
+		if len(speeds) > 0 {
+			speed = speeds[i%len(speeds)]
+		}
+		sed, err := diet.StartSeDSpeed("127.0.0.1:0", cl, exec.Options{}, speed)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -124,7 +138,15 @@ func (v *Verifier) SerialMakespan(cluster string, scenarios, months int) (float6
 	}
 	cl := v.clusters[cluster]
 	if cl == nil {
-		return 0, fmt.Errorf("grid: verifier knows no cluster %q", cluster)
+		// Autoscale-spawned SeDs serve clones named "<base>#<seq>" that
+		// share the base profile's timing and processor count, so the base
+		// profile replays them exactly.
+		if i := strings.IndexByte(cluster, '#'); i > 0 {
+			cl = v.clusters[cluster[:i]]
+		}
+		if cl == nil {
+			return 0, fmt.Errorf("grid: verifier knows no cluster %q", cluster)
+		}
 	}
 	app := core.Application{Scenarios: scenarios, Months: months}
 	alloc, err := v.heuristic.Plan(app, cl.Timing, cl.Procs)

@@ -29,6 +29,7 @@ package grid
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sort"
@@ -191,6 +192,20 @@ type sedState struct {
 	alive    bool
 	lastBeat time.Time
 	inFlight int
+	// speed is the daemon's advertised relative speed factor (1.0 for every
+	// pre-v7 daemon). A change invalidates the vector cache: the cached
+	// advertisements were scaled by the old factor.
+	speed float64
+	// draining marks a daemon gracefully leaving the fleet: it keeps
+	// serving (and banking) the chunks it holds, but aliveSeDs excludes it
+	// from every new dispatch pool.
+	draining bool
+	// leases counts repartition rounds whose dispatch pool snapshot
+	// includes this daemon and whose results are not fully processed yet.
+	// A draining daemon is deregistrable only at zero leases — the
+	// guarantee that a scale-down never strands (and so never requeues) an
+	// in-flight chunk.
+	leases int
 	// sem enforces the per-SeD in-flight limit; it survives re-registration
 	// so tokens held across an eviction/rejoin stay accounted.
 	sem     chan struct{}
@@ -248,6 +263,12 @@ type Scheduler struct {
 	// daemon. Atomic because request dispatch reads it lock-free while
 	// JoinRing installs it after Start.
 	shard atomic.Pointer[shardManager]
+
+	// metricsHook, when set, is invoked at the end of every /metrics render
+	// to append subsystem families the scheduler doesn't own (the autoscale
+	// controller's fleet gauges). Atomic because scrapes read it lock-free
+	// while the subsystem installs it after Start.
+	metricsHook atomic.Pointer[func(io.Writer)]
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
@@ -489,6 +510,18 @@ func (s *Scheduler) MetricsAddr() string {
 	return s.metrics.addr()
 }
 
+// SetMetricsHook installs (or, with nil, removes) a callback appended to
+// every /metrics render after the scheduler's own families. The hook must
+// write complete exposition-format families and must not block: it runs on
+// the scrape path.
+func (s *Scheduler) SetMetricsHook(hook func(io.Writer)) {
+	if hook == nil {
+		s.metricsHook.Store(nil)
+		return
+	}
+	s.metricsHook.Store(&hook)
+}
+
 // Close stops the daemon: the listener closes, queued and running campaigns
 // fail with a shutdown error, and the worker goroutines drain. With a state
 // dir the shutdown failures are not journaled as terminal — a scheduler
@@ -537,26 +570,66 @@ func (s *Scheduler) evictLoop() {
 
 // register adds or refreshes a SeD entry; beat marks whether the update is a
 // heartbeat (refreshing the liveness deadline and reviving evicted entries).
-func (s *Scheduler) register(info diet.SeDInfo, inFlight int) {
+// speed <= 0 — every pre-v7 peer — reads as the reference factor 1.0.
+func (s *Scheduler) register(info diet.SeDInfo, inFlight int, speed float64, draining bool) {
+	if speed <= 0 {
+		speed = 1.0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.seds[info.Cluster]
 	if st == nil {
+		if draining {
+			// A deregistered daemon's last in-flight beats may straggle in
+			// after its entry was removed; resurrecting it as a permanent
+			// draining ghost would pollute the table and /metrics. A drain
+			// flag only ever updates an existing entry.
+			return
+		}
 		st = &sedState{
 			sem:     make(chan struct{}, s.cfg.PerSeDInFlight),
 			vectors: make(map[vecKey][]float64),
 		}
 		s.seds[info.Cluster] = st
 	}
-	if st.info.Addr != "" && st.info.Addr != info.Addr {
-		// A replacement daemon for the cluster: its vectors may differ only
-		// if the profile changed, but a fresh cache is the safe default.
+	if st.info.Addr != "" && (st.info.Addr != info.Addr || st.info.Procs != info.Procs || st.speed != speed) {
+		// The daemon's identity or advertised capability changed — a
+		// replacement process, a resized cluster, or a new speed factor.
+		// Cached vectors describe the old capability, so serving them would
+		// misplace every chunk until the key aged out: invalidate.
 		st.vectors = make(map[vecKey][]float64)
+	}
+	if st.info.Addr != "" && st.info.Addr != info.Addr {
+		// A replacement daemon is a fresh process: an old drain flag (or a
+		// straggling beat from the drained predecessor) must not shadow it.
+		st.draining = false
 	}
 	st.info = info
 	st.alive = true
 	st.lastBeat = time.Now()
 	st.inFlight = inFlight
+	st.speed = speed
+	if draining {
+		st.draining = true
+	}
+}
+
+// DeregisterSeD removes a drained daemon from the scheduler's table. It
+// refuses (returning false) unless the entry matches addr, is draining, and
+// holds no leases and no outstanding scheduler requests — the autoscaler
+// polls Stats until those gauges read zero, so removal can never strand an
+// in-flight chunk. The SeD's own heartbeats must stop before or promptly
+// after this call; a straggling draining beat cannot re-create the entry
+// (see register).
+func (s *Scheduler) DeregisterSeD(cluster, addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.seds[cluster]
+	if st == nil || st.info.Addr != addr || !st.draining || st.leases > 0 || len(st.sem) > 0 {
+		return false
+	}
+	delete(s.seds, cluster)
+	return true
 }
 
 // sedRef pairs a daemon's state with an info snapshot taken under the
@@ -569,17 +642,34 @@ type sedRef struct {
 
 // aliveSeDs snapshots the dispatchable daemons in deterministic (cluster
 // name) order, so repartition tie-breaks do not depend on map iteration.
+// Draining daemons are excluded — they finish what they hold, nothing new
+// lands on them. Every returned daemon is leased: the caller owns one lease
+// per ref and must hand the same slice to releaseSeDs once the round's
+// results are processed. The drain flag and the snapshot are serialized by
+// s.mu, so a daemon either drains before a snapshot (excluded) or after
+// (lease held until its chunks banked) — never in between.
 func (s *Scheduler) aliveSeDs() []sedRef {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]sedRef, 0, len(s.seds))
 	for _, st := range s.seds {
-		if st.alive {
+		if st.alive && !st.draining {
+			st.leases++
 			out = append(out, sedRef{st: st, info: st.info})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].info.Cluster < out[j].info.Cluster })
 	return out
+}
+
+// releaseSeDs returns the leases aliveSeDs took. Called once per snapshot,
+// after the round that used it has fully processed its results.
+func (s *Scheduler) releaseSeDs(refs []sedRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ref := range refs {
+		ref.st.leases--
+	}
 }
 
 // markDead records a failed exchange with a SeD: it leaves the pool until a
@@ -656,7 +746,19 @@ func (s *Scheduler) Stats() diet.StatsResponse {
 			InFlight:    st.inFlight,
 			Outstanding: len(st.sem),
 			SinceBeat:   now.Sub(st.lastBeat),
+			Speed:       st.speed,
+			Draining:    st.draining,
+			Leases:      st.leases,
 		})
+	}
+	for _, t := range s.tenants {
+		for _, c := range t.queue {
+			if wait := now.Sub(c.enqueuedAt); wait > 0 {
+				if ms := float64(wait) / float64(time.Millisecond); ms > out.OldestWaitMs {
+					out.OldestWaitMs = ms
+				}
+			}
+		}
 	}
 	sort.Slice(out.SeDs, func(i, j int) bool { return out.SeDs[i].Cluster < out.SeDs[j].Cluster })
 	for _, t := range s.tenants {

@@ -161,6 +161,22 @@ func (s *Scheduler) writeMetrics(w io.Writer) {
 	for _, sd := range st.SeDs {
 		mw.sample("oagrid_sed_utilization", float64(sd.Outstanding)/float64(s.cfg.PerSeDInFlight), "cluster", sd.Cluster)
 	}
+	mw.family("oagrid_sed_speed", "gauge", "Advertised speed factor (1 = reference, 0.5 = twice as slow).")
+	for _, sd := range st.SeDs {
+		speed := sd.Speed
+		if speed <= 0 {
+			speed = 1
+		}
+		mw.sample("oagrid_sed_speed", speed, "cluster", sd.Cluster)
+	}
+	mw.family("oagrid_sed_draining", "gauge", "1 when the SeD is draining: alive, finishing in-flight work, excluded from new rounds.")
+	for _, sd := range st.SeDs {
+		draining := 0.0
+		if sd.Draining {
+			draining = 1
+		}
+		mw.sample("oagrid_sed_draining", draining, "cluster", sd.Cluster)
+	}
 
 	if s.store != nil {
 		mw.family("oagrid_wal_bytes", "gauge", "Live campaign-journal segment size.")
@@ -179,6 +195,9 @@ func (s *Scheduler) writeMetrics(w io.Writer) {
 
 	if sm := s.shardManager(); sm != nil {
 		s.writeRingMetrics(mw, sm)
+	}
+	if hook := s.metricsHook.Load(); hook != nil {
+		(*hook)(w)
 	}
 }
 

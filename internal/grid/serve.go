@@ -292,14 +292,16 @@ func (s *Scheduler) handle(req *diet.Request) *diet.Response {
 		if req.Register == nil {
 			return &diet.Response{Err: "register: empty payload"}
 		}
-		s.register(diet.SeDInfo(*req.Register), 0)
+		// The legacy register kind predates speed and drain: reference
+		// factor, not draining.
+		s.register(diet.SeDInfo(*req.Register), 0, 1.0, false)
 		return &diet.Response{Register: &diet.RegisterResponse{Accepted: true}}
 	case diet.KindHeartbeat:
 		if req.Heartbeat == nil {
 			return &diet.Response{Err: "heartbeat: empty payload"}
 		}
 		hb := req.Heartbeat
-		s.register(diet.SeDInfo{Cluster: hb.Cluster, Addr: hb.Addr, Procs: hb.Procs}, hb.InFlight)
+		s.register(diet.SeDInfo{Cluster: hb.Cluster, Addr: hb.Addr, Procs: hb.Procs}, hb.InFlight, hb.Speed, hb.Draining)
 		return &diet.Response{Heartbeat: &diet.HeartbeatResponse{OK: true}}
 	case diet.KindList:
 		return &diet.Response{List: &diet.ListResponse{SeDs: s.listSeDs()}}
